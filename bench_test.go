@@ -1,0 +1,458 @@
+// Package bench is the benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation, plus the design-choice
+// ablations DESIGN.md calls out (A1-A5).
+//
+// Wall-clock numbers measure the simulator; the figures the paper reports
+// are *simulated* durations, emitted as custom metrics:
+//
+//	sim-us/op      simulated microseconds per operation
+//	sim-ms/run     simulated milliseconds per workload run
+//	relative       Anception score normalized to native (Figure 6)
+//
+// Run with:  go test -bench=. -benchmem
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/exploits"
+	"anception/internal/workloads"
+)
+
+// newBenchDevice boots a quiet platform for measurement.
+func newBenchDevice(b *testing.B, mode anception.Mode, opts anception.Options) *anception.Device {
+	b.Helper()
+	opts.Mode = mode
+	opts.DisableTrace = true
+	d, err := anception.NewDevice(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return d
+}
+
+func launchBenchApp(b *testing.B, d *anception.Device, pkg string) *anception.Proc {
+	b.Helper()
+	app, err := d.InstallApp(android.AppSpec{Package: pkg})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := d.Launch(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// simPerOp reports the simulated latency metric.
+func simPerOp(b *testing.B, d *anception.Device, start time.Duration) {
+	b.Helper()
+	elapsed := d.Clock.Now() - start
+	b.ReportMetric(float64(elapsed)/float64(b.N)/1e3, "sim-us/op")
+}
+
+// --- Table I: ASIM microbenchmark latency -------------------------------
+
+func benchNullCall(b *testing.B, mode anception.Mode) {
+	d := newBenchDevice(b, mode, anception.Options{})
+	p := launchBenchApp(b, d, "com.bench.null")
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Getpid()
+	}
+	simPerOp(b, d, start)
+}
+
+func BenchmarkTableI_NullCall_Native(b *testing.B)    { benchNullCall(b, anception.ModeNative) }
+func BenchmarkTableI_NullCall_Anception(b *testing.B) { benchNullCall(b, anception.ModeAnception) }
+
+func benchWrite4K(b *testing.B, mode anception.Mode) {
+	d := newBenchDevice(b, mode, anception.Options{})
+	p := launchBenchApp(b, d, "com.bench.write")
+	fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	page := make([]byte, abi.PageSize)
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Pwrite(fd, page, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+}
+
+func BenchmarkTableI_Write4K_Native(b *testing.B)    { benchWrite4K(b, anception.ModeNative) }
+func BenchmarkTableI_Write4K_Anception(b *testing.B) { benchWrite4K(b, anception.ModeAnception) }
+
+func benchRead4K(b *testing.B, mode anception.Mode) {
+	d := newBenchDevice(b, mode, anception.Options{})
+	p := launchBenchApp(b, d, "com.bench.read")
+	fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Pwrite(fd, make([]byte, abi.PageSize), 0); err != nil {
+		b.Fatal(err)
+	}
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Pread(fd, abi.PageSize, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+}
+
+func BenchmarkTableI_Read4K_Native(b *testing.B)    { benchRead4K(b, anception.ModeNative) }
+func BenchmarkTableI_Read4K_Anception(b *testing.B) { benchRead4K(b, anception.ModeAnception) }
+
+func benchBinder(b *testing.B, mode anception.Mode, payload int) {
+	d := newBenchDevice(b, mode, anception.Options{})
+	p := launchBenchApp(b, d, "com.bench.binder")
+	bfd, err := p.OpenBinder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, payload)
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BinderCall(bfd, "location", android.CodeGetLocation, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+}
+
+func BenchmarkTableI_Binder128_Native(b *testing.B)    { benchBinder(b, anception.ModeNative, 128) }
+func BenchmarkTableI_Binder128_Anception(b *testing.B) { benchBinder(b, anception.ModeAnception, 128) }
+func BenchmarkTableI_Binder256_Native(b *testing.B)    { benchBinder(b, anception.ModeNative, 256) }
+func BenchmarkTableI_Binder256_Anception(b *testing.B) { benchBinder(b, anception.ModeAnception, 256) }
+
+// --- Figure 6: AnTuTu macrobenchmarks ------------------------------------
+
+func benchWorkload(b *testing.B, mode anception.Mode, w workloads.Workload) {
+	var totalSim time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := workloads.MeasureOn(mode, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		totalSim += m.Simulated
+	}
+	b.ReportMetric(float64(totalSim)/float64(b.N)/1e6, "sim-ms/run")
+}
+
+func BenchmarkFigure6_DatabaseIO_Native(b *testing.B) {
+	benchWorkload(b, anception.ModeNative, workloads.AnTuTuDatabaseIO())
+}
+func BenchmarkFigure6_DatabaseIO_Anception(b *testing.B) {
+	benchWorkload(b, anception.ModeAnception, workloads.AnTuTuDatabaseIO())
+}
+func BenchmarkFigure6_2DGraphics_Native(b *testing.B) {
+	benchWorkload(b, anception.ModeNative, workloads.AnTuTu2D())
+}
+func BenchmarkFigure6_2DGraphics_Anception(b *testing.B) {
+	benchWorkload(b, anception.ModeAnception, workloads.AnTuTu2D())
+}
+func BenchmarkFigure6_3DGraphics_Native(b *testing.B) {
+	benchWorkload(b, anception.ModeNative, workloads.AnTuTu3D())
+}
+func BenchmarkFigure6_3DGraphics_Anception(b *testing.B) {
+	benchWorkload(b, anception.ModeAnception, workloads.AnTuTu3D())
+}
+
+// BenchmarkFigure6_RelativeScores reports the normalized bars of the
+// figure directly.
+func BenchmarkFigure6_RelativeScores(b *testing.B) {
+	suites := []workloads.Workload{
+		workloads.AnTuTuDatabaseIO(), workloads.AnTuTu2D(), workloads.AnTuTu3D(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range suites {
+			c, err := workloads.Compare(w)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(c.RelativeScore(), w.Name+"-relative")
+		}
+	}
+}
+
+// --- Figure 7: SunSpider --------------------------------------------------
+
+func benchSunSpider(b *testing.B, mode anception.Mode, suite string) {
+	w, ok := workloads.SunSpiderWorkload(suite)
+	if !ok {
+		b.Fatalf("suite %q", suite)
+	}
+	benchWorkload(b, mode, w)
+}
+
+func BenchmarkFigure7_3D_Native(b *testing.B)    { benchSunSpider(b, anception.ModeNative, "3d") }
+func BenchmarkFigure7_3D_Anception(b *testing.B) { benchSunSpider(b, anception.ModeAnception, "3d") }
+func BenchmarkFigure7_Access_Native(b *testing.B) {
+	benchSunSpider(b, anception.ModeNative, "access")
+}
+func BenchmarkFigure7_Access_Anception(b *testing.B) {
+	benchSunSpider(b, anception.ModeAnception, "access")
+}
+func BenchmarkFigure7_Bitops_Native(b *testing.B) {
+	benchSunSpider(b, anception.ModeNative, "bitops")
+}
+func BenchmarkFigure7_Bitops_Anception(b *testing.B) {
+	benchSunSpider(b, anception.ModeAnception, "bitops")
+}
+func BenchmarkFigure7_Ctrlflow_Native(b *testing.B) {
+	benchSunSpider(b, anception.ModeNative, "ctrlflow")
+}
+func BenchmarkFigure7_Ctrlflow_Anception(b *testing.B) {
+	benchSunSpider(b, anception.ModeAnception, "ctrlflow")
+}
+func BenchmarkFigure7_Math_Native(b *testing.B) { benchSunSpider(b, anception.ModeNative, "math") }
+func BenchmarkFigure7_Math_Anception(b *testing.B) {
+	benchSunSpider(b, anception.ModeAnception, "math")
+}
+func BenchmarkFigure7_String_Native(b *testing.B) {
+	benchSunSpider(b, anception.ModeNative, "string")
+}
+func BenchmarkFigure7_String_Anception(b *testing.B) {
+	benchSunSpider(b, anception.ModeAnception, "string")
+}
+
+// --- Section VI-B: the SQLite row benchmark ------------------------------
+
+func BenchmarkSQLite10KRows_Native(b *testing.B) {
+	benchWorkload(b, anception.ModeNative, workloads.SQLiteRowBench())
+}
+func BenchmarkSQLite10KRows_Anception(b *testing.B) {
+	benchWorkload(b, anception.ModeAnception, workloads.SQLiteRowBench())
+}
+
+// --- Section VI-C: memory overhead ----------------------------------------
+
+func BenchmarkMemoryOverhead(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := newBenchDevice(b, anception.ModeAnception, anception.Options{})
+		for j := 0; j < 23; j++ {
+			launchBenchApp(b, d, fmt.Sprintf("com.active%02d", j))
+		}
+		m := d.CVMMemory()
+		b.ReportMetric(float64(m.ActiveKB), "active-KB")
+		b.ReportMetric(float64(m.AvailableKB), "available-KB")
+		b.ReportMetric(float64(m.FreeKB), "free-KB")
+	}
+}
+
+// --- Section V-B: the vulnerability study as a regression bench ----------
+
+func BenchmarkVulnerabilityStudy(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := exploits.RunStudy(anception.ModeAnception)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := exploits.Summarize(results)
+		b.ReportMetric(float64(s.Failed), "failed")
+		b.ReportMetric(float64(s.CVMRoot), "cvm-root")
+		b.ReportMetric(float64(s.HostRoot), "host-root")
+	}
+}
+
+// --- Ablations A1-A5 -------------------------------------------------------
+
+// A1: keep filesystem calls on the host — the 4 KiB write drops back to
+// native latency at the cost of ~1.2M privileged kernel lines.
+func BenchmarkAblationA1_HostFSWrite(b *testing.B) {
+	d := newBenchDevice(b, anception.ModeAnception, anception.Options{KeepFSOnHost: true})
+	p := launchBenchApp(b, d, "com.bench.a1")
+	fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	page := make([]byte, abi.PageSize)
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Pwrite(fd, page, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+}
+
+// A2: chunk-size sweep on a 64 KiB redirected write.
+func BenchmarkAblationA2_ChunkSize(b *testing.B) {
+	for _, chunk := range []int{1024, 4096, 16384, 65536} {
+		b.Run(fmt.Sprintf("%dB", chunk), func(b *testing.B) {
+			d := newBenchDevice(b, anception.ModeAnception, anception.Options{ChunkSize: chunk})
+			p := launchBenchApp(b, d, "com.bench.a2")
+			fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 64<<10)
+			start := d.Clock.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Pwrite(fd, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			simPerOp(b, d, start)
+		})
+	}
+}
+
+// A3: the naive 4-context-switch proxy dispatch vs the in-kernel wait.
+func BenchmarkAblationA3_NaiveDispatch(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		name := "optimized"
+		if naive {
+			name = "naive"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := newBenchDevice(b, anception.ModeAnception, anception.Options{NaiveDispatch: naive})
+			p := launchBenchApp(b, d, "com.bench.a3")
+			fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			page := make([]byte, abi.PageSize)
+			start := d.Clock.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Pwrite(fd, page, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			simPerOp(b, d, start)
+		})
+	}
+}
+
+// A4: headless vs full Android stack in the CVM (memory pressure).
+func BenchmarkAblationA4_HeadlessMemory(b *testing.B) {
+	for _, full := range []bool{false, true} {
+		name := "headless"
+		if full {
+			name = "full-stack"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := newBenchDevice(b, anception.ModeAnception, anception.Options{FullCVMStack: full})
+				m := d.CVMMemory()
+				b.ReportMetric(float64(m.ActiveKB), "active-KB")
+			}
+		})
+	}
+}
+
+// A5: the discarded socket/virtio transport vs remapped guest pages.
+func BenchmarkAblationA5_Transport(b *testing.B) {
+	for _, socket := range []bool{false, true} {
+		name := "remapped-pages"
+		if socket {
+			name = "socket"
+		}
+		b.Run(name, func(b *testing.B) {
+			d := newBenchDevice(b, anception.ModeAnception, anception.Options{SocketTransport: socket})
+			p := launchBenchApp(b, d, "com.bench.a5")
+			fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+			if err != nil {
+				b.Fatal(err)
+			}
+			buf := make([]byte, 16*abi.PageSize)
+			start := d.Clock.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Pwrite(fd, buf, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			simPerOp(b, d, start)
+		})
+	}
+}
+
+// --- Section VI-A: the ioctl profile -------------------------------------
+
+func BenchmarkIoctlProfile(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats, err := workloads.RunProfile(anception.ModeAnception)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(stats.AvgIoctlFrac, "ioctl-frac")
+		b.ReportMetric(stats.UIIoctlFrac, "ui-ioctl-frac")
+	}
+}
+
+// --- Real-application session and launch latency ---------------------------
+
+func BenchmarkAppSession_Native(b *testing.B) {
+	benchWorkload(b, anception.ModeNative, workloads.InteractiveSession())
+}
+func BenchmarkAppSession_Anception(b *testing.B) {
+	benchWorkload(b, anception.ModeAnception, workloads.InteractiveSession())
+}
+
+func benchLaunch(b *testing.B, mode anception.Mode) {
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := workloads.MeasureLaunch(mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += st.Latency
+	}
+	b.ReportMetric(float64(total)/float64(b.N)/1e6, "sim-ms/launch")
+}
+
+func BenchmarkAppLaunch_Native(b *testing.B)    { benchLaunch(b, anception.ModeNative) }
+func BenchmarkAppLaunch_Anception(b *testing.B) { benchLaunch(b, anception.ModeAnception) }
+
+// CVM memory-size sweep: how many enrolled apps fit per container size —
+// the provisioning question behind the paper's 64 MB choice.
+func BenchmarkCVMSizeProxyCapacity(b *testing.B) {
+	for _, mb := range []int64{32, 64, 128} {
+		b.Run(fmt.Sprintf("%dMB", mb), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := newBenchDevice(b, anception.ModeAnception, anception.Options{
+					CVMMemoryBytes: mb << 20,
+				})
+				launched := 0
+				for j := 0; j < 1000; j++ {
+					app, err := d.InstallApp(android.AppSpec{Package: fmt.Sprintf("com.cap%04d", j)})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := d.Launch(app); err != nil {
+						break // guest region exhausted: capacity reached
+					}
+					launched++
+				}
+				b.ReportMetric(float64(launched), "apps")
+				b.ReportMetric(float64(d.CVMMemory().ActiveKB), "active-KB")
+			}
+		})
+	}
+}

@@ -1,0 +1,160 @@
+// Banking app: the paper's Figure 2 / Listing 1 scenario end to end.
+//
+// A high-assurance banking app receives the user's password through the
+// host-side UI, keeps it only in host-resident memory, and talks to its
+// server over an encrypted channel that transits the (untrusted)
+// container. Meanwhile a malicious app roots the container via
+// GingerBreak and tries to steal the password — and finds only the proxy.
+//
+//	go run ./examples/bankingapp
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/exploits"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func xorSeal(data []byte, key byte) []byte {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = b ^ key
+	}
+	return out
+}
+
+func run() error {
+	device, err := anception.NewDevice(anception.Options{
+		Mode:  anception.ModeAnception,
+		Vulns: android.AllVulnerabilities(), // the 2011-era device
+	})
+	if err != nil {
+		return err
+	}
+
+	// The bank's backend, reachable only through the container's network
+	// stack. It records everything it receives, like a wire sniffer in
+	// the compromised CVM would.
+	var wire [][]byte
+	device.RegisterRemote("bank.com:443", func(req []byte) []byte {
+		wire = append(wire, append([]byte(nil), req...))
+		return []byte("TLS:session-ok")
+	})
+
+	// Install the banking app with its pinned certificate packaged in
+	// the (host-protected) code.
+	bankApp, err := device.InstallApp(android.AppSpec{
+		Package: "com.bank.secure",
+		Code:    []byte("DEX banking-app CERT:sha256/abcdef"),
+	})
+	if err != nil {
+		return err
+	}
+	bank, err := device.Launch(bankApp)
+	if err != nil {
+		return err
+	}
+
+	// --- Listing 1, line by line ---
+	binderFD, err := bank.OpenBinder() // open /dev/binder (host)
+	if err != nil {
+		return err
+	}
+	sockFD, err := bank.Socket(netstack.AFInet, netstack.SockStream, 0) // socket (CVM)
+	if err != nil {
+		return err
+	}
+	if err := bank.Connect(sockFD, "bank.com:443"); err != nil { // connect (CVM)
+		return err
+	}
+
+	// The user types the password; it flows through the host UI stack.
+	device.QueueInput(bankApp, []byte("pwd:hunter2"))
+	input, err := bank.WaitInput(binderFD) // IOC_WAIT_INPUT_EVT (host)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bank app received input: %q\n", input)
+
+	// Keep the password only in host-resident memory.
+	if _, err := bank.PlantSecret(input); err != nil {
+		return err
+	}
+
+	// Encrypt in user space and send; the CVM relays ciphertext.
+	sealed := xorSeal(append(input, []byte(" LOGIN_CMD")...), 0x5A)
+	if _, err := bank.Send(sockFD, sealed); err != nil {
+		return err
+	}
+	resp, err := bank.Recv(sockFD, 32)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bank server replied: %q\n", resp)
+
+	// --- Meanwhile, malware roots the container ---
+	malApp, err := device.InstallApp(android.AppSpec{Package: "com.free.game"})
+	if err != nil {
+		return err
+	}
+	mal, err := device.Launch(malApp)
+	if err != nil {
+		return err
+	}
+	exploits.RunGingerBreak(&exploits.Env{Device: device, Mal: mal})
+
+	shells := device.GuestServices.Vold.RootShells()
+	if len(shells) == 0 {
+		return fmt.Errorf("expected the container to be rooted")
+	}
+	fmt.Printf("malware obtained a root shell INSIDE the container (guest pid %d)\n", shells[0].PID)
+
+	// The attacker scans the container for the bank app and dumps what it
+	// finds: only the proxy, whose memory never held the password.
+	attacker := device.LaunchServiceShell(device.Guest, shells[0])
+	var stolen bool
+	listing, err := attacker.Getdents("/proc")
+	if err != nil {
+		return err
+	}
+	for _, entry := range bytes.Split(listing, []byte("\n")) {
+		memFD, err := attacker.Open("/proc/"+string(entry)+"/mem", abi.ORdOnly, 0)
+		if err != nil {
+			continue
+		}
+		dump, err := attacker.Pread(memFD, 4096, int64(kernel.AddrHeapBase))
+		if err == nil && bytes.Contains(dump, []byte("hunter2")) {
+			stolen = true
+		}
+	}
+	fmt.Printf("attacker searched every process in the container; password stolen: %v\n", stolen)
+
+	// Nothing on the wire contains plaintext either.
+	leaked := false
+	for _, msg := range wire {
+		if bytes.Contains(msg, []byte("hunter2")) {
+			leaked = true
+		}
+	}
+	fmt.Printf("plaintext on the container-relayed wire: %v\n", leaked)
+	fmt.Printf("host kernel compromised: %v\n", device.Host.Rooted())
+
+	if stolen || leaked || device.Host.Rooted() {
+		return fmt.Errorf("confidentiality violated")
+	}
+	fmt.Println("\nthe banking app's credentials survived a fully rooted container")
+	return nil
+}

@@ -1,0 +1,114 @@
+// Resilience: the operational story around the container. The CVM is
+// crash-only — malware that merely crashes it (the failed CVE-2009-2692
+// here) causes a blip, not a compromise: the host restarts the container,
+// apps keep their processes and host-side state, and the container's
+// persistent storage survives. The host also firewalls the container's
+// external connectivity.
+//
+//	go run ./examples/resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	device, err := anception.NewDevice(anception.Options{
+		Mode:  anception.ModeAnception,
+		Vulns: android.AllVulnerabilities(),
+	})
+	if err != nil {
+		return err
+	}
+
+	// Host-controlled firewall over the container's connectivity.
+	device.RegisterRemote("updates.example.com:443", func(req []byte) []byte { return []byte("update-ok") })
+	device.RegisterRemote("tracker.ads.example:80", func(req []byte) []byte { return []byte("ads") })
+	device.SetCVMFirewall(func(cred abi.Cred, addr string) error {
+		if addr == "tracker.ads.example:80" {
+			return fmt.Errorf("blocked by host policy: %w", abi.ENETUNREACH)
+		}
+		return nil
+	})
+
+	app, err := device.InstallApp(android.AppSpec{Package: "com.sync.agent"})
+	if err != nil {
+		return err
+	}
+	proc, err := device.Launch(app)
+	if err != nil {
+		return err
+	}
+
+	// Firewall in action.
+	ok, _ := proc.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err := proc.Connect(ok, "updates.example.com:443"); err != nil {
+		return err
+	}
+	fmt.Println("allowed endpoint reachable through the container")
+	blocked, _ := proc.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err := proc.Connect(blocked, "tracker.ads.example:80"); err != nil {
+		fmt.Println("tracker blocked by the host firewall:", err)
+	}
+
+	// Durable state before the incident.
+	fd, err := proc.Open("state.json", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		return err
+	}
+	if _, err := proc.Write(fd, []byte(`{"cursor": 42}`)); err != nil {
+		return err
+	}
+	if err := proc.Close(fd); err != nil {
+		return err
+	}
+
+	// Malware crashes the container (shellcode stays on the host, so the
+	// null dereference only oopses the guest).
+	mal, err := device.InstallApp(android.AppSpec{Package: "com.bad.actor"})
+	if err != nil {
+		return err
+	}
+	malProc, err := device.Launch(mal)
+	if err != nil {
+		return err
+	}
+	_ = malProc.MapFixed(0, 1, kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec)
+	sock, _ := malProc.Socket(netstack.AFBluetooth, netstack.SockDgram, 0)
+	bait, _ := malProc.Open("bait", abi.ORdWr|abi.OCreat, 0o666)
+	_, _ = malProc.Sendfile(sock, bait, abi.PageSize)
+	fmt.Println("container crashed:", device.Guest.Panicked())
+	fmt.Println("host app still running:", proc.Task.CurrentState())
+
+	// Crash-only recovery.
+	if err := device.RestartCVM(); err != nil {
+		return err
+	}
+	fmt.Println("container restarted; services:", len(device.GuestServices.Names()))
+
+	// The app resumes on a fresh proxy and its durable state is intact.
+	fd2, err := proc.Open("state.json", abi.ORdOnly, 0)
+	if err != nil {
+		return err
+	}
+	data, err := proc.Read(fd2, 64)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("durable state after restart: %s\n", data)
+	fmt.Printf("simulated downtime cost: %v of clock time\n", device.Clock.Now())
+	return nil
+}

@@ -1,0 +1,3 @@
+module anception
+
+go 1.22

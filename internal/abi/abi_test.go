@@ -1,0 +1,138 @@
+package abi
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrnoError(t *testing.T) {
+	cases := map[Errno]string{
+		EPERM:       "operation not permitted",
+		ENOENT:      "no such file or directory",
+		EACCES:      "permission denied",
+		EROFS:       "read-only file system",
+		ENOSYS:      "function not implemented",
+		ENETUNREACH: "network is unreachable",
+		Errno(200):  "errno 200",
+	}
+	for e, want := range cases {
+		if got := e.Error(); got != want {
+			t.Errorf("%d.Error() = %q, want %q", int(e), got, want)
+		}
+	}
+}
+
+func TestErrnoMatchesWithErrorsIs(t *testing.T) {
+	wrapped := fmt.Errorf("open /x: %w", EACCES)
+	if !errors.Is(wrapped, EACCES) {
+		t.Fatal("wrapped errno did not match")
+	}
+	if errors.Is(wrapped, EPERM) {
+		t.Fatal("wrong errno matched")
+	}
+}
+
+func TestErrnoValuesAreLinuxLike(t *testing.T) {
+	// Spot-check numeric compatibility with <errno.h> so traces read
+	// like real straces.
+	if EPERM != 1 || ENOENT != 2 || EACCES != 13 || EINVAL != 22 || EROFS != 30 {
+		t.Fatal("errno numbering drifted from Linux")
+	}
+}
+
+func TestOpenFlagAccessors(t *testing.T) {
+	cases := []struct {
+		f        OpenFlag
+		readable bool
+		writable bool
+	}{
+		{ORdOnly, true, false},
+		{OWrOnly, false, true},
+		{ORdWr, true, true},
+		{OWrOnly | OCreat | OTrunc, false, true},
+		{ORdOnly | OAppend, true, false},
+	}
+	for _, c := range cases {
+		if c.f.Readable() != c.readable || c.f.Writable() != c.writable {
+			t.Errorf("flags %x: readable=%v writable=%v, want %v/%v",
+				c.f, c.f.Readable(), c.f.Writable(), c.readable, c.writable)
+		}
+	}
+	if (OWrOnly | OCreat).AccessMode() != OWrOnly {
+		t.Fatal("AccessMode must mask to the low bits")
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	cases := map[SyscallNr]string{
+		SysOpen:          "open",
+		SysRead:          "read",
+		SysIoctl:         "ioctl",
+		SysSendfile:      "sendfile",
+		SysMmap2:         "mmap2",
+		SysShmget:        "shmget",
+		SysPerfEventOpen: "perf_event_open",
+		SyscallNr(9999):  "sys_9999",
+	}
+	for nr, want := range cases {
+		if got := nr.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(nr), got, want)
+		}
+	}
+}
+
+func TestSyscallNumbersMatchARM(t *testing.T) {
+	// The implemented numbers follow Linux 3.4 ARM EABI so traces are
+	// recognizable.
+	if SysExit != 1 || SysRead != 3 || SysWrite != 4 || SysOpen != 5 ||
+		SysIoctl != 54 || SysMmap2 != 192 || SysSocket != 281 {
+		t.Fatal("syscall numbering drifted from ARM EABI")
+	}
+}
+
+func TestSyscallNamesUnique(t *testing.T) {
+	seen := make(map[string]SyscallNr)
+	for nr, name := range sysNames {
+		if prev, dup := seen[name]; dup {
+			t.Errorf("name %q assigned to both %d and %d", name, prev, nr)
+		}
+		seen[name] = nr
+	}
+}
+
+func TestCredRoot(t *testing.T) {
+	if !(Cred{UID: UIDRoot}).Root() {
+		t.Fatal("uid 0 is root")
+	}
+	if (Cred{UID: UIDAppBase}).Root() {
+		t.Fatal("app uid is not root")
+	}
+	if (Cred{UID: UIDSystem}).Root() {
+		t.Fatal("system uid is not root")
+	}
+}
+
+func TestWellKnownUIDs(t *testing.T) {
+	if UIDRoot != 0 || UIDSystem != 1000 || UIDShell != 2000 || UIDAppBase != 10000 {
+		t.Fatal("Android UID constants drifted")
+	}
+}
+
+func TestPageSize(t *testing.T) {
+	if PageSize != 4096 {
+		t.Fatal("page size must be 4096 (the paper's chunking unit)")
+	}
+}
+
+func TestFileModeBits(t *testing.T) {
+	if ModeUserR|ModeUserW|ModeUserX != 0o700 {
+		t.Fatal("user bits")
+	}
+	if ModeGroupR|ModeGroupW|ModeGroupX != 0o070 {
+		t.Fatal("group bits")
+	}
+	if ModeOtherR|ModeOtherW|ModeOtherX != 0o007 {
+		t.Fatal("other bits")
+	}
+}

@@ -1,0 +1,13 @@
+package abi
+
+// Cred carries the credentials an operation runs with. One shared type is
+// used across the VFS, network, binder, and kernel layers so credential
+// propagation (host process -> CVM proxy) is a plain copy.
+type Cred struct {
+	UID int
+	GID int
+	PID int
+}
+
+// Root reports whether the credential bypasses permission checks.
+func (c Cred) Root() bool { return c.UID == UIDRoot }

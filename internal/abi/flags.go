@@ -1,0 +1,75 @@
+package abi
+
+// OpenFlag holds open(2)-style flags.
+type OpenFlag int
+
+// Open flags understood by the simulated kernel.
+const (
+	ORdOnly OpenFlag = 0x0
+	OWrOnly OpenFlag = 0x1
+	ORdWr   OpenFlag = 0x2
+
+	OCreat  OpenFlag = 0x40
+	OExcl   OpenFlag = 0x80
+	OTrunc  OpenFlag = 0x200
+	OAppend OpenFlag = 0x400
+)
+
+// AccessMode extracts the read/write mode bits.
+func (f OpenFlag) AccessMode() OpenFlag { return f & 0x3 }
+
+// Readable reports whether the flags request read access.
+func (f OpenFlag) Readable() bool { return f.AccessMode() == ORdOnly || f.AccessMode() == ORdWr }
+
+// Writable reports whether the flags request write access.
+func (f OpenFlag) Writable() bool { return f.AccessMode() == OWrOnly || f.AccessMode() == ORdWr }
+
+// FileMode holds Unix permission bits (the low 12 bits; no sticky/setid
+// semantics are modeled beyond storage of the bits).
+type FileMode int
+
+// Permission bit groups.
+const (
+	ModeUserR  FileMode = 0o400
+	ModeUserW  FileMode = 0o200
+	ModeUserX  FileMode = 0o100
+	ModeGroupR FileMode = 0o040
+	ModeGroupW FileMode = 0o020
+	ModeGroupX FileMode = 0o010
+	ModeOtherR FileMode = 0o004
+	ModeOtherW FileMode = 0o002
+	ModeOtherX FileMode = 0o001
+)
+
+// Whence values for lseek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// Access bits for the access/permission check primitives.
+const (
+	AccessRead  = 4
+	AccessWrite = 2
+	AccessExec  = 1
+)
+
+// PageSize is the page size of the simulated device and the fixed chunk
+// size of the host-to-container data channel (Section IV-1, footnote 7).
+const PageSize = 4096
+
+// Well-known UIDs of the Android security model.
+const (
+	UIDRoot    = 0
+	UIDSystem  = 1000
+	UIDShell   = 2000
+	UIDAppBase = 10000 // first installed-app UID
+)
+
+// Signal numbers used by the simulation.
+const (
+	SIGKILL = 9
+	SIGTERM = 15
+	SIGSEGV = 11
+)

@@ -1,0 +1,162 @@
+package abi
+
+import "fmt"
+
+// SyscallNr identifies a system call. The numbering follows Linux 3.4 on
+// ARM (EABI) for the calls the simulated kernel implements, so traces read
+// like real straces.
+type SyscallNr int
+
+// System calls implemented by the simulated kernel. The full 324-entry
+// table that Section V-D classifies lives in internal/redirect; entries not
+// listed here return ENOSYS when invoked.
+const (
+	SysExit      SyscallNr = 1
+	SysFork      SyscallNr = 2
+	SysRead      SyscallNr = 3
+	SysWrite     SyscallNr = 4
+	SysOpen      SyscallNr = 5
+	SysClose     SyscallNr = 6
+	SysCreat     SyscallNr = 8
+	SysLink      SyscallNr = 9
+	SysUnlink    SyscallNr = 10
+	SysExecve    SyscallNr = 11
+	SysChdir     SyscallNr = 12
+	SysMknod     SyscallNr = 14
+	SysChmod     SyscallNr = 15
+	SysLseek     SyscallNr = 19
+	SysGetpid    SyscallNr = 20
+	SysMount     SyscallNr = 21
+	SysSetuid    SyscallNr = 23
+	SysGetuid    SyscallNr = 24
+	SysPtrace    SyscallNr = 26
+	SysPause     SyscallNr = 29
+	SysAccess    SyscallNr = 33
+	SysSync      SyscallNr = 36
+	SysKill      SyscallNr = 37
+	SysRename    SyscallNr = 38
+	SysMkdir     SyscallNr = 39
+	SysRmdir     SyscallNr = 40
+	SysDup       SyscallNr = 41
+	SysPipe      SyscallNr = 42
+	SysBrk       SyscallNr = 45
+	SysSetgid    SyscallNr = 46
+	SysGetgid    SyscallNr = 47
+	SysGeteuid   SyscallNr = 49
+	SysGetegid   SyscallNr = 50
+	SysIoctl     SyscallNr = 54
+	SysFcntl     SyscallNr = 55
+	SysUmask     SyscallNr = 60
+	SysDup2      SyscallNr = 63
+	SysGetppid   SyscallNr = 64
+	SysSigaction SyscallNr = 67
+	SysSymlink   SyscallNr = 83
+	SysReadlink  SyscallNr = 85
+	SysReboot    SyscallNr = 88
+	SysMunmap    SyscallNr = 91
+	SysTruncate  SyscallNr = 92
+	SysFtruncate SyscallNr = 93
+	SysFchmod    SyscallNr = 94
+	SysFchown    SyscallNr = 95
+	SysStatfs    SyscallNr = 99
+	SysStat      SyscallNr = 106
+	SysFstat     SyscallNr = 108
+	SysWait4     SyscallNr = 114
+	SysSysinfo   SyscallNr = 116
+	SysFsync     SyscallNr = 118
+	SysClone     SyscallNr = 120
+	SysUname     SyscallNr = 122
+	SysMprotect  SyscallNr = 125
+
+	SysInitModule   SyscallNr = 128
+	SysDeleteModule SyscallNr = 129
+	SysFchdir       SyscallNr = 133
+	SysGetdents     SyscallNr = 141
+	SysMsync        SyscallNr = 144
+	SysNanosleep    SyscallNr = 162
+	SysMremap       SyscallNr = 163
+	SysSetresuid    SyscallNr = 164
+	SysPoll         SyscallNr = 168
+	SysPread64      SyscallNr = 180
+	SysPwrite64     SyscallNr = 181
+	SysChown        SyscallNr = 182
+	SysGetcwd       SyscallNr = 183
+	SysSendfile     SyscallNr = 187
+	SysVfork        SyscallNr = 190
+	SysMmap2        SyscallNr = 192
+	SysGettid       SyscallNr = 224
+	SysFutex        SyscallNr = 240
+	SysExitGroup    SyscallNr = 248
+	SysClockGettime SyscallNr = 263
+	SysTgkill       SyscallNr = 268
+
+	SysSocket        SyscallNr = 281
+	SysBind          SyscallNr = 282
+	SysConnect       SyscallNr = 283
+	SysListen        SyscallNr = 284
+	SysAccept        SyscallNr = 285
+	SysGetsockname   SyscallNr = 286
+	SysGetpeername   SyscallNr = 287
+	SysSocketpair    SyscallNr = 288
+	SysSend          SyscallNr = 289
+	SysSendto        SyscallNr = 290
+	SysRecv          SyscallNr = 291
+	SysRecvfrom      SyscallNr = 292
+	SysShutdownSk    SyscallNr = 293
+	SysSetsockopt    SyscallNr = 294
+	SysGetsockopt    SyscallNr = 295
+	SysShmat         SyscallNr = 305
+	SysShmdt         SyscallNr = 306
+	SysShmget        SyscallNr = 307
+	SysShmctl        SyscallNr = 308
+	SysOpenat        SyscallNr = 322
+	SysMkdirat       SyscallNr = 323
+	SysPerfEventOpen SyscallNr = 364
+)
+
+var sysNames = map[SyscallNr]string{
+	SysExit: "exit", SysFork: "fork", SysRead: "read", SysWrite: "write",
+	SysOpen: "open", SysClose: "close", SysCreat: "creat", SysLink: "link",
+	SysUnlink: "unlink", SysExecve: "execve", SysChdir: "chdir",
+	SysMknod: "mknod", SysChmod: "chmod", SysLseek: "lseek",
+	SysGetpid: "getpid", SysMount: "mount", SysSetuid: "setuid",
+	SysGetuid: "getuid", SysPtrace: "ptrace", SysPause: "pause",
+	SysAccess: "access", SysSync: "sync", SysKill: "kill",
+	SysRename: "rename", SysMkdir: "mkdir", SysRmdir: "rmdir",
+	SysDup: "dup", SysPipe: "pipe", SysBrk: "brk", SysSetgid: "setgid",
+	SysGetgid: "getgid", SysGeteuid: "geteuid", SysGetegid: "getegid",
+	SysIoctl: "ioctl", SysFcntl: "fcntl", SysUmask: "umask",
+	SysDup2: "dup2", SysGetppid: "getppid", SysSigaction: "sigaction",
+	SysSymlink: "symlink", SysReadlink: "readlink", SysReboot: "reboot",
+	SysMunmap: "munmap", SysTruncate: "truncate", SysFtruncate: "ftruncate",
+	SysFchmod: "fchmod", SysFchown: "fchown", SysStatfs: "statfs",
+	SysStat: "stat", SysFstat: "fstat", SysWait4: "wait4",
+	SysSysinfo: "sysinfo", SysFsync: "fsync", SysClone: "clone",
+	SysUname: "uname", SysMprotect: "mprotect",
+	SysInitModule: "init_module", SysDeleteModule: "delete_module",
+	SysFchdir: "fchdir", SysGetdents: "getdents", SysMsync: "msync",
+	SysNanosleep: "nanosleep", SysMremap: "mremap",
+	SysSetresuid: "setresuid", SysPoll: "poll", SysPread64: "pread64",
+	SysPwrite64: "pwrite64", SysChown: "chown", SysGetcwd: "getcwd",
+	SysSendfile: "sendfile", SysVfork: "vfork", SysMmap2: "mmap2",
+	SysGettid: "gettid", SysFutex: "futex", SysExitGroup: "exit_group",
+	SysClockGettime: "clock_gettime", SysTgkill: "tgkill",
+	SysSocket: "socket", SysBind: "bind", SysConnect: "connect",
+	SysListen: "listen", SysAccept: "accept",
+	SysGetsockname: "getsockname", SysGetpeername: "getpeername",
+	SysSocketpair: "socketpair", SysSend: "send", SysSendto: "sendto",
+	SysRecv: "recv", SysRecvfrom: "recvfrom", SysShutdownSk: "shutdown",
+	SysSetsockopt: "setsockopt", SysGetsockopt: "getsockopt",
+	SysOpenat: "openat", SysMkdirat: "mkdirat",
+	SysShmat: "shmat", SysShmdt: "shmdt", SysShmget: "shmget",
+	SysShmctl:        "shmctl",
+	SysPerfEventOpen: "perf_event_open",
+}
+
+// String returns the syscall's conventional name, or "sys_N" if unknown.
+func (n SyscallNr) String() string {
+	if s, ok := sysNames[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("sys_%d", int(n))
+}

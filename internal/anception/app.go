@@ -1,0 +1,81 @@
+package anception
+
+import (
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// App is an installed application.
+type App struct {
+	Package string
+	UID     int
+	Info    *android.InstalledApp
+	device  *Device
+}
+
+// InstallApp installs an app on the platform. Under Anception the code
+// lands on the host and the private data directory (with unpacked assets)
+// in the CVM — the enrollment procedure of Section III-D.
+func (d *Device) InstallApp(spec android.AppSpec) (*App, error) {
+	var codeFS, dataFS = d.Host.FS(), d.Host.FS()
+	switch d.Opts.Mode {
+	case ModeAnception:
+		if !d.Opts.KeepFSOnHost {
+			dataFS = d.Guest.FS()
+		}
+	case ModeClassicalVM:
+		codeFS, dataFS = d.Guest.FS(), d.Guest.FS()
+	}
+	info, err := d.PM.Install(codeFS, dataFS, spec)
+	if err != nil {
+		return nil, err
+	}
+	app := &App{Package: spec.Package, UID: info.UID, Info: info, device: d}
+	d.apps[spec.Package] = app
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvLifecycle, "installed %s uid=%d mode=%s", spec.Package, info.UID, d.Opts.Mode)
+	}
+	return app, nil
+}
+
+// App returns an installed app by package name, or nil.
+func (d *Device) App(pkg string) *App { return d.apps[pkg] }
+
+// Launch starts an app and returns its process handle. Under Anception
+// the app launches from the trusted host (principle 1), gets its
+// redirection entry set, and is enrolled with a proxy in the container.
+func (d *Device) Launch(app *App) (*Proc, error) {
+	k := d.AppKernel()
+	task := k.Spawn(abi.Cred{UID: app.UID, GID: app.UID}, app.Package)
+	task.ExecPath = app.Info.CodePath
+	task.CWD = app.Info.DataDir
+
+	// Map the app's code read-only and give it an initial heap page.
+	if _, err := task.AS.MapAnon(4, kernel.ProtRead|kernel.ProtExec, kernel.VMACode, app.Info.CodePath); err != nil {
+		return nil, fmt.Errorf("launch %s: code map: %w", app.Package, err)
+	}
+	if _, err := task.AS.Brk(kernel.AddrHeapBase + abi.PageSize); err != nil {
+		return nil, fmt.Errorf("launch %s: heap: %w", app.Package, err)
+	}
+
+	if d.Opts.Mode == ModeAnception {
+		task.RE = 1 // ASIM redirection entry
+		if _, err := d.Proxies.Ensure(task); err != nil {
+			return nil, fmt.Errorf("launch %s: %w", app.Package, err)
+		}
+	}
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvLifecycle, "launched %s pid=%d on %s", app.Package, task.PID, k.Name())
+	}
+	return &Proc{device: d, kernel: k, Task: task, App: app}, nil
+}
+
+// LaunchServiceShell returns a Proc wrapping an existing task (used by
+// the exploit lab to drive root shells spawned by compromised daemons).
+func (d *Device) LaunchServiceShell(k *kernel.Kernel, task *kernel.Task) *Proc {
+	return &Proc{device: d, kernel: k, Task: task}
+}

@@ -1,0 +1,439 @@
+// Package anception assembles the three platforms the paper evaluates —
+// native Android, Anception-based Android, and classical whole-stack
+// virtualization (Cells/AirBag style) — and implements the Anception
+// layer itself: the ASIM-driven interceptor that decomposes an app's trust
+// between the host kernel and the container VM.
+//
+// This package is the library's primary public surface: construct a Device
+// with NewDevice, install apps, launch them, and drive them through the
+// Proc system-call API.
+package anception
+
+import (
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/binder"
+	"anception/internal/hypervisor"
+	"anception/internal/kernel"
+	"anception/internal/marshal"
+	"anception/internal/netstack"
+	"anception/internal/proxy"
+	"anception/internal/sim"
+	"anception/internal/vfs"
+)
+
+// Mode selects the platform architecture.
+type Mode int
+
+// Platform modes.
+const (
+	// ModeNative is stock Android: one kernel, all services privileged.
+	ModeNative Mode = iota + 1
+	// ModeAnception is the paper's design: trusted host kernel with the
+	// UI stack plus a deprivileged headless container servicing
+	// redirected calls.
+	ModeAnception
+	// ModeClassicalVM is the baseline the paper compares against in
+	// Section V-B: the whole Android stack, apps included, inside one
+	// untrusted guest.
+	ModeClassicalVM
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeAnception:
+		return "anception"
+	case ModeClassicalVM:
+		return "classical-vm"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Options configures a Device. The zero value plus a Mode boots the
+// paper's configuration: 1 GB device, 64 MB CVM, 4096-byte chunking,
+// remapped-page transport, optimized proxy dispatch, headless container.
+type Options struct {
+	Mode Mode
+
+	// MemoryBytes is total device memory (default 1 GB).
+	MemoryBytes int64
+	// CVMMemoryBytes is the container's assignment (default 64 MB).
+	CVMMemoryBytes int64
+	// GuestKernelReserveBytes approximates the guest kernel's own
+	// footprint (default sized to match the paper's 49,228 KB available).
+	GuestKernelReserveBytes int64
+	// ChannelPages sizes the shared data channel (default 16).
+	ChannelPages int
+
+	// ChunkSize overrides the data-channel transfer unit (ablation A2).
+	ChunkSize int
+	// SocketTransport selects the discarded socket-style channel (A5).
+	SocketTransport bool
+	// NaiveDispatch disables the in-kernel proxy wait (A3).
+	NaiveDispatch bool
+	// KeepFSOnHost services filesystem calls on the host (A1), trading
+	// deprivileged code for I/O latency.
+	KeepFSOnHost bool
+	// FullCVMStack boots a non-headless container (A4).
+	FullCVMStack bool
+
+	// Vulns selects the historical bugs present on the platform.
+	Vulns android.VulnProfile
+
+	// DisableTrace turns off event recording (benchmarks).
+	DisableTrace bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Mode == 0 {
+		o.Mode = ModeAnception
+	}
+	if o.MemoryBytes == 0 {
+		o.MemoryBytes = 1 << 30
+	}
+	if o.CVMMemoryBytes == 0 {
+		o.CVMMemoryBytes = 64 << 20
+	}
+	if o.GuestKernelReserveBytes == 0 {
+		// 64 MB total minus the paper's 49,228 KB available, minus the
+		// 16 channel pages accounted separately.
+		o.GuestKernelReserveBytes = (65536-49228)*1024 - 16*abi.PageSize
+	}
+	if o.ChannelPages == 0 {
+		o.ChannelPages = 16
+	}
+}
+
+// Device is one booted simulated smartphone.
+type Device struct {
+	Opts  Options
+	Clock *sim.Clock
+	Model sim.LatencyModel
+	Trace *sim.Trace
+	Phys  *kernel.Physical
+
+	Host         *kernel.Kernel
+	HostServices *android.Services
+
+	CVM           *hypervisor.CVM
+	Guest         *kernel.Kernel
+	GuestServices *android.Services
+
+	Proxies *proxy.Manager
+	Layer   *Layer
+
+	PM *android.PackageManager
+
+	apps map[string]*App
+}
+
+// NewDevice boots a platform in the given configuration.
+func NewDevice(opts Options) (*Device, error) {
+	opts.applyDefaults()
+	clock := sim.NewClock()
+	model := sim.DefaultLatencyModel()
+	var trace *sim.Trace
+	if !opts.DisableTrace {
+		trace = sim.NewTrace(clock)
+	}
+
+	d := &Device{
+		Opts:  opts,
+		Clock: clock,
+		Model: model,
+		Trace: trace,
+		Phys:  kernel.NewPhysical(opts.MemoryBytes),
+		PM:    android.NewPackageManager(),
+		apps:  make(map[string]*App),
+	}
+
+	switch opts.Mode {
+	case ModeNative:
+		if err := d.bootNative(); err != nil {
+			return nil, fmt.Errorf("boot native: %w", err)
+		}
+	case ModeAnception:
+		if err := d.bootAnception(); err != nil {
+			return nil, fmt.Errorf("boot anception: %w", err)
+		}
+	case ModeClassicalVM:
+		if err := d.bootClassical(); err != nil {
+			return nil, fmt.Errorf("boot classical vm: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("unknown mode %d: %w", opts.Mode, abi.EINVAL)
+	}
+	return d, nil
+}
+
+func (d *Device) newKernel(name string, alloc *kernel.Allocator, minAddr uint64) (*kernel.Kernel, error) {
+	fs := vfs.New()
+	if err := android.BuildSystemImage(fs); err != nil {
+		return nil, err
+	}
+	return d.newKernelWithFS(name, fs, alloc, minAddr)
+}
+
+func (d *Device) newKernelWithFS(name string, fs *vfs.FileSystem, alloc *kernel.Allocator, minAddr uint64) (*kernel.Kernel, error) {
+	k := kernel.New(kernel.Config{
+		Name:        name,
+		Clock:       d.Clock,
+		Model:       d.Model,
+		Trace:       d.Trace,
+		FS:          fs,
+		Net:         netstack.New(name),
+		Binder:      binder.NewDriver(),
+		Alloc:       alloc,
+		MmapMinAddr: minAddr,
+	})
+	if d.Opts.Vulns.NullSendpage {
+		k.Net().InjectVulnerability(netstack.AFBluetooth, netstack.SockDgram, netstack.VulnNullSendpage)
+	}
+	k.SetVulns(kernel.KernelVulns{
+		ProcMemWriteBypass: d.Opts.Vulns.ProcMemWriteBypass,
+		PerfCounterBug:     d.Opts.Vulns.PerfCounterBug,
+		PutUserUnchecked:   d.Opts.Vulns.PutUserUnchecked,
+	})
+	return k, nil
+}
+
+func (d *Device) minAddr() uint64 {
+	if d.Opts.Vulns.MmapMinAddrZero {
+		return 0
+	}
+	return abi.PageSize
+}
+
+func (d *Device) bootNative() error {
+	k, err := d.newKernel("host", d.Phys.NewAllocator("host", kernel.Region{}), d.minAddr())
+	if err != nil {
+		return err
+	}
+	svcs, err := android.Boot(k, android.BootConfig{Vulns: d.Opts.Vulns})
+	if err != nil {
+		return err
+	}
+	d.Host, d.HostServices = k, svcs
+	return nil
+}
+
+func (d *Device) bootAnception() error {
+	// Host kernel: UI stack only.
+	host, err := d.newKernel("host", d.Phys.NewAllocator("host", kernel.Region{}), d.minAddr())
+	if err != nil {
+		return err
+	}
+	hostSvcs, err := android.Boot(host, android.BootConfig{UIOnly: true, Vulns: d.Opts.Vulns})
+	if err != nil {
+		return err
+	}
+
+	// Container VM.
+	cvm, err := hypervisor.Launch(d.Phys, hypervisor.Config{
+		Clock:              d.Clock,
+		Model:              d.Model,
+		Trace:              d.Trace,
+		MemoryBytes:        d.Opts.CVMMemoryBytes,
+		KernelReserveBytes: d.Opts.GuestKernelReserveBytes,
+		ChannelPages:       d.Opts.ChannelPages,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Guest kernel: headless Android (Section IV-4) unless the A4
+	// ablation asks for the full stack.
+	guest, err := d.newKernel("cvm", cvm.GuestAllocator(), d.minAddr())
+	if err != nil {
+		return err
+	}
+	guestSvcs, err := android.Boot(guest, android.BootConfig{
+		Headless: !d.Opts.FullCVMStack,
+		Vulns:    d.Opts.Vulns,
+	})
+	if err != nil {
+		return err
+	}
+
+	proxies := proxy.NewManager(guest, d.Clock, d.Model, d.Trace)
+	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
+
+	var transport marshal.Transport
+	if d.Opts.SocketTransport {
+		transport = marshal.NewSocketChannel(cvm, d.Clock, d.Model)
+	} else {
+		transport = marshal.NewPageChannel(cvm, d.Clock, d.Model, d.Opts.ChunkSize)
+	}
+
+	layer, err := NewLayer(LayerConfig{
+		Host:         host,
+		Guest:        guest,
+		CVM:          cvm,
+		Proxies:      proxies,
+		Transport:    transport,
+		Clock:        d.Clock,
+		Model:        d.Model,
+		Trace:        d.Trace,
+		KeepFSOnHost: d.Opts.KeepFSOnHost,
+	})
+	if err != nil {
+		return err
+	}
+	host.SetInterceptor(layer)
+
+	d.Host, d.HostServices = host, hostSvcs
+	d.CVM, d.Guest, d.GuestServices = cvm, guest, guestSvcs
+	d.Proxies, d.Layer = proxies, layer
+	return nil
+}
+
+func (d *Device) bootClassical() error {
+	// Bare host kernel (the hypervisor's dom0); no Android on it.
+	host, err := d.newKernel("host", d.Phys.NewAllocator("host", kernel.Region{}), d.minAddr())
+	if err != nil {
+		return err
+	}
+
+	// One big guest carrying the entire stack, apps included. Size it
+	// like a real Cells-style VM rather than the tiny Anception CVM.
+	guestBytes := d.Opts.CVMMemoryBytes
+	if guestBytes < 256<<20 {
+		guestBytes = 256 << 20
+	}
+	cvm, err := hypervisor.Launch(d.Phys, hypervisor.Config{
+		Clock:              d.Clock,
+		Model:              d.Model,
+		Trace:              d.Trace,
+		MemoryBytes:        guestBytes,
+		KernelReserveBytes: d.Opts.GuestKernelReserveBytes,
+		ChannelPages:       0,
+	})
+	if err != nil {
+		return err
+	}
+	guest, err := d.newKernel("guest", cvm.GuestAllocator(), d.minAddr())
+	if err != nil {
+		return err
+	}
+	guestSvcs, err := android.Boot(guest, android.BootConfig{Vulns: d.Opts.Vulns})
+	if err != nil {
+		return err
+	}
+
+	d.Host = host
+	d.CVM, d.Guest, d.GuestServices = cvm, guest, guestSvcs
+	return nil
+}
+
+// RestartCVM reboots the container after a crash (or proactively): the
+// guest's physical region is wiped, a fresh guest kernel boots on the
+// container's persistent filesystem, services restart, and proxies are
+// re-enrolled lazily on each app's next redirected call. Host apps keep
+// running throughout; their stale container descriptors surface as EBADF
+// and are reopened by the app, the crash-only recovery story the design
+// enables.
+func (d *Device) RestartCVM() error {
+	if d.Opts.Mode != ModeAnception {
+		return fmt.Errorf("restart cvm: not an anception platform: %w", abi.EINVAL)
+	}
+	// Take the old guest down (idempotent if it already panicked) and
+	// wipe its memory.
+	d.Guest.Panic("container restart")
+	if err := d.CVM.Relaunch(); err != nil {
+		return err
+	}
+
+	// Boot a fresh guest kernel on the persistent container filesystem.
+	guestFS := d.Guest.FS()
+	guest, err := d.newKernelWithFS("cvm", guestFS, d.CVM.GuestAllocator(), d.minAddr())
+	if err != nil {
+		return err
+	}
+	svcs, err := android.Boot(guest, android.BootConfig{
+		Headless: !d.Opts.FullCVMStack,
+		Vulns:    d.Opts.Vulns,
+	})
+	if err != nil {
+		return err
+	}
+	proxies := proxy.NewManager(guest, d.Clock, d.Model, d.Trace)
+	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
+
+	d.Guest, d.GuestServices, d.Proxies = guest, svcs, proxies
+	d.Layer.ReplaceGuest(guest, proxies)
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvLifecycle, "cvm restarted: fresh guest kernel, %d services", len(svcs.Names()))
+	}
+	return nil
+}
+
+// AppKernel returns the kernel apps execute on: the host for native and
+// Anception, the guest for classical virtualization.
+func (d *Device) AppKernel() *kernel.Kernel {
+	if d.Opts.Mode == ModeClassicalVM {
+		return d.Guest
+	}
+	return d.Host
+}
+
+// UIServices returns the services owning the UI stack (where user input
+// lands): host-side except under classical virtualization.
+func (d *Device) UIServices() *android.Services {
+	if d.Opts.Mode == ModeClassicalVM {
+		return d.GuestServices
+	}
+	return d.HostServices
+}
+
+// DelegableServices returns the services Anception deprivileges: guest-
+// side under Anception and classical VM, host-side natively.
+func (d *Device) DelegableServices() *android.Services {
+	if d.Opts.Mode == ModeNative {
+		return d.HostServices
+	}
+	return d.GuestServices
+}
+
+// QueueInput delivers user input (e.g. a typed password) destined for an
+// app, through whichever window manager owns the screen.
+func (d *Device) QueueInput(app *App, event []byte) {
+	d.UIServices().WM.QueueInput(app.UID, event)
+}
+
+// CVMMemory reports the container's memory statistics (Section VI-C).
+func (d *Device) CVMMemory() hypervisor.MemoryStats {
+	if d.CVM == nil || d.Guest == nil {
+		return hypervisor.MemoryStats{}
+	}
+	return d.CVM.Memory(d.Guest.ResidentProcessPages())
+}
+
+// SetCVMFirewall installs a host-controlled outbound-connection policy on
+// the stack that services app network calls — the CVM's under Anception
+// ("the CVM's external connectivity can be controlled from the host by
+// firewall rules", Section III-D). Pass nil to clear.
+func (d *Device) SetCVMFirewall(policy netstack.ConnectPolicy) {
+	if d.Opts.Mode == ModeAnception {
+		d.Guest.Net().SetConnectPolicy(policy)
+		return
+	}
+	d.AppKernel().Net().SetConnectPolicy(policy)
+}
+
+// RegisterRemote installs a scripted remote server reachable from the
+// network stack that services app socket calls.
+func (d *Device) RegisterRemote(addr string, h netstack.RemoteHandler) {
+	// Under Anception the CVM owns external connectivity; natively and
+	// under classical VM it is the app kernel's stack.
+	if d.Opts.Mode == ModeAnception {
+		d.Guest.Net().RegisterRemote(addr, h)
+		return
+	}
+	d.AppKernel().Net().RegisterRemote(addr, h)
+}

@@ -1,0 +1,271 @@
+package anception
+
+import (
+	"fmt"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// This file checks DESIGN.md invariant 2 with randomized programs:
+// redirected system calls observe semantics identical to host execution.
+// A deterministic generator produces syscall programs; each program runs
+// on stock Android and on Anception, and the observable outcomes
+// (results, errnos, data, sizes) must match step for step.
+
+// opKind enumerates the generated operations.
+type opKind int
+
+const (
+	opOpen opKind = iota
+	opWrite
+	opRead
+	opLseek
+	opClose
+	opMkdir
+	opUnlink
+	opRename
+	opStat
+	opAccess
+	opDup
+	opChdir
+	opUmask
+	opGetdents
+	opTruncate
+	opPipeRoundTrip
+	opForkChild
+	opExecProbe
+	opKindCount
+)
+
+// program is a reproducible operation sequence.
+type program struct {
+	seed uint64
+	n    int
+}
+
+// runProgram executes the program and returns one normalized observation
+// string per step. PIDs and raw pointers never appear in observations;
+// file descriptor numbers do, because their allocation is deterministic
+// and must itself match across platforms.
+func runProgram(t *testing.T, mode Mode, prog program) []string {
+	t.Helper()
+	return runProgramWithOptions(t, Options{Mode: mode, DisableTrace: true}, prog)
+}
+
+func dupArgs(fd int) kernel.Args { return kernel.Args{Nr: abi.SysDup, FD: fd} }
+
+func pipeArgs() kernel.Args { return kernel.Args{Nr: abi.SysPipe} }
+
+func runProgramWithOptions(t *testing.T, opts Options, prog program) []string {
+	t.Helper()
+	d, err := NewDevice(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := installAndLaunch(t, d, "com.equiv.app")
+	rng := sim.NewRNG(prog.seed)
+
+	names := []string{"a", "b", "sub/c", "sub/d", "deep/x/y"}
+	dirs := []string{"sub", "deep", "deep/x"}
+	var openFDs []int
+	var obs []string
+	log := func(f string, args ...any) { obs = append(obs, fmt.Sprintf(f, args...)) }
+	errName := func(err error) string {
+		if err == nil {
+			return "ok"
+		}
+		if errno, ok := err.(abi.Errno); ok {
+			return errno.Error()
+		}
+		return "err"
+	}
+
+	for i := 0; i < prog.n; i++ {
+		switch opKind(rng.Intn(int(opKindCount))) {
+		case opOpen:
+			name := names[rng.Intn(len(names))]
+			flags := []abi.OpenFlag{
+				abi.ORdOnly, abi.OWrOnly | abi.OCreat, abi.ORdWr | abi.OCreat,
+				abi.OWrOnly | abi.OCreat | abi.OExcl, abi.OWrOnly | abi.OCreat | abi.OAppend,
+			}[rng.Intn(5)]
+			fd, err := p.Open(name, flags, 0o600)
+			log("open %s %x -> %d %v", name, flags, fd, errName(err))
+			if err == nil {
+				openFDs = append(openFDs, fd)
+			}
+		case opWrite:
+			if len(openFDs) == 0 {
+				continue
+			}
+			fd := openFDs[rng.Intn(len(openFDs))]
+			data := make([]byte, rng.Intn(512)+1)
+			rng.Bytes(data)
+			n, err := p.Write(fd, data)
+			log("write %d %d -> %d %v", fd, len(data), n, errName(err))
+		case opRead:
+			if len(openFDs) == 0 {
+				continue
+			}
+			fd := openFDs[rng.Intn(len(openFDs))]
+			want := rng.Intn(256) + 1
+			data, err := p.Read(fd, want)
+			log("read %d %d -> %d %q-prefix %v", fd, want, len(data), prefix(data, 8), errName(err))
+		case opLseek:
+			if len(openFDs) == 0 {
+				continue
+			}
+			fd := openFDs[rng.Intn(len(openFDs))]
+			off := int64(rng.Intn(1024))
+			pos, err := p.Lseek(fd, off, abi.SeekSet)
+			log("lseek %d %d -> %d %v", fd, off, pos, errName(err))
+		case opClose:
+			if len(openFDs) == 0 {
+				continue
+			}
+			idx := rng.Intn(len(openFDs))
+			fd := openFDs[idx]
+			openFDs = append(openFDs[:idx], openFDs[idx+1:]...)
+			log("close %d -> %v", fd, errName(p.Close(fd)))
+		case opMkdir:
+			dir := dirs[rng.Intn(len(dirs))]
+			log("mkdir %s -> %v", dir, errName(p.Mkdir(dir, 0o700)))
+		case opUnlink:
+			name := names[rng.Intn(len(names))]
+			log("unlink %s -> %v", name, errName(p.Unlink(name)))
+		case opRename:
+			from := names[rng.Intn(len(names))]
+			to := names[rng.Intn(len(names))]
+			log("rename %s %s -> %v", from, to, errName(p.Rename(from, to)))
+		case opStat:
+			name := names[rng.Intn(len(names))]
+			size, err := p.Stat(name)
+			log("stat %s -> %d %v", name, size, errName(err))
+		case opAccess:
+			name := names[rng.Intn(len(names))]
+			mode := []int{abi.AccessRead, abi.AccessWrite, abi.AccessRead | abi.AccessWrite}[rng.Intn(3)]
+			log("access %s %d -> %v", name, mode, errName(p.Access(name, mode)))
+		case opDup:
+			if len(openFDs) == 0 {
+				continue
+			}
+			fd := openFDs[rng.Intn(len(openFDs))]
+			res := p.Syscall(dupArgs(fd))
+			log("dup %d -> %d %v", fd, res.FD, errName(res.Err))
+			if res.Ok() {
+				openFDs = append(openFDs, res.FD)
+			}
+		case opChdir:
+			target := []string{".", "sub", "/data", "deep"}[rng.Intn(4)]
+			log("chdir %s -> %v", target, errName(p.Chdir(target)))
+		case opUmask:
+			mask := abi.FileMode(rng.Intn(0o100))
+			old := p.Umask(mask)
+			log("umask %o -> %o", mask, old)
+		case opGetdents:
+			listing, err := p.Getdents(".")
+			log("getdents -> %d %v", len(listing), errName(err))
+		case opTruncate:
+			if len(openFDs) == 0 {
+				continue
+			}
+			fd := openFDs[rng.Intn(len(openFDs))]
+			size := int64(rng.Intn(2048))
+			log("ftruncate %d %d -> %v", fd, size, errName(p.Ftruncate(fd, size)))
+		case opForkChild:
+			child, err := p.Fork()
+			log("fork -> %v", errName(err))
+			if err != nil {
+				continue
+			}
+			cfd, cerr := child.Open("childfile", abi.OWrOnly|abi.OCreat|abi.OAppend, 0o600)
+			n, werr := child.Write(cfd, []byte("from-child"))
+			log("child-write -> %d %v %v", n, errName(cerr), errName(werr))
+			child.Exit(0)
+			_, waitErr := p.Wait()
+			log("wait -> %v", errName(waitErr))
+		case opExecProbe:
+			// Re-exec a system binary: host-resident code on both
+			// platforms.
+			log("exec -> %v", errName(p.Execve("/system/bin/toolbox")))
+		case opPipeRoundTrip:
+			res := p.Syscall(pipeArgs())
+			if !res.Ok() {
+				log("pipe -> %v", errName(res.Err))
+				continue
+			}
+			rfd, wfd := int(res.Ret), res.FD
+			msg := []byte("pipe-msg")
+			_, werr := p.Write(wfd, msg)
+			got, rerr := p.Read(rfd, len(msg))
+			log("pipe %d %d -> %v %q %v", rfd, wfd, errName(werr), got, errName(rerr))
+			_ = p.Close(rfd)
+			_ = p.Close(wfd)
+		}
+	}
+	return obs
+}
+
+func prefix(b []byte, n int) []byte {
+	if len(b) < n {
+		return b
+	}
+	return b[:n]
+}
+
+// TestRedirectionEquivalenceProperty runs many random programs on both
+// platforms and diffs the observations.
+func TestRedirectionEquivalenceProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("equivalence sweep is slow")
+	}
+	for seed := uint64(1); seed <= 20; seed++ {
+		prog := program{seed: seed, n: 60}
+		native := runProgram(t, ModeNative, prog)
+		anc := runProgram(t, ModeAnception, prog)
+		if len(native) != len(anc) {
+			t.Fatalf("seed %d: step counts differ: %d vs %d", seed, len(native), len(anc))
+		}
+		for i := range native {
+			if native[i] != anc[i] {
+				t.Fatalf("seed %d step %d:\n  native    %s\n  anception %s",
+					seed, i, native[i], anc[i])
+			}
+		}
+	}
+}
+
+// TestEquivalenceA1HostFS runs the same sweep with the A1 ablation (file
+// system kept on the host): semantics must again be identical.
+func TestEquivalenceA1HostFS(t *testing.T) {
+	prog := program{seed: 99, n: 60}
+	native := runProgram(t, ModeNative, prog)
+	a1 := runProgramWithOptions(t, Options{Mode: ModeAnception, KeepFSOnHost: true, DisableTrace: true}, prog)
+	if len(native) != len(a1) {
+		t.Fatalf("step counts differ: %d vs %d", len(native), len(a1))
+	}
+	for i := range native {
+		if native[i] != a1[i] {
+			t.Fatalf("step %d:\n  native %s\n  A1     %s", i, native[i], a1[i])
+		}
+	}
+}
+
+// TestEquivalenceClassicalVM: apps inside a classical guest observe the
+// same syscall semantics (they run on an identical kernel, just a
+// virtualized one).
+func TestEquivalenceClassicalVM(t *testing.T) {
+	prog := program{seed: 7, n: 60}
+	native := runProgram(t, ModeNative, prog)
+	classical := runProgram(t, ModeClassicalVM, prog)
+	if len(native) != len(classical) {
+		t.Fatalf("step counts differ: %d vs %d", len(native), len(classical))
+	}
+	for i := range native {
+		if native[i] != classical[i] {
+			t.Fatalf("step %d:\n  native    %s\n  classical %s", i, native[i], classical[i])
+		}
+	}
+}

@@ -1,0 +1,483 @@
+package anception
+
+import (
+	"fmt"
+	"path"
+	"strings"
+	"sync"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/binder"
+	"anception/internal/hypervisor"
+	"anception/internal/kernel"
+	"anception/internal/marshal"
+	"anception/internal/proxy"
+	"anception/internal/redirect"
+	"anception/internal/sim"
+)
+
+// Layer is the Anception kernel layer (Figure 3/4): it sits at the host
+// syscall interface behind ASIM's redirection-entry check, decides where
+// each call runs, marshals redirected calls over the data channel, and
+// mirrors split-class state onto the proxies.
+type Layer struct {
+	host      *kernel.Kernel
+	guest     *kernel.Kernel
+	cvm       *hypervisor.CVM
+	proxies   *proxy.Manager
+	transport marshal.Transport
+	engine    *redirect.Engine
+	clock     *sim.Clock
+	model     sim.LatencyModel
+	trace     *sim.Trace
+	execCache *proxy.ExecCache
+
+	keepFSOnHost bool
+
+	mu     sync.Mutex
+	stats  LayerStats
+	tamper func([]byte) []byte
+	// mmapBindings tracks host mappings backed by CVM files, for msync
+	// write-back (Section III-D, Memory-mapped files).
+	mmapBindings map[int]map[uint64]mmapBinding
+}
+
+type mmapBinding struct {
+	guestFD int
+	pages   int
+}
+
+// LayerStats counts routing outcomes.
+type LayerStats struct {
+	Redirected    int
+	HostExecuted  int
+	Split         int
+	Blocked       int
+	BinderBridged int
+	UIPassthrough int
+	AppsKilled    int
+}
+
+// LayerConfig wires a Layer.
+type LayerConfig struct {
+	Host         *kernel.Kernel
+	Guest        *kernel.Kernel
+	CVM          *hypervisor.CVM
+	Proxies      *proxy.Manager
+	Transport    marshal.Transport
+	Clock        *sim.Clock
+	Model        sim.LatencyModel
+	Trace        *sim.Trace
+	KeepFSOnHost bool
+}
+
+var _ kernel.Interceptor = (*Layer)(nil)
+
+// NewLayer builds the Anception layer.
+func NewLayer(cfg LayerConfig) (*Layer, error) {
+	cache, err := proxy.NewExecCache(cfg.Host.FS())
+	if err != nil {
+		return nil, err
+	}
+	return &Layer{
+		host:         cfg.Host,
+		guest:        cfg.Guest,
+		cvm:          cfg.CVM,
+		proxies:      cfg.Proxies,
+		transport:    cfg.Transport,
+		engine:       redirect.NewEngine(),
+		clock:        cfg.Clock,
+		model:        cfg.Model,
+		trace:        cfg.Trace,
+		execCache:    cache,
+		keepFSOnHost: cfg.KeepFSOnHost,
+		mmapBindings: make(map[int]map[uint64]mmapBinding),
+	}, nil
+}
+
+// ReplaceGuest swaps in a freshly booted container kernel and proxy
+// manager after a CVM restart. Stale mmap bindings are dropped; stale
+// remote descriptors in host tasks surface as EBADF on next use.
+func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.guest = guest
+	l.proxies = proxies
+	l.mmapBindings = make(map[int]map[uint64]mmapBinding)
+}
+
+// SetResultTampering installs a hook that rewrites every marshaled result
+// coming back from the container — the Iago attack surface of a fully
+// compromised CVM (Section VII): it can return arbitrary bad system-call
+// results but can never touch host memory directly. Pass nil to clear.
+func (l *Layer) SetResultTampering(f func([]byte) []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tamper = f
+}
+
+// Stats returns a copy of the routing counters.
+func (l *Layer) Stats() LayerStats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+func (l *Layer) count(f func(*LayerStats)) {
+	l.mu.Lock()
+	f(&l.stats)
+	l.mu.Unlock()
+}
+
+// Intercept implements kernel.Interceptor. Returning handled=false lets
+// the host kernel dispatch the call locally.
+func (l *Layer) Intercept(k *kernel.Kernel, t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	// Anception protects only non-root apps: a sandboxed task that shows
+	// up with UID 0 (e.g. via a zygote/adbd setuid failure) is killed on
+	// its first trap (Section III-C, footnote 3).
+	if t.Cred.UID == abi.UIDRoot {
+		l.count(func(s *LayerStats) { s.AppsKilled++ })
+		if l.trace != nil {
+			l.trace.Record(sim.EvSecurity, "anception killed pid=%d: sandboxed task running as root", t.PID)
+		}
+		t.SetState(kernel.TaskDead)
+		if t.AS != nil {
+			t.AS.Release()
+		}
+		l.proxies.MirrorExit(t.PID)
+		return kernel.Result{Ret: -1, Err: abi.EPERM}, true
+	}
+	switch redirect.Classify(args.Nr) {
+	case redirect.ClassBlocked:
+		l.count(func(s *LayerStats) { s.Blocked++ })
+		if l.trace != nil {
+			l.trace.Record(sim.EvSecurity, "anception blocked %s from pid=%d", args.Nr, t.PID)
+		}
+		return kernel.Result{Ret: -1, Err: abi.EPERM}, true
+	case redirect.ClassHost:
+		l.count(func(s *LayerStats) { s.HostExecuted++ })
+		return kernel.Result{}, false
+	case redirect.ClassSplit:
+		l.count(func(s *LayerStats) { s.Split++ })
+		return l.handleSplit(t, args), true
+	}
+	return l.handleRedirectClass(t, args)
+}
+
+// handleRedirectClass routes a redirect-class call dynamically.
+func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	switch args.Nr {
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
+		p := l.absPath(t, args.Path)
+		if l.keepFSOnHost || l.engine.DecideOpen(p).Route == redirect.RouteHost {
+			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.Path = p
+		return l.forwardWithFDResult(t, &fwd), true
+
+	case abi.SysIoctl:
+		return l.handleIoctl(t, args)
+
+	case abi.SysClose:
+		e := t.FD(args.FD)
+		if e == nil {
+			return kernel.Result{Ret: -1, Err: abi.EBADF}, true
+		}
+		if e.Kind != kernel.FDRemote {
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.FD = e.GuestFD
+		res := l.forward(t, &fwd)
+		t.CloseFD(args.FD)
+		return res, true
+
+	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
+		abi.SysLseek, abi.SysFstat, abi.SysFtruncate, abi.SysFchmod,
+		abi.SysFchown, abi.SysFsync, abi.SysFchdir,
+		abi.SysBind, abi.SysConnect, abi.SysListen,
+		abi.SysSend, abi.SysSendto, abi.SysRecv, abi.SysRecvfrom,
+		abi.SysShutdownSk, abi.SysSetsockopt, abi.SysGetsockopt,
+		abi.SysGetsockname, abi.SysGetpeername:
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != kernel.FDRemote {
+			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.FD = e.GuestFD
+		res := l.forward(t, &fwd)
+		// Pointer translation writeback: copy returned data into the
+		// caller's buffer.
+		if res.Ok() && len(res.Data) > 0 && len(args.Buf) > 0 {
+			copy(args.Buf, res.Data)
+		}
+		return res, true
+
+	case abi.SysDup, abi.SysDup2:
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != kernel.FDRemote {
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.Nr = abi.SysDup
+		fwd.FD = e.GuestFD
+		res := l.forward(t, &fwd)
+		if !res.Ok() {
+			return res, true
+		}
+		entry := &kernel.FDEntry{Kind: kernel.FDRemote, GuestFD: res.FD, Path: e.Path}
+		if args.Nr == abi.SysDup2 {
+			t.InstallFDAt(args.FD2, entry)
+			return kernel.Result{Ret: int64(args.FD2), FD: args.FD2}, true
+		}
+		hostFD := t.InstallFD(entry)
+		return kernel.Result{Ret: int64(hostFD), FD: hostFD}, true
+
+	case abi.SysAccept:
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != kernel.FDRemote {
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.FD = e.GuestFD
+		return l.forwardWithFDResult(t, &fwd), true
+
+	case abi.SysSendfile:
+		return l.handleSendfile(t, args)
+
+	case abi.SysSocket:
+		return l.forwardWithFDResult(t, args), true
+
+	case abi.SysPipe:
+		res := l.forward(t, args)
+		if !res.Ok() {
+			return res, true
+		}
+		readFD := t.InstallFD(&kernel.FDEntry{Kind: kernel.FDRemote, GuestFD: int(res.Ret), Path: "pipe:r"})
+		writeFD := t.InstallFD(&kernel.FDEntry{Kind: kernel.FDRemote, GuestFD: res.FD, Path: "pipe:w"})
+		return kernel.Result{Ret: int64(readFD), FD: writeFD}, true
+
+	case abi.SysStat, abi.SysAccess, abi.SysMkdir, abi.SysMkdirat,
+		abi.SysRmdir, abi.SysUnlink, abi.SysReadlink, abi.SysChmod,
+		abi.SysChown, abi.SysTruncate, abi.SysGetdents, abi.SysStatfs,
+		abi.SysMknod:
+		p := l.absPath(t, args.Path)
+		if l.keepFSOnHost || redirect.DecideOpenPath(p) == redirect.RouteHost {
+			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.Path = p
+		return l.forward(t, &fwd), true
+
+	case abi.SysRename, abi.SysLink:
+		if l.keepFSOnHost {
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.Path = l.absPath(t, args.Path)
+		fwd.Path2 = l.absPath(t, args.Path2)
+		return l.forward(t, &fwd), true
+
+	case abi.SysSymlink:
+		// Path is the target (uninterpreted), Path2 the link location.
+		if l.keepFSOnHost || redirect.DecideOpenPath(l.absPath(t, args.Path2)) == redirect.RouteHost {
+			return kernel.Result{}, false
+		}
+		fwd := *args
+		fwd.Path2 = l.absPath(t, args.Path2)
+		return l.forward(t, &fwd), true
+
+	case abi.SysShmget, abi.SysShmat, abi.SysShmdt, abi.SysShmctl:
+		// Shared segments are app memory: pages stay on the host
+		// (principle 3), exactly like the rest of an app's address space.
+		l.count(func(s *LayerStats) { s.HostExecuted++ })
+		return kernel.Result{}, false
+
+	case abi.SysSync, abi.SysMount:
+		return l.forward(t, args), true
+
+	default:
+		// Redirect-class calls with no special handling run in the CVM.
+		return l.forward(t, args), true
+	}
+}
+
+// handleIoctl applies principle 2: UI transactions pass through to the
+// host; transactions to CVM-resident services are bridged; everything on
+// remote descriptors follows the descriptor.
+func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	e := t.FD(args.FD)
+	if e == nil {
+		return kernel.Result{Ret: -1, Err: abi.EBADF}, true
+	}
+	if e.Kind == kernel.FDRemote {
+		fwd := *args
+		fwd.FD = e.GuestFD
+		return l.forward(t, &fwd), true
+	}
+	// Host-local descriptor. Binder transactions need the UI test.
+	if e.Kind == kernel.FDFile && e.File.IsDevice() && e.File.Device().DevName() == "binder" &&
+		args.Request == binder.IocWaitInputEvent {
+		// Listing 1's IOC_WAIT_INPUT_EVT: always a UI operation.
+		l.count(func(s *LayerStats) { s.UIPassthrough++ })
+		return kernel.Result{}, false
+	}
+	if e.Kind == kernel.FDFile && e.File.IsDevice() && e.File.Device().DevName() == "binder" &&
+		args.Request == binder.IocTransact {
+		if l.host.Binder().IsUITransaction(args.Buf) {
+			l.count(func(s *LayerStats) { s.UIPassthrough++ })
+			return kernel.Result{}, false // native-speed UI path
+		}
+		// Not a host UI service: if the target lives in the CVM, bridge
+		// the transaction across the boundary (the +19 ms path).
+		txn, err := binder.DecodeTransaction(args.Buf)
+		if err == nil && l.guest.Binder().Lookup(txn.Service) != nil {
+			return l.bridgeBinder(t, args, txn), true
+		}
+		// Unknown service: let the host driver report the dead ref.
+		return kernel.Result{}, false
+	}
+	l.count(func(s *LayerStats) { s.HostExecuted++ })
+	return kernel.Result{}, false
+}
+
+// bridgeBinder relays a binder transaction to a service delegated to the
+// container.
+func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Transaction) kernel.Result {
+	l.count(func(s *LayerStats) { s.BinderBridged++ })
+	l.clock.Advance(l.model.BinderTransaction +
+		l.model.BinderCVMPenalty +
+		time.Duration(len(args.Buf))*l.model.BinderCVMPerByte)
+	if l.trace != nil {
+		l.trace.Record(sim.EvBinder, "bridged binder txn %q from pid=%d to CVM", txn.Service, t.PID)
+	}
+	out, err := l.guest.Binder().Transact(t.Cred, args.Buf)
+	if err != nil {
+		return kernel.Result{Ret: -1, Err: err}
+	}
+	return kernel.Result{Data: out, Ret: int64(len(out))}
+}
+
+// handleSendfile forwards sendfile when both descriptors live in the CVM;
+// the common exploit shape (socket + data file) always does.
+func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	out := t.FD(args.FD)
+	in := t.FD(args.FD2)
+	if out == nil || in == nil {
+		return kernel.Result{Ret: -1, Err: abi.EBADF}, true
+	}
+	if out.Kind == kernel.FDRemote && in.Kind == kernel.FDRemote {
+		fwd := *args
+		fwd.FD = out.GuestFD
+		fwd.FD2 = in.GuestFD
+		return l.forward(t, &fwd), true
+	}
+	if out.Kind != kernel.FDRemote && in.Kind != kernel.FDRemote {
+		return kernel.Result{}, false
+	}
+	// Mixed locality: stage through a bounce buffer.
+	buf := make([]byte, args.Size)
+	readArgs := kernel.Args{Nr: abi.SysRead, FD: args.FD2, Buf: buf}
+	var readRes kernel.Result
+	if in.Kind == kernel.FDRemote {
+		readArgs.FD = in.GuestFD
+		readRes = l.forward(t, &readArgs)
+	} else {
+		readRes = l.host.InvokeLocal(t, readArgs)
+	}
+	if !readRes.Ok() {
+		return readRes, true
+	}
+	writeArgs := kernel.Args{Nr: abi.SysWrite, FD: args.FD, Buf: readRes.Data}
+	if out.Kind == kernel.FDRemote {
+		writeArgs.FD = out.GuestFD
+		return l.forward(t, &writeArgs), true
+	}
+	return l.host.InvokeLocal(t, writeArgs), true
+}
+
+// forward marshals one call, moves it over the transport, executes it in
+// the proxy's context inside the CVM, and unmarshals the result.
+func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
+	p, err := l.proxies.Ensure(t)
+	if err != nil {
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("enroll proxy: %w", err)}
+	}
+	l.count(func(s *LayerStats) { s.Redirected++ })
+	if l.trace != nil {
+		l.trace.Record(sim.EvRedirect, "redirect %s pid=%d -> proxy %d", args.Nr, t.PID, p.PID)
+	}
+
+	// For read-like calls the user buffer is an *output* pointer: only
+	// its size travels to the guest; the data comes back in the reply.
+	enc := *args
+	if isReadLike(args.Nr) && enc.Buf != nil {
+		enc.Size = len(enc.Buf)
+		enc.Buf = nil
+	}
+	payload := marshal.EncodeArgs(&enc)
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	respBytes, terr := l.transport.RoundTrip(payload, func(req []byte) []byte {
+		decoded, derr := marshal.DecodeArgs(req)
+		if derr != nil {
+			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
+		}
+		if isReadLike(decoded.Nr) && decoded.Buf == nil && decoded.Size > 0 {
+			decoded.Buf = make([]byte, decoded.Size)
+		}
+		resp := marshal.EncodeResult(l.proxies.Execute(p, *decoded))
+		l.mu.Lock()
+		tamper := l.tamper
+		l.mu.Unlock()
+		if tamper != nil {
+			resp = tamper(resp)
+		}
+		return resp
+	})
+	if terr != nil {
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel: %w", terr)}
+	}
+	res, derr := marshal.DecodeResult(respBytes)
+	if derr != nil {
+		return kernel.Result{Ret: -1, Err: derr}
+	}
+	return res
+}
+
+// forwardWithFDResult forwards a descriptor-creating call and installs a
+// remote-descriptor entry in the host task for the returned guest fd.
+func (l *Layer) forwardWithFDResult(t *kernel.Task, args *kernel.Args) kernel.Result {
+	res := l.forward(t, args)
+	if !res.Ok() || res.FD <= 0 {
+		return res
+	}
+	hostFD := t.InstallFD(&kernel.FDEntry{
+		Kind:    kernel.FDRemote,
+		GuestFD: res.FD,
+		Path:    args.Path,
+	})
+	return kernel.Result{Ret: int64(hostFD), FD: hostFD, Data: res.Data}
+}
+
+// isReadLike reports calls whose Buf argument is output-only.
+func isReadLike(nr abi.SyscallNr) bool {
+	switch nr {
+	case abi.SysRead, abi.SysPread64, abi.SysRecv, abi.SysRecvfrom:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *Layer) absPath(t *kernel.Task, p string) string {
+	if strings.HasPrefix(p, "/") {
+		return path.Clean(p)
+	}
+	return path.Join(t.CWD, p)
+}

@@ -1,0 +1,166 @@
+package anception
+
+import (
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+)
+
+// TestCVMRestartAfterCrash: the crash-only recovery story. A container
+// crash (here: the failed CVE-2009-2692 null dereference) kills the CVM;
+// the host restarts it, apps keep running, and redirected I/O resumes —
+// with the container's persistent storage intact.
+func TestCVMRestartAfterCrash(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	app := installAndLaunch(t, d, "com.survivor")
+
+	// Durable state written before the crash.
+	fd, err := app.Open("persisted.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := app.Write(fd, []byte("written before the crash")); err != nil {
+		t.Fatal(err)
+	}
+	if err := app.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// A malicious app crashes the container via the null-sendpage bug.
+	mal := installAndLaunch(t, d, "com.crasher")
+	_ = mal.MapFixed(0, 1, kernel.ProtRead|kernel.ProtWrite|kernel.ProtExec)
+	sock, err := mal.Socket(netstack.AFBluetooth, netstack.SockDgram, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vfd, err := mal.Open("bait.txt", abi.ORdWr|abi.OCreat, 0o666)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mal.Sendfile(sock, vfd, abi.PageSize); err == nil {
+		t.Fatal("sendfile should have failed with the CVM crash")
+	}
+	if d.Guest.Panicked() == "" {
+		t.Fatal("container did not crash")
+	}
+	// Redirected I/O is down.
+	if _, err := app.Open("while-down.txt", abi.OWrOnly|abi.OCreat, 0o600); err == nil {
+		t.Fatal("redirected open succeeded on a dead container")
+	}
+	// The host app itself is fine.
+	if app.Task.CurrentState() != kernel.TaskRunning {
+		t.Fatal("host app died with the container")
+	}
+
+	// Restart the container.
+	if err := d.RestartCVM(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Guest.Panicked() != "" {
+		t.Fatal("fresh guest kernel reports a panic")
+	}
+	if d.GuestServices.Service("vold") == nil {
+		t.Fatal("services did not come back")
+	}
+
+	// The app resumes: a fresh proxy enrolls on its next call.
+	fd2, err := app.Open("after.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatalf("redirected open after restart: %v", err)
+	}
+	if _, err := app.Write(fd2, []byte("back in business")); err != nil {
+		t.Fatal(err)
+	}
+	if d.Proxies.ProxyFor(app.Task.PID) == nil {
+		t.Fatal("no fresh proxy after restart")
+	}
+
+	// Persistent container storage survived the reboot.
+	data, err := d.Guest.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, app.App.Info.DataDir+"/persisted.txt")
+	if err != nil || string(data) != "written before the crash" {
+		t.Fatalf("persisted data = %q, %v", data, err)
+	}
+
+	// Stale pre-crash descriptors surface as errors, not corruption.
+	if _, err := app.Write(fd, []byte("stale")); err == nil {
+		t.Fatal("stale descriptor silently worked after restart")
+	}
+}
+
+// TestCVMRestartWipesCompromise: a rooted container is fully cleaned by a
+// restart — the exploit state does not survive the region wipe.
+func TestCVMRestartWipesCompromise(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	mal := installAndLaunch(t, d, "com.rooter")
+
+	// Root the container via the delegated diag driver.
+	fd, err := mal.Open("/dev/diag", abi.ORdWr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mal.Ioctl(fd, android.IoctlExploitTrigger, nil); err != nil {
+		t.Fatal(err)
+	}
+	if d.Guest.Compromised() == nil {
+		t.Fatal("container not compromised")
+	}
+
+	if err := d.RestartCVM(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Guest.Compromised() != nil {
+		t.Fatal("compromise survived the restart")
+	}
+	if d.Guest.Rooted() {
+		t.Fatal("root state survived the restart")
+	}
+	// The platform is fully functional again.
+	p2 := installAndLaunch(t, d, "com.fresh")
+	fd2, err := p2.Open("f", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p2.Write(fd2, []byte("clean")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestartRejectsNonAnception: native platforms have no container.
+func TestRestartRejectsNonAnception(t *testing.T) {
+	d := bootDevice(t, ModeNative)
+	if err := d.RestartCVM(); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("err = %v, want EINVAL", err)
+	}
+}
+
+// TestRestartPreservesMemoryIsolation: the relaunched container's frames
+// remain confined to the original region.
+func TestRestartPreservesMemoryIsolation(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	hi := installAndLaunch(t, d, "com.bank")
+	addr, err := hi.PlantSecret([]byte("still-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.RestartCVM(); err != nil {
+		t.Fatal(err)
+	}
+	// Guest services landed inside the region.
+	for _, task := range d.Guest.Tasks() {
+		for _, v := range task.AS.VMAs() {
+			for _, f := range v.Frames {
+				if !d.CVM.Region().Contains(f) {
+					t.Fatalf("guest frame %d outside region after restart", f)
+				}
+			}
+		}
+	}
+	// And the host app's secret is still unreadable from the guest side.
+	if _, err := hi.Task.AS.ReadBytes(d.Guest.Region(), addr, 12); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("guest-region read of host memory after restart: %v", err)
+	}
+}

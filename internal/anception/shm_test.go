@@ -1,0 +1,183 @@
+package anception
+
+import (
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+)
+
+// TestSharedMemoryBetweenApps: two host apps share a System V segment;
+// writes by one are visible to the other ("our implementation supports
+// shared memory", Section III-B).
+func TestSharedMemoryBetweenApps(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	writer := installAndLaunch(t, d, "com.shm.writer")
+	reader := installAndLaunch(t, d, "com.shm.reader")
+
+	const key = 0x5EA1
+	id, err := writer.Shmget(key, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wAddr, err := writer.Shmat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := writer.Poke(wAddr, []byte("shared-payload")); err != nil {
+		t.Fatal(err)
+	}
+
+	// The reader finds the same segment by key.
+	id2, err := reader.Shmget(key, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id2 != id {
+		t.Fatalf("key lookup returned id %d, want %d", id2, id)
+	}
+	rAddr, err := reader.Shmat(id2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := reader.Peek(rAddr, 14)
+	if err != nil || string(got) != "shared-payload" {
+		t.Fatalf("reader sees %q, %v", got, err)
+	}
+
+	// Mutation propagates both ways.
+	if err := reader.Poke(rAddr, []byte("REPLY")); err != nil {
+		t.Fatal(err)
+	}
+	back, err := writer.Peek(wAddr, 5)
+	if err != nil || string(back) != "REPLY" {
+		t.Fatalf("writer sees %q, %v", back, err)
+	}
+}
+
+// TestSharedMemoryStaysOnHost: segment frames are host memory the CVM can
+// never touch (principle 3), and the calls cross no boundary.
+func TestSharedMemoryStaysOnHost(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	p := installAndLaunch(t, d, "com.shm.host")
+
+	in0, out0 := d.CVM.WorldSwitches()
+	id, err := p.Shmget(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := p.Shmat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in1, out1 := d.CVM.WorldSwitches()
+	if in1 != in0 || out1 != out0 {
+		t.Fatal("shm calls crossed into the CVM")
+	}
+
+	if err := p.Poke(addr, []byte("host-only")); err != nil {
+		t.Fatal(err)
+	}
+	// A guest-confined accessor cannot read the segment.
+	if _, err := p.Task.AS.ReadBytes(d.Guest.Region(), addr, 9); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("guest read of shared segment: %v, want EPERM", err)
+	}
+	// Segments exist only in the host kernel's registry.
+	if d.Host.ShmSegments() != 1 || d.Guest.ShmSegments() != 0 {
+		t.Fatalf("segments host=%d guest=%d", d.Host.ShmSegments(), d.Guest.ShmSegments())
+	}
+}
+
+// TestSharedMemoryLifecycle covers detach, removal and permissions.
+func TestSharedMemoryLifecycle(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	owner := installAndLaunch(t, d, "com.shm.owner")
+	other := installAndLaunch(t, d, "com.shm.other")
+
+	id, err := owner.Shmget(0x77, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := owner.Shmat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Poke(addr, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Shmdt(addr); err != nil {
+		t.Fatal(err)
+	}
+	// Detached: the address is gone from the space.
+	if _, err := owner.Peek(addr, 1); !errors.Is(err, abi.EFAULT) {
+		t.Fatalf("peek after detach: %v, want EFAULT", err)
+	}
+	// Double detach fails.
+	if err := owner.Shmdt(addr); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("double detach: %v, want EINVAL", err)
+	}
+	// Only the owner (or root) may remove.
+	if err := other.Shmctl(id); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("foreign rmid: %v, want EPERM", err)
+	}
+	if err := owner.Shmctl(id); err != nil {
+		t.Fatal(err)
+	}
+	// Attaching a removed segment fails.
+	if _, err := other.Shmat(id); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("attach removed: %v, want EINVAL", err)
+	}
+	if d.Host.ShmSegments() != 0 {
+		t.Fatalf("segments = %d after removal", d.Host.ShmSegments())
+	}
+}
+
+// TestSharedMemorySurvivesAttachExit: a segment outlives one attacher's
+// exit because the frames belong to the segment, not the process.
+func TestSharedMemorySurvivesAttachExit(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	a := installAndLaunch(t, d, "com.shm.a")
+	b := installAndLaunch(t, d, "com.shm.b")
+
+	id, err := a.Shmget(0x99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aAddr, err := a.Shmat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Poke(aAddr, []byte("persist")); err != nil {
+		t.Fatal(err)
+	}
+	a.Exit(0)
+
+	bAddr, err := b.Shmat(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Peek(bAddr, 7)
+	if err != nil || string(got) != "persist" {
+		t.Fatalf("after attacher exit: %q, %v", got, err)
+	}
+}
+
+// TestShmInvalidArguments covers the error surface.
+func TestShmInvalidArguments(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	p := installAndLaunch(t, d, "com.shm.err")
+	if _, err := p.Shmget(0, 0); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("zero pages: %v, want EINVAL", err)
+	}
+	if _, err := p.Shmat(999); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("bogus id: %v, want EINVAL", err)
+	}
+	if err := p.Shmctl(999); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("rmid bogus: %v, want EINVAL", err)
+	}
+	res := d.Host.Invoke(p.Task, kernel.Args{Nr: abi.SysShmdt, Vaddr: 0x1234000})
+	if !errors.Is(res.Err, abi.EINVAL) {
+		t.Fatalf("detach unmapped: %v, want EINVAL", res.Err)
+	}
+}

@@ -1,0 +1,217 @@
+package anception
+
+import (
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+)
+
+// MeasureSyscall runs op once and returns the simulated time it consumed.
+func measureOnce(d *Device, op func()) time.Duration {
+	before := d.Clock.Now()
+	op()
+	return d.Clock.Now() - before
+}
+
+// within asserts a measurement is inside tol (fractional) of want.
+func within(t *testing.T, name string, got, want time.Duration, tol float64) {
+	t.Helper()
+	lo := time.Duration(float64(want) * (1 - tol))
+	hi := time.Duration(float64(want) * (1 + tol))
+	if got < lo || got > hi {
+		t.Errorf("%s = %v, want %v ± %.0f%%", name, got, want, tol*100)
+	}
+}
+
+// TestTableINullCall pins the getpid row of Table I: 0.76 us native and
+// 0.76 us under Anception (the one-byte ASIM check is in the noise).
+func TestTableINullCall(t *testing.T) {
+	native := bootDevice(t, ModeNative)
+	np := installAndLaunch(t, native, "com.bench")
+	within(t, "native getpid", measureOnce(native, func() { np.Getpid() }), 760*time.Nanosecond, 0.01)
+
+	anc := bootDevice(t, ModeAnception)
+	ap := installAndLaunch(t, anc, "com.bench")
+	within(t, "anception getpid", measureOnce(anc, func() { ap.Getpid() }), 762*time.Nanosecond, 0.01)
+}
+
+// TestTableIFilesystemWrite pins the 4096-byte write row: 28.61 us native,
+// 384.45 us under Anception.
+func TestTableIFilesystemWrite(t *testing.T) {
+	page := make([]byte, abi.PageSize)
+
+	native := bootDevice(t, ModeNative)
+	np := installAndLaunch(t, native, "com.bench")
+	nfd, err := np.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "native write", measureOnce(native, func() { _, _ = np.Write(nfd, page) }),
+		28610*time.Nanosecond, 0.01)
+
+	anc := bootDevice(t, ModeAnception)
+	ap := installAndLaunch(t, anc, "com.bench")
+	afd, err := ap.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "anception write", measureOnce(anc, func() { _, _ = ap.Write(afd, page) }),
+		384450*time.Nanosecond, 0.03)
+}
+
+// TestTableIFilesystemRead pins the 4096-byte read row: 6.51 us native,
+// 305.03 us under Anception.
+func TestTableIFilesystemRead(t *testing.T) {
+	page := make([]byte, abi.PageSize)
+
+	prep := func(d *Device) (*Proc, int) {
+		p := installAndLaunch(t, d, "com.bench")
+		fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Write(fd, page); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.Lseek(fd, 0, abi.SeekSet); err != nil {
+			t.Fatal(err)
+		}
+		return p, fd
+	}
+
+	native := bootDevice(t, ModeNative)
+	np, nfd := prep(native)
+	within(t, "native read", measureOnce(native, func() { _, _ = np.Read(nfd, abi.PageSize) }),
+		6510*time.Nanosecond, 0.01)
+
+	anc := bootDevice(t, ModeAnception)
+	ap, afd := prep(anc)
+	within(t, "anception read", measureOnce(anc, func() { _, _ = ap.Read(afd, abi.PageSize) }),
+		305030*time.Nanosecond, 0.03)
+}
+
+// TestTableIBinderIPC pins the binder rows: ~12 ms native; ~31 ms at 128 B
+// and ~31.3 ms at 256 B when the service lives in the container.
+func TestTableIBinderIPC(t *testing.T) {
+	call := func(d *Device, p *Proc, fd int, payload int) time.Duration {
+		return measureOnce(d, func() {
+			if _, err := p.BinderCall(fd, "location", android.CodeGetLocation, make([]byte, payload)); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	native := bootDevice(t, ModeNative)
+	np := installAndLaunch(t, native, "com.bench")
+	nfd, err := np.OpenBinder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "native binder 128B", call(native, np, nfd, 128), 12*time.Millisecond, 0.01)
+	within(t, "native binder 256B", call(native, np, nfd, 256), 12*time.Millisecond, 0.01)
+
+	anc := bootDevice(t, ModeAnception)
+	ap := installAndLaunch(t, anc, "com.bench")
+	afd, err := ap.OpenBinder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "anception binder 128B", call(anc, ap, afd, 128), 31*time.Millisecond, 0.01)
+	within(t, "anception binder 256B", call(anc, ap, afd, 256), 31300*time.Microsecond, 0.01)
+}
+
+// TestRedirectOverheadShrinksWithA1 verifies the A1 ablation: keeping
+// filesystem I/O on the host removes the redirection penalty at the cost
+// of a larger privileged base.
+func TestRedirectOverheadShrinksWithA1(t *testing.T) {
+	d, err := NewDevice(Options{Mode: ModeAnception, KeepFSOnHost: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := d.InstallApp(android.AppSpec{Package: "com.a1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := p.Open("f", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost := measureOnce(d, func() { _, _ = p.Write(fd, make([]byte, abi.PageSize)) })
+	within(t, "A1 host-fs write", cost, 28610*time.Nanosecond, 0.01)
+	if d.Layer.Stats().Redirected != 0 {
+		t.Fatalf("A1 still redirected %d calls", d.Layer.Stats().Redirected)
+	}
+}
+
+// TestNaiveDispatchCostsMore verifies ablation A3 end to end.
+func TestNaiveDispatchCostsMore(t *testing.T) {
+	measureWrite := func(naive bool) time.Duration {
+		d, err := NewDevice(Options{Mode: ModeAnception, NaiveDispatch: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := d.InstallApp(android.AppSpec{Package: "com.a3"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Launch(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := p.Open("f", abi.OWrOnly|abi.OCreat, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return measureOnce(d, func() { _, _ = p.Write(fd, make([]byte, abi.PageSize)) })
+	}
+	fast, slow := measureWrite(false), measureWrite(true)
+	if slow <= fast {
+		t.Fatalf("naive dispatch (%v) should cost more than the in-kernel wait (%v)", slow, fast)
+	}
+	if diff := slow - fast; diff != 4*simGuestContextSwitch(t) {
+		t.Fatalf("penalty = %v, want 4 guest context switches", diff)
+	}
+}
+
+func simGuestContextSwitch(t *testing.T) time.Duration {
+	t.Helper()
+	d, err := NewDevice(Options{Mode: ModeNative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Model.GuestContextSwitch
+}
+
+// TestSocketTransportAblation verifies A5 end to end: the socket-style
+// channel makes bulk redirected writes slower.
+func TestSocketTransportAblation(t *testing.T) {
+	measureWrite := func(socketTransport bool) time.Duration {
+		d, err := NewDevice(Options{Mode: ModeAnception, SocketTransport: socketTransport})
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, err := d.InstallApp(android.AppSpec{Package: "com.a5"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Launch(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := p.Open("f", abi.OWrOnly|abi.OCreat, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return measureOnce(d, func() { _, _ = p.Write(fd, make([]byte, 16*abi.PageSize)) })
+	}
+	pages, socket := measureWrite(false), measureWrite(true)
+	if socket <= pages {
+		t.Fatalf("socket transport (%v) should be slower than remapped pages (%v)", socket, pages)
+	}
+}

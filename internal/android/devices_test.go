@@ -1,0 +1,194 @@
+package android
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/binder"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+	"anception/internal/sim"
+	"anception/internal/vfs"
+)
+
+func newDriverKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	clock := sim.NewClock()
+	phys := kernel.NewPhysical(64 << 20)
+	fs := vfs.New()
+	if err := BuildSystemImage(fs); err != nil {
+		t.Fatal(err)
+	}
+	return kernel.New(kernel.Config{
+		Name: "host", Clock: clock, Model: sim.DefaultLatencyModel(),
+		FS: fs, Net: netstack.New("host"), Binder: binder.NewDriver(),
+		Alloc: phys.NewAllocator("host", kernel.Region{}),
+	})
+}
+
+func TestVulnDriverExecDirect(t *testing.T) {
+	k := newDriverKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDAppBase, GID: abi.UIDAppBase}, "mal")
+	drv := NewVulnDriver(k, "diag", "CVE-2012-4220", DriverExecDirect)
+	cred := vfs.Cred{UID: task.Cred.UID, PID: task.PID}
+
+	// Benign traffic is fine.
+	if out, err := drv.Ioctl(cred, 1, nil); err != nil || string(out) != "ok" {
+		t.Fatalf("benign ioctl: %q, %v", out, err)
+	}
+	if k.Compromised() != nil {
+		t.Fatal("benign ioctl compromised the kernel")
+	}
+	// The trigger owns the kernel.
+	if _, err := drv.Ioctl(cred, IoctlExploitTrigger, nil); err != nil {
+		t.Fatal(err)
+	}
+	if c := k.Compromised(); c == nil || c.ByPID != task.PID {
+		t.Fatalf("compromise = %+v", c)
+	}
+}
+
+func TestVulnDriverJumpToUser(t *testing.T) {
+	k := newDriverKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDAppBase, GID: abi.UIDAppBase}, "mal")
+	drv := NewVulnDriver(k, "ptmx", "CVE-2014-0196", DriverJumpToUser)
+	cred := vfs.Cred{UID: task.Cred.UID, PID: task.PID}
+
+	// No staged shellcode: the driver oopses.
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, 0x40000000)
+	if _, err := drv.Ioctl(cred, IoctlExploitTrigger, arg); !errors.Is(err, abi.EFAULT) {
+		t.Fatalf("unstaged jump: %v, want EFAULT", err)
+	}
+	if drv.Crashes() != 1 || k.Compromised() != nil {
+		t.Fatalf("crashes=%d compromised=%v", drv.Crashes(), k.Compromised())
+	}
+	// Stage executable memory and retry.
+	base, err := task.AS.MapAnon(1, kernel.ProtRead|kernel.ProtExec, kernel.VMAAnon, "shellcode")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(arg, base)
+	if _, err := drv.Ioctl(cred, IoctlExploitTrigger, arg); err != nil {
+		t.Fatal(err)
+	}
+	if k.Compromised() == nil {
+		t.Fatal("staged jump did not compromise")
+	}
+	// Reads and writes are benign no-ops.
+	if n, err := drv.Read(cred, make([]byte, 4), 0); err != nil || n != 4 {
+		t.Fatal("driver read")
+	}
+	if n, err := drv.Write(cred, []byte("x"), 0); err != nil || n != 1 {
+		t.Fatal("driver write")
+	}
+}
+
+func TestVulnDriverSafeMode(t *testing.T) {
+	k := newDriverKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDAppBase}, "mal")
+	drv := NewVulnDriver(k, "diag", "CVE-2012-4220", DriverSafe)
+	cred := vfs.Cred{UID: task.Cred.UID, PID: task.PID}
+	if _, err := drv.Ioctl(cred, IoctlExploitTrigger, nil); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("patched driver trigger: %v, want EINVAL", err)
+	}
+	if k.Compromised() != nil {
+		t.Fatal("patched driver compromised")
+	}
+}
+
+func TestBlockDeviceLDMParser(t *testing.T) {
+	k := newDriverKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDAppBase, GID: abi.UIDAppBase}, "mal")
+	cred := vfs.Cred{UID: task.Cred.UID, PID: task.PID}
+
+	safe := NewBlockDevice(k, false)
+	if _, err := safe.Write(cred, []byte("LDM!evil"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Compromised() != nil {
+		t.Fatal("patched parser compromised")
+	}
+
+	vuln := NewBlockDevice(k, true)
+	if _, err := vuln.Write(cred, []byte("plain data"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Compromised() != nil {
+		t.Fatal("non-LDM write compromised")
+	}
+	buf := make([]byte, 5)
+	if _, err := vuln.Read(cred, buf, 0); err != nil || string(buf) != "plain" {
+		t.Fatalf("block read: %q, %v", buf, err)
+	}
+	if _, err := vuln.Write(cred, []byte("LDM!crafted"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if k.Compromised() == nil {
+		t.Fatal("crafted LDM header did not compromise")
+	}
+	if _, err := vuln.Ioctl(cred, 1, nil); !errors.Is(err, abi.ENOTTY) {
+		t.Fatal("block ioctl should be ENOTTY")
+	}
+}
+
+func TestSockDiagReceiver(t *testing.T) {
+	k := newDriverKernel(t)
+	registerSockDiag(k, true)
+	task := k.Spawn(abi.Cred{UID: abi.UIDAppBase, GID: abi.UIDAppBase}, "mal")
+
+	// Benign diagnostics pass through.
+	sock, err := k.Net().Socket(task.Cred, netstack.AFNetlink, netstack.SockDgram, NetlinkSockDiagProto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sock.SendToNetlink(NetlinkSockDiagProto, task.Cred, []byte("INET_DIAG")); err != nil {
+		t.Fatal(err)
+	}
+	// The OOB message with no staged memory crashes the handler.
+	arg := make([]byte, 8)
+	binary.LittleEndian.PutUint64(arg, 0x40000000)
+	msg := append([]byte(SockDiagMagic), arg...)
+	if err := sock.SendToNetlink(NetlinkSockDiagProto, task.Cred, msg); !errors.Is(err, abi.EFAULT) {
+		t.Fatalf("unstaged sock_diag: %v, want EFAULT", err)
+	}
+	// Staged: compromise.
+	base, err := task.AS.MapAnon(1, kernel.ProtRead|kernel.ProtExec, kernel.VMAAnon, "sc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint64(arg, base)
+	msg = append([]byte(SockDiagMagic), arg...)
+	if err := sock.SendToNetlink(NetlinkSockDiagProto, task.Cred, msg); err != nil {
+		t.Fatal(err)
+	}
+	if k.Compromised() == nil {
+		t.Fatal("staged sock_diag did not compromise")
+	}
+}
+
+func TestFramebufferIoctlAndBinderVersion(t *testing.T) {
+	fb := NewFramebuffer(false)
+	if out, err := fb.Ioctl(vfs.Cred{}, 0x4600, nil); err != nil || string(out) != "1280x800" {
+		t.Fatalf("fb ioctl: %q, %v", out, err)
+	}
+	d := binder.NewDriver()
+	dev := NewBinderDevice(d)
+	if dev.DevName() != "binder" || dev.Driver() != d {
+		t.Fatal("binder device identity")
+	}
+	if _, err := dev.Read(vfs.Cred{}, nil, 0); !errors.Is(err, abi.EINVAL) {
+		t.Fatal("binder read should be EINVAL")
+	}
+	if _, err := dev.Write(vfs.Cred{}, nil, 0); !errors.Is(err, abi.EINVAL) {
+		t.Fatal("binder write should be EINVAL")
+	}
+	if out, err := dev.Ioctl(vfs.Cred{}, binder.IocVersion, nil); err != nil || out[0] != 8 {
+		t.Fatalf("binder version: %v, %v", out, err)
+	}
+	if _, err := dev.Ioctl(vfs.Cred{}, 0xFFFF, nil); !errors.Is(err, abi.EINVAL) {
+		t.Fatal("unknown binder ioctl should be EINVAL")
+	}
+}

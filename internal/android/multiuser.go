@@ -1,0 +1,80 @@
+package android
+
+import (
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+// Android's multiuser feature (Related Work, File System Isolation): each
+// user gets a private directory under /data/users/<id>, and switching
+// users repoints each app's /data/data/<pkg> entry at the active user's
+// store via a symbolic link. The paper's observation — which
+// TestMultiuserDoesNotStopEscalation demonstrates — is that this isolates
+// *users* from each other under the normal permission model but does
+// nothing against privilege-escalation malware: root reads every store.
+
+// UsersRoot is the per-user data root.
+const UsersRoot = "/data/users"
+
+// AddUser creates the private store for a user id.
+func (pm *PackageManager) AddUser(fs *vfs.FileSystem, userID int) error {
+	system := abi.Cred{UID: abi.UIDRoot}
+	if err := fs.MkdirAll(system, UsersRoot, 0o711); err != nil {
+		return fmt.Errorf("add user %d: %w", userID, err)
+	}
+	dir := fmt.Sprintf("%s/%d", UsersRoot, userID)
+	if err := fs.Mkdir(system, dir, 0o711); err != nil && err != abi.EEXIST {
+		return fmt.Errorf("add user %d: %w", userID, err)
+	}
+	return nil
+}
+
+// userPkgDir is the app's store for one user.
+func userPkgDir(userID int, pkg string) string {
+	return fmt.Sprintf("%s/%d/%s", UsersRoot, userID, pkg)
+}
+
+// SwitchUser repoints the app's data directory at the given user's store,
+// creating it on first use. The app's original (install-time) directory
+// becomes user 0's store.
+func (pm *PackageManager) SwitchUser(fs *vfs.FileSystem, app *InstalledApp, userID int) error {
+	system := abi.Cred{UID: abi.UIDRoot}
+
+	// First switch: preserve the install-time directory as user 0's.
+	st, err := fs.LstatPath(system, app.DataDir)
+	switch {
+	case err == nil && st.Type == vfs.TypeDir:
+		if err := pm.AddUser(fs, 0); err != nil {
+			return err
+		}
+		if err := fs.Rename(system, app.DataDir, userPkgDir(0, app.Package)); err != nil {
+			return fmt.Errorf("switch user: preserve user 0 store: %w", err)
+		}
+	case err == nil && st.Type == vfs.TypeSymlink:
+		if err := fs.Unlink(system, app.DataDir); err != nil {
+			return fmt.Errorf("switch user: unlink old link: %w", err)
+		}
+	case err != nil && err != abi.ENOENT:
+		return err
+	}
+
+	// Ensure the target user's store exists with the app's ownership.
+	if err := pm.AddUser(fs, userID); err != nil {
+		return err
+	}
+	target := userPkgDir(userID, app.Package)
+	if err := fs.Mkdir(system, target, 0o700); err != nil && err != abi.EEXIST {
+		return fmt.Errorf("switch user: %w", err)
+	}
+	if err := fs.Chown(system, target, app.UID, app.UID); err != nil {
+		return err
+	}
+
+	// Repoint the app's canonical data path.
+	if err := fs.Symlink(system, target, app.DataDir); err != nil {
+		return fmt.Errorf("switch user: relink: %w", err)
+	}
+	return nil
+}

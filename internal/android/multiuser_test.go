@@ -1,0 +1,93 @@
+package android
+
+import (
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+func setupMultiuser(t *testing.T) (*vfs.FileSystem, *PackageManager, *InstalledApp) {
+	t.Helper()
+	fs := vfs.New()
+	if err := BuildSystemImage(fs); err != nil {
+		t.Fatal(err)
+	}
+	pm := NewPackageManager()
+	app, err := pm.Install(fs, fs, AppSpec{
+		Package: "com.notes",
+		Assets:  map[string][]byte{"seed": []byte("user0-data")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs, pm, app
+}
+
+func TestSwitchUserSeparatesData(t *testing.T) {
+	fs, pm, app := setupMultiuser(t)
+	appCred := abi.Cred{UID: app.UID, GID: app.UID}
+
+	// Switch to user 1: the canonical path now resolves to an empty,
+	// private store; user 0's data moved aside.
+	if err := pm.SwitchUser(fs, app, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.ReadFile(appCred, app.DataDir+"/seed"); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("user 0 data visible to user 1: %v", err)
+	}
+	if err := fs.WriteFile(appCred, app.DataDir+"/u1note", []byte("user1-data"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Chown(abi.Cred{UID: abi.UIDRoot}, app.DataDir+"/u1note", app.UID, app.UID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Back to user 0: the original seed is back, user 1's note is gone.
+	if err := pm.SwitchUser(fs, app, 0); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fs.ReadFile(appCred, app.DataDir+"/seed"); err != nil || string(data) != "user0-data" {
+		t.Fatalf("user 0 data lost: %q, %v", data, err)
+	}
+	if _, err := fs.ReadFile(appCred, app.DataDir+"/u1note"); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("user 1 data visible to user 0: %v", err)
+	}
+
+	// And forward again: user 1's note persisted in its own store.
+	if err := pm.SwitchUser(fs, app, 1); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := fs.ReadFile(appCred, app.DataDir+"/u1note"); err != nil || string(data) != "user1-data" {
+		t.Fatalf("user 1 data lost: %q, %v", data, err)
+	}
+}
+
+// TestMultiuserDoesNotStopEscalation is the paper's related-work point:
+// the multiuser design "is not aimed at isolating malware that use
+// privilege escalation" — a root attacker reads every user's store.
+func TestMultiuserDoesNotStopEscalation(t *testing.T) {
+	fs, pm, app := setupMultiuser(t)
+	if err := pm.SwitchUser(fs, app, 1); err != nil {
+		t.Fatal(err)
+	}
+	appCred := abi.Cred{UID: app.UID, GID: app.UID}
+	if err := fs.WriteFile(appCred, app.DataDir+"/u1secret", []byte("u1"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Another app's UID is stopped by permissions...
+	other := abi.Cred{UID: app.UID + 1, GID: app.UID + 1}
+	if _, err := fs.ReadFile(other, userPkgDir(0, app.Package)+"/seed"); !errors.Is(err, abi.EACCES) {
+		t.Fatalf("cross-uid read: %v, want EACCES", err)
+	}
+	// ...but a privilege-escalated attacker (root) reads both users.
+	attacker := abi.Cred{UID: abi.UIDRoot}
+	if _, err := fs.ReadFile(attacker, userPkgDir(0, app.Package)+"/seed"); err != nil {
+		t.Fatalf("root blocked from user 0 store: %v", err)
+	}
+	if _, err := fs.ReadFile(attacker, userPkgDir(1, app.Package)+"/u1secret"); err != nil {
+		t.Fatalf("root blocked from user 1 store: %v", err)
+	}
+}

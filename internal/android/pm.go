@@ -1,0 +1,174 @@
+package android
+
+import (
+	"fmt"
+	"sync"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+// AppSpec describes an app to install.
+type AppSpec struct {
+	// Package is the reverse-DNS package name.
+	Package string
+	// Code is the app binary ("APK") content.
+	Code []byte
+	// Assets are data files unpacked into the app's private directory at
+	// install time (Section III-D: "If there is initial data packaged
+	// with the app, during installation this is unpacked to the app data
+	// directory").
+	Assets map[string][]byte
+}
+
+// InstalledApp records an installation.
+type InstalledApp struct {
+	Package  string
+	UID      int
+	CodePath string // /data/app/<pkg>.apk — host-resident under Anception
+	DataDir  string // /data/data/<pkg>    — CVM-resident under Anception
+}
+
+// PackageManager assigns UIDs and lays out app directories per the
+// Android security model: each app gets its own Linux UID and a private
+// 0700 data directory.
+type PackageManager struct {
+	mu        sync.Mutex
+	nextUID   int
+	installed map[string]*InstalledApp
+}
+
+// NewPackageManager returns an empty package manager.
+func NewPackageManager() *PackageManager {
+	return &PackageManager{nextUID: abi.UIDAppBase, installed: make(map[string]*InstalledApp)}
+}
+
+// Install writes the app's code to the (host) code partition and creates
+// its private data directory with unpacked assets on dataFS. Under
+// Anception codeFS is the host filesystem and dataFS the CVM's; natively
+// they are the same filesystem.
+func (pm *PackageManager) Install(codeFS, dataFS *vfs.FileSystem, spec AppSpec) (*InstalledApp, error) {
+	if spec.Package == "" {
+		return nil, fmt.Errorf("install: empty package name: %w", abi.EINVAL)
+	}
+	pm.mu.Lock()
+	if _, dup := pm.installed[spec.Package]; dup {
+		pm.mu.Unlock()
+		return nil, fmt.Errorf("install %s: %w", spec.Package, abi.EEXIST)
+	}
+	uid := pm.nextUID
+	pm.nextUID++
+	pm.mu.Unlock()
+
+	system := abi.Cred{UID: abi.UIDRoot}
+	app := &InstalledApp{
+		Package:  spec.Package,
+		UID:      uid,
+		CodePath: "/data/app/" + spec.Package + ".apk",
+		DataDir:  "/data/data/" + spec.Package,
+	}
+
+	// App code: permission-protected so only the app and the system may
+	// read it (principle 1), and executable.
+	if err := codeFS.MkdirAll(system, "/data/app", 0o711); err != nil {
+		return nil, fmt.Errorf("install %s: %w", spec.Package, err)
+	}
+	code := spec.Code
+	if code == nil {
+		code = []byte("DEX\x00" + spec.Package)
+	}
+	if err := codeFS.WriteFile(system, app.CodePath, code, 0o700); err != nil {
+		return nil, fmt.Errorf("install %s: code: %w", spec.Package, err)
+	}
+	if err := codeFS.Chown(system, app.CodePath, uid, uid); err != nil {
+		return nil, err
+	}
+
+	// Private data directory on the data filesystem.
+	if err := dataFS.MkdirAll(system, "/data/data", 0o755); err != nil {
+		return nil, err
+	}
+	if err := dataFS.Mkdir(system, app.DataDir, 0o700); err != nil {
+		return nil, fmt.Errorf("install %s: data dir: %w", spec.Package, err)
+	}
+	if err := dataFS.Chown(system, app.DataDir, uid, uid); err != nil {
+		return nil, err
+	}
+	for name, content := range spec.Assets {
+		p := app.DataDir + "/" + name
+		if err := dataFS.WriteFile(system, p, content, 0o600); err != nil {
+			return nil, fmt.Errorf("install %s: asset %s: %w", spec.Package, name, err)
+		}
+		if err := dataFS.Chown(system, p, uid, uid); err != nil {
+			return nil, err
+		}
+	}
+
+	pm.mu.Lock()
+	pm.installed[spec.Package] = app
+	pm.mu.Unlock()
+	return app, nil
+}
+
+// Lookup returns an installed app by package name, or nil.
+func (pm *PackageManager) Lookup(pkg string) *InstalledApp {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	return pm.installed[pkg]
+}
+
+// Installed lists installed package names.
+func (pm *PackageManager) Installed() []string {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	out := make([]string, 0, len(pm.installed))
+	for p := range pm.installed {
+		out = append(out, p)
+	}
+	return out
+}
+
+// BuildSystemImage populates a filesystem with the base Android layout:
+// the read-only /system partition with binaries and libraries, /data,
+// /dev, /sbin, /sdcard. Call once per kernel at boot, before Boot().
+func BuildSystemImage(fs *vfs.FileSystem) error {
+	system := abi.Cred{UID: abi.UIDRoot}
+	dirs := []string{
+		"/system", "/system/bin", "/system/lib", "/system/framework",
+		"/data", "/data/data", "/data/app", "/data/users",
+		"/dev", "/sbin", "/sdcard", "/cache", "/proc",
+	}
+	for _, d := range dirs {
+		if err := fs.MkdirAll(system, d, 0o755); err != nil {
+			return fmt.Errorf("system image: %w", err)
+		}
+	}
+	binaries := []string{
+		"vold", "netd", "installd", "logcat", "sh", "toolbox", "app_process",
+		"servicemanager", "debuggerd", "rild", "sdcardd", "keystore",
+		"mediaserver", "drmserver", "system_server", "surfaceflinger",
+		"window", "inputmethod", "activity", "zygote", "location", "logd",
+	}
+	for _, b := range binaries {
+		content := []byte("ELF\x7f" + b + " GOT:0x8340 system:0xb6f11423 strcmp:0xb6f22871")
+		if err := fs.WriteFile(system, "/system/bin/"+b, content, 0o755); err != nil {
+			return err
+		}
+	}
+	libs := []string{"libc.so", "libbinder.so", "libandroid_runtime.so", "libssl.so", "libsqlite.so"}
+	for _, l := range libs {
+		content := []byte("ELF\x7f" + l + " system:0xb6f11423 strcmp:0xb6f22871")
+		if err := fs.WriteFile(system, "/system/lib/"+l, content, 0o755); err != nil {
+			return err
+		}
+	}
+	if err := fs.WriteFile(system, "/system/framework/framework.jar", []byte("DEX framework"), 0o644); err != nil {
+		return err
+	}
+	fs.MountReadOnly("/system")
+	// /sdcard is world-writable shared storage.
+	if err := fs.Chmod(system, "/sdcard", 0o777); err != nil {
+		return err
+	}
+	return nil
+}

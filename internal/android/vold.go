@@ -1,0 +1,185 @@
+package android
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// Vold is the volume daemon. It runs as root and listens on a netlink
+// control channel. With the GingerBreak vulnerability enabled, its message
+// handler contains the CVE-2011-1823 negative-index bug: a crafted message
+// with a negative index makes vold jump through an attacker-chosen GOT
+// entry, which the historical exploit used to re-execute the attacker's
+// binary with vold's root privileges.
+type Vold struct {
+	kernel     *kernel.Kernel
+	task       *kernel.Task
+	logd       *Logd
+	vulnerable bool // GingerBreak negative index (CVE-2011-1823)
+	zrVuln     bool // zergRush parser overflow (CVE-2011-3874)
+
+	mu        sync.Mutex
+	rootTasks []*kernel.Task
+	crashes   int
+}
+
+// NewVold boots the volume daemon.
+func NewVold(k *kernel.Kernel, task *kernel.Task, logd *Logd, gingerBreak, zergRush bool) *Vold {
+	return &Vold{kernel: k, task: task, logd: logd, vulnerable: gingerBreak, zrVuln: zergRush}
+}
+
+// Task returns vold's process.
+func (v *Vold) Task() *kernel.Task { return v.task }
+
+// GingerBreakMagicIndex is the negative index that lands on the GOT entry
+// the exploit overwrote. Values in the brute-forced range merely crash
+// vold (producing the logcat entries the exploit scans).
+const GingerBreakMagicIndex = -1073741821
+
+// HandleNetlink processes one control message. The message grammar:
+//
+//	"volume list"                      — legitimate request
+//	"GB:<index>:<path>"                — GingerBreak probe: negative index
+//	                                     plus the path of the binary vold
+//	                                     should end up executing
+func (v *Vold) HandleNetlink(sender abi.Cred, msg []byte) error {
+	text := string(msg)
+	if strings.HasPrefix(text, "ZR:") {
+		return v.handleZergRush(sender, strings.TrimPrefix(text, "ZR:"))
+	}
+	if !strings.HasPrefix(text, "GB:") {
+		return nil // normal volume management traffic
+	}
+	parts := strings.SplitN(text, ":", 3)
+	if len(parts) != 3 {
+		return abi.EINVAL
+	}
+	idx, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return abi.EINVAL
+	}
+	payloadPath := parts[2]
+
+	if !v.vulnerable || idx >= 0 {
+		return nil // patched vold ignores garbage
+	}
+
+	if idx != GingerBreakMagicIndex {
+		// Wrong guess: vold dereferences junk and crashes; init restarts
+		// it. The crash lands in the system log, which is how the real
+		// exploit calibrates its brute force.
+		v.mu.Lock()
+		v.crashes++
+		v.mu.Unlock()
+		v.logd.Log(fmt.Sprintf("F/vold: fault addr deadbeef (GOT index %d)", idx))
+		return abi.EFAULT
+	}
+
+	// Exact hit: vold executes the attacker's binary as root — but in
+	// whatever kernel vold itself lives in.
+	data, err := v.kernel.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, payloadPath)
+	if err != nil {
+		v.logd.Log("F/vold: exec payload missing " + payloadPath)
+		return abi.ENOENT
+	}
+	if !kernel.IsAttackerPayload(data) {
+		return nil
+	}
+	shell := v.kernel.Spawn(abi.Cred{UID: abi.UIDRoot, GID: abi.UIDRoot}, "exploit")
+	shell.ExecPath = payloadPath
+	v.mu.Lock()
+	v.rootTasks = append(v.rootTasks, shell)
+	v.mu.Unlock()
+	v.logd.Log("I/vold: spawned " + payloadPath)
+	if v.kernel.Trace() != nil {
+		v.kernel.Trace().Record(sim.EvSecurity,
+			"[%s] vold EXPLOITED: root shell pid=%d from %s (sender uid=%d)",
+			v.kernel.Name(), shell.PID, payloadPath, sender.UID)
+	}
+	return nil
+}
+
+// handleZergRush models CVE-2011-3874: an overlong command argument
+// smashes the parser stack and redirects vold into the attacker's staged
+// command, which re-executes the attacker binary as root.
+func (v *Vold) handleZergRush(sender abi.Cred, payloadPath string) error {
+	if !v.zrVuln {
+		return nil
+	}
+	data, err := v.kernel.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, payloadPath)
+	if err != nil || !kernel.IsAttackerPayload(data) {
+		v.logd.Log("F/vold: malformed framework command")
+		return abi.EINVAL
+	}
+	shell := v.kernel.Spawn(abi.Cred{UID: abi.UIDRoot, GID: abi.UIDRoot}, "exploit")
+	shell.ExecPath = payloadPath
+	v.mu.Lock()
+	v.rootTasks = append(v.rootTasks, shell)
+	v.mu.Unlock()
+	v.logd.Log("I/vold: spawned " + payloadPath + " (zergRush)")
+	if v.kernel.Trace() != nil {
+		v.kernel.Trace().Record(sim.EvSecurity,
+			"[%s] vold EXPLOITED via zergRush: root shell pid=%d (sender uid=%d)",
+			v.kernel.Name(), shell.PID, sender.UID)
+	}
+	return nil
+}
+
+// RootShells returns tasks the exploited vold spawned with root.
+func (v *Vold) RootShells() []*kernel.Task {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]*kernel.Task, len(v.rootTasks))
+	copy(out, v.rootTasks)
+	return out
+}
+
+// Crashes reports how many bad probes crashed vold.
+func (v *Vold) Crashes() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.crashes
+}
+
+// Logd is the system log daemon; exploits read crash logs from it and the
+// GingerBreak walkthrough kills/restarts logcat with a private log file.
+type Logd struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+// NewLogd returns an empty log daemon.
+func NewLogd() *Logd { return &Logd{} }
+
+// Log appends one line.
+func (l *Logd) Log(line string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lines = append(l.lines, line)
+}
+
+// Lines returns a copy of the log.
+func (l *Logd) Lines() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, len(l.lines))
+	copy(out, l.lines)
+	return out
+}
+
+// Grep returns lines containing substr.
+func (l *Logd) Grep(substr string) []string {
+	var out []string
+	for _, line := range l.Lines() {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return out
+}

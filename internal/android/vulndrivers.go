@@ -1,0 +1,178 @@
+package android
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+	"anception/internal/vfs"
+)
+
+// DriverVulnMode classifies how a buggy driver can be abused, which
+// determines the outcome when the driver has been delegated to the CVM.
+type DriverVulnMode int
+
+// Driver vulnerability modes.
+const (
+	// DriverSafe has no bug.
+	DriverSafe DriverVulnMode = iota + 1
+	// DriverExecDirect: a magic control request gives kernel code
+	// execution directly (no attacker memory needed). A delegated driver
+	// with this bug yields root in the CVM.
+	DriverExecDirect
+	// DriverJumpToUser: the bug makes the kernel jump to an attacker-
+	// chosen *user* address. It only succeeds if the calling task has an
+	// executable mapping there — which a CVM proxy never does, so the
+	// attempt merely crashes the container driver.
+	DriverJumpToUser
+)
+
+// Control request codes the exploit corpus uses.
+const (
+	// IoctlExploitTrigger is the crafted request hitting the bug.
+	IoctlExploitTrigger uint32 = 0xDEAD0001
+)
+
+// VulnDriver is a character device with a historical bug. It needs its
+// kernel handle to attribute compromises to the calling task.
+type VulnDriver struct {
+	kernel *kernel.Kernel
+	name   string
+	cve    string
+	mode   DriverVulnMode
+
+	crashes int
+}
+
+var _ vfs.Device = (*VulnDriver)(nil)
+
+// NewVulnDriver creates a driver instance bound to a kernel.
+func NewVulnDriver(k *kernel.Kernel, name, cve string, mode DriverVulnMode) *VulnDriver {
+	return &VulnDriver{kernel: k, name: name, cve: cve, mode: mode}
+}
+
+// DevName implements vfs.Device.
+func (d *VulnDriver) DevName() string { return d.name }
+
+// Read implements vfs.Device.
+func (d *VulnDriver) Read(_ vfs.Cred, p []byte, _ int64) (int, error) { return len(p), nil }
+
+// Write implements vfs.Device.
+func (d *VulnDriver) Write(_ vfs.Cred, p []byte, _ int64) (int, error) { return len(p), nil }
+
+// Crashes reports failed exploitation attempts against this driver.
+func (d *VulnDriver) Crashes() int { return d.crashes }
+
+// Ioctl implements vfs.Device. The exploit trigger behaves per the vuln
+// mode; everything else is a benign no-op.
+func (d *VulnDriver) Ioctl(cred vfs.Cred, req uint32, arg []byte) ([]byte, error) {
+	if req != IoctlExploitTrigger {
+		return []byte("ok"), nil
+	}
+	task := d.kernel.Task(cred.PID)
+	switch d.mode {
+	case DriverExecDirect:
+		if task != nil {
+			d.kernel.CompromiseKernel(task, fmt.Sprintf("%s driver code execution (%s)", d.name, d.cve))
+		}
+		return nil, nil
+	case DriverJumpToUser:
+		// The kernel jumps to the attacker-supplied user address; with no
+		// executable mapping there (the proxy case) the driver oopses.
+		var addr uint64
+		if len(arg) >= 8 {
+			addr = binary.LittleEndian.Uint64(arg)
+		}
+		if task != nil && task.AS != nil && task.AS.HasExecutableMappingAt(addr) {
+			d.kernel.CompromiseKernel(task, fmt.Sprintf("%s jump-to-user (%s)", d.name, d.cve))
+			return nil, nil
+		}
+		d.crashes++
+		if d.kernel.Trace() != nil {
+			d.kernel.Trace().Record(sim.EvSecurity,
+				"[%s] %s driver oops: jump to unmapped %#x (%s attempt)", d.kernel.Name(), d.name, addr, d.cve)
+		}
+		return nil, abi.EFAULT
+	default:
+		return nil, abi.EINVAL
+	}
+}
+
+// BlockDevice is /dev/block/mmcblk0: writing a crafted partition header
+// makes the (host) kernel's partition parser run attacker data, the
+// CVE-2011-1017 channel. The misconfiguration is the node being
+// world-writable.
+type BlockDevice struct {
+	kernel     *kernel.Kernel
+	vulnerable bool
+	data       []byte
+}
+
+var _ vfs.Device = (*BlockDevice)(nil)
+
+// NewBlockDevice creates the raw block node.
+func NewBlockDevice(k *kernel.Kernel, vulnerable bool) *BlockDevice {
+	return &BlockDevice{kernel: k, vulnerable: vulnerable, data: make([]byte, abi.PageSize)}
+}
+
+// DevName implements vfs.Device.
+func (b *BlockDevice) DevName() string { return "mmcblk0" }
+
+// Read implements vfs.Device.
+func (b *BlockDevice) Read(_ vfs.Cred, p []byte, off int64) (int, error) {
+	if off >= int64(len(b.data)) {
+		return 0, nil
+	}
+	return copy(p, b.data[off:]), nil
+}
+
+// Write implements vfs.Device: a crafted LDM header triggers the parser
+// bug as the kernel rescans the partition table.
+func (b *BlockDevice) Write(cred vfs.Cred, p []byte, off int64) (int, error) {
+	if off < int64(len(b.data)) {
+		copy(b.data[off:], p)
+	}
+	if b.vulnerable && len(p) >= 4 && string(p[:4]) == "LDM!" {
+		if task := b.kernel.Task(cred.PID); task != nil {
+			b.kernel.CompromiseKernel(task, "crafted LDM partition header (CVE-2011-1017)")
+		}
+	}
+	return len(p), nil
+}
+
+// Ioctl implements vfs.Device.
+func (b *BlockDevice) Ioctl(_ vfs.Cred, _ uint32, _ []byte) ([]byte, error) {
+	return nil, abi.ENOTTY
+}
+
+// SockDiagMagic marks the crafted netlink message of CVE-2013-1763; the
+// following 8 bytes carry the staged jump address.
+const SockDiagMagic = "SOCKDIAG-OOB:"
+
+// NetlinkSockDiagProto is the sock_diag protocol number.
+const NetlinkSockDiagProto = 4
+
+// registerSockDiag installs the vulnerable sock_diag receiver on a kernel.
+func registerSockDiag(k *kernel.Kernel, vulnerable bool) {
+	k.Net().RegisterNetlink(NetlinkSockDiagProto, func(sender abi.Cred, msg []byte) error {
+		if !vulnerable || len(msg) < len(SockDiagMagic)+8 || string(msg[:len(SockDiagMagic)]) != SockDiagMagic {
+			return nil
+		}
+		addr := binary.LittleEndian.Uint64(msg[len(SockDiagMagic):])
+		task := k.Task(sender.PID)
+		if task != nil && task.AS != nil && task.AS.HasExecutableMappingAt(addr) {
+			k.CompromiseKernel(task, "sock_diag out-of-bounds family handler (CVE-2013-1763)")
+			return nil
+		}
+		if k.Trace() != nil {
+			k.Trace().Record(sim.EvSecurity, "[%s] sock_diag oops: jump to unmapped %#x", k.Name(), addr)
+		}
+		return abi.EFAULT
+	}, true) // sock_diag accepted messages from any user, part of the bug
+}
+
+// SerializedGadgetMarker tags the crafted payload of CVE-2014-7911 in
+// binder transactions to the (host-resident) activity manager.
+const SerializedGadgetMarker = "SERIALIZED-GADGET:"

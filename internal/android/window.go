@@ -1,0 +1,105 @@
+package android
+
+import (
+	"sync"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+)
+
+// WindowManager is the centralized frame-buffer and input manager
+// (Section III-C): apps request UI operations through binder transactions
+// on it, and all sensitive interactive input — passwords, touch events —
+// flows through it. Under Anception it always runs on the host.
+type WindowManager struct {
+	kernel *kernel.Kernel
+	task   *kernel.Task
+
+	mu sync.Mutex
+	// inputQueues holds pending input events per destination app UID.
+	inputQueues map[int][][]byte
+	// heapCursor tracks where in the WM heap the next event is staged.
+	heapCursor uint64
+	frames     int
+}
+
+// wmInputBufBase is where the WM stages input events in its own heap —
+// which is precisely what makes input theft possible for an attacker who
+// can read the WM's memory on native Android.
+const wmInputBufBase = kernel.AddrHeapBase
+
+// NewWindowManager boots the window manager on a kernel.
+func NewWindowManager(k *kernel.Kernel, task *kernel.Task) *WindowManager {
+	wm := &WindowManager{
+		kernel:      k,
+		task:        task,
+		inputQueues: make(map[int][][]byte),
+		heapCursor:  wmInputBufBase,
+	}
+	// Reserve a heap page for the input staging buffer.
+	if _, err := task.AS.Brk(kernel.AddrHeapBase + 4*abi.PageSize); err == nil {
+		// Best effort; the staging buffer is an attack-surface detail.
+		_ = err
+	}
+	return wm
+}
+
+// Task returns the WM's process (the memory-theft target on native).
+func (wm *WindowManager) Task() *kernel.Task { return wm.task }
+
+// QueueInput delivers a user input event (e.g. a typed password) destined
+// for the app with the given UID. The bytes are staged in the WM's own
+// heap, as the real input pipeline stages events in InputDispatcher
+// buffers.
+func (wm *WindowManager) QueueInput(destUID int, event []byte) {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	wm.inputQueues[destUID] = append(wm.inputQueues[destUID], append([]byte(nil), event...))
+
+	// Stage the bytes in WM heap memory (visible to a root attacker who
+	// reads /proc/<wm>/mem on the same kernel).
+	if wm.task.AS != nil {
+		end := wm.heapCursor + uint64(len(event))
+		if end < wmInputBufBase+4*abi.PageSize {
+			_ = wm.task.AS.WriteBytes(wm.kernel.Region(), wm.heapCursor, event)
+			wm.heapCursor = end
+		}
+	}
+}
+
+// HandleTransaction services binder calls on the "window" service.
+func (wm *WindowManager) HandleTransaction(from abi.Cred, code uint32, data []byte) ([]byte, error) {
+	switch code {
+	case CodeWaitInput:
+		wm.mu.Lock()
+		defer wm.mu.Unlock()
+		q := wm.inputQueues[from.UID]
+		if len(q) == 0 {
+			return nil, abi.EAGAIN
+		}
+		evt := q[0]
+		wm.inputQueues[from.UID] = q[1:]
+		return evt, nil
+	case CodeDraw:
+		wm.mu.Lock()
+		wm.frames++
+		wm.mu.Unlock()
+		return []byte("drawn"), nil
+	default:
+		return nil, abi.EINVAL
+	}
+}
+
+// FramesDrawn reports how many frames apps have submitted.
+func (wm *WindowManager) FramesDrawn() int {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	return wm.frames
+}
+
+// PendingInput reports queued events for a UID (tests).
+func (wm *WindowManager) PendingInput(uid int) int {
+	wm.mu.Lock()
+	defer wm.mu.Unlock()
+	return len(wm.inputQueues[uid])
+}

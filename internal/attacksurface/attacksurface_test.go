@@ -1,0 +1,103 @@
+package attacksurface
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"anception/internal/redirect"
+)
+
+// TestAttackSurfaceBreakdown is experiment E6: the Section V-D syscall
+// percentages.
+func TestAttackSurfaceBreakdown(t *testing.T) {
+	s := Surface()
+	if s.Total != 324 {
+		t.Fatalf("total = %d", s.Total)
+	}
+	if got := s.Percent(redirect.ClassRedirect); got != 70.7 {
+		t.Errorf("redirected = %.1f%%, want 70.7", got)
+	}
+	if got := s.Percent(redirect.ClassHost); got != 20.4 {
+		t.Errorf("host = %.1f%%, want 20.4", got)
+	}
+	if got := s.Percent(redirect.ClassSplit); got != 6.5 {
+		t.Errorf("split = %.1f%%, want 6.5", got)
+	}
+	// Paper prints 2.1 via truncation of 7/324 = 2.16%.
+	if got := s.Percent(redirect.ClassBlocked); got != 2.2 {
+		t.Errorf("blocked = %.1f%%, want 2.2 (paper: 2.1)", got)
+	}
+	if s.HostReachableFrac > 0.21 {
+		t.Errorf("host-reachable fraction = %.3f, should be ~0.20", s.HostReachableFrac)
+	}
+}
+
+// TestDeprivilegedLoC is experiment E7: the framework and kernel line
+// counts of Section V-D.
+func TestDeprivilegedLoC(t *testing.T) {
+	f := Framework()
+	if f.TotalLines != 181260 {
+		t.Errorf("framework total = %d, want 181260", f.TotalLines)
+	}
+	if f.UILines != 72542 {
+		t.Errorf("UI lines = %d, want 72542", f.UILines)
+	}
+	if f.DeprivilegedLines != 108718 {
+		t.Errorf("deprivileged = %d, want 108718", f.DeprivilegedLines)
+	}
+	// "Anception's current implementation deprivileges approximately 60%."
+	if math.Abs(f.DeprivilegedFrac-0.5997) > 0.001 {
+		t.Errorf("deprivileged fraction = %.4f, want ~0.5997", f.DeprivilegedFrac)
+	}
+	if got := KernelDeprivilegedLines(); got != 1240849 {
+		t.Errorf("kernel deprivileged = %d, want 1240849 (~1.2M)", got)
+	}
+}
+
+// TestKernelInventoryConsistency checks the subsystem table against the
+// paper's individual figures.
+func TestKernelInventoryConsistency(t *testing.T) {
+	byPath := make(map[string]KernelSubsystem)
+	for _, s := range KernelInventory() {
+		byPath[s.Path] = s
+	}
+	if byPath["fs/ext4/"].Lines != 26451 {
+		t.Errorf("ext4 = %d, want 26451", byPath["fs/ext4/"].Lines)
+	}
+	if byPath["fs/"].Lines != 725466 {
+		t.Errorf("fs = %d, want 725466", byPath["fs/"].Lines)
+	}
+	if byPath["net/ipv4/"].Lines != 59166 {
+		t.Errorf("ipv4 = %d, want 59166", byPath["net/ipv4/"].Lines)
+	}
+	if byPath["net/"].Lines != 515383 {
+		t.Errorf("net = %d, want 515383", byPath["net/"].Lines)
+	}
+	if !byPath["fs/"].Deprivliged || byPath["mm/"].Deprivliged {
+		t.Error("deprivilege flags inconsistent with the design")
+	}
+}
+
+// TestRuntimeTCB is experiment E11: 5,219 lines, 46.7% marshaling.
+func TestRuntimeTCB(t *testing.T) {
+	tcb := TCB()
+	if tcb.TotalLines != 5219 || tcb.MarshalingLines != 2438 {
+		t.Fatalf("tcb = %+v", tcb)
+	}
+	if math.Abs(tcb.MarshalingFraction()-0.467) > 0.001 {
+		t.Fatalf("marshaling fraction = %.4f, want ~0.467", tcb.MarshalingFraction())
+	}
+	if tcb.BookkeepingLines != 5219-2438 {
+		t.Fatal("bookkeeping lines inconsistent")
+	}
+}
+
+func TestReportMentionsHeadlineNumbers(t *testing.T) {
+	r := Report()
+	for _, want := range []string{"70.7", "108718", "1240849", "5219", "46.7"} {
+		if !strings.Contains(r, want) {
+			t.Errorf("report missing %q:\n%s", want, r)
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package binder implements Android's custom capability-based IPC
+// mechanism at the level of abstraction the paper operates on: a kernel
+// driver exposed as /dev/binder whose ioctl interface carries synchronous
+// transactions to named services.
+//
+// The driver also implements the classification the redirection logic
+// relies on: a transaction either targets a UI/Input service — in which
+// case it must be serviced on the host (principle 2) — or an ordinary
+// service that may live in the CVM.
+package binder
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"anception/internal/abi"
+)
+
+// Ioctl request codes on /dev/binder.
+const (
+	// IocTransact carries one synchronous transaction (the simulation's
+	// stand-in for BINDER_WRITE_READ).
+	IocTransact uint32 = 0xC0306201
+	// IocWaitInputEvent blocks until a UI input event is available; it is
+	// the paper's Listing 1 IOC_WAIT_INPUT_EVT.
+	IocWaitInputEvent uint32 = 0xC0306202
+	// IocVersion returns the binder protocol version.
+	IocVersion uint32 = 0xC0046209
+)
+
+// Handler services transactions sent to one registered service.
+type Handler func(from abi.Cred, code uint32, data []byte) ([]byte, error)
+
+// Service is one registered binder endpoint.
+type Service struct {
+	Name    string
+	UI      bool // part of the UI/Input stack (host-resident under Anception)
+	Handler Handler
+}
+
+// Driver is the binder kernel driver of one kernel instance.
+type Driver struct {
+	mu       sync.Mutex
+	services map[string]*Service
+
+	txnCount   int
+	uiTxnCount int
+}
+
+// NewDriver returns an empty binder driver.
+func NewDriver() *Driver {
+	return &Driver{services: make(map[string]*Service)}
+}
+
+// Register adds a service to the context manager. Registering a name twice
+// is a programming error in platform assembly and is reported as EEXIST.
+func (d *Driver) Register(name string, ui bool, h Handler) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.services[name]; ok {
+		return fmt.Errorf("binder: service %q: %w", name, abi.EEXIST)
+	}
+	d.services[name] = &Service{Name: name, UI: ui, Handler: h}
+	return nil
+}
+
+// Lookup returns the registered service, or nil.
+func (d *Driver) Lookup(name string) *Service {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.services[name]
+}
+
+// Services lists registered service names (for the CLI and tests).
+func (d *Driver) Services() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.services))
+	for name := range d.services {
+		out = append(out, name)
+	}
+	return out
+}
+
+// IsUITransaction reports whether the encoded transaction targets a
+// UI/Input service. The redirection logic calls this to let UI ioctls pass
+// through to the host (Section III-B, principle 2).
+func (d *Driver) IsUITransaction(arg []byte) bool {
+	txn, err := DecodeTransaction(arg)
+	if err != nil {
+		return false
+	}
+	svc := d.Lookup(txn.Service)
+	return svc != nil && svc.UI
+}
+
+// MaxTransaction is the binder transaction buffer limit (1 MB on Android;
+// oversized transactions fail rather than truncate).
+const MaxTransaction = 1 << 20
+
+// Transact decodes and dispatches one transaction, returning the encoded
+// reply. Unknown services fail with ENOENT, mirroring a dead binder ref;
+// oversized payloads fail with E2BIG as the real driver's buffer would.
+func (d *Driver) Transact(from abi.Cred, arg []byte) ([]byte, error) {
+	if len(arg) > MaxTransaction {
+		return nil, fmt.Errorf("binder: transaction %d bytes exceeds buffer: %w", len(arg), abi.E2BIG)
+	}
+	txn, err := DecodeTransaction(arg)
+	if err != nil {
+		return nil, err
+	}
+	svc := d.Lookup(txn.Service)
+	if svc == nil {
+		return nil, fmt.Errorf("binder: no service %q: %w", txn.Service, abi.ENOENT)
+	}
+	d.mu.Lock()
+	d.txnCount++
+	if svc.UI {
+		d.uiTxnCount++
+	}
+	d.mu.Unlock()
+	return svc.Handler(from, txn.Code, txn.Payload)
+}
+
+// Stats reports total and UI transaction counts since boot.
+func (d *Driver) Stats() (total, ui int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.txnCount, d.uiTxnCount
+}
+
+// Transaction is one decoded binder call.
+type Transaction struct {
+	Service string
+	Code    uint32
+	Payload []byte
+}
+
+// EncodeTransaction marshals a transaction into the flat ioctl argument
+// format: u16 name length, name bytes, u32 code, payload.
+func EncodeTransaction(t Transaction) []byte {
+	buf := make([]byte, 2+len(t.Service)+4+len(t.Payload))
+	binary.LittleEndian.PutUint16(buf, uint16(len(t.Service)))
+	copy(buf[2:], t.Service)
+	binary.LittleEndian.PutUint32(buf[2+len(t.Service):], t.Code)
+	copy(buf[2+len(t.Service)+4:], t.Payload)
+	return buf
+}
+
+// DecodeTransaction unmarshals the flat format produced by
+// EncodeTransaction.
+func DecodeTransaction(b []byte) (Transaction, error) {
+	if len(b) < 2 {
+		return Transaction{}, fmt.Errorf("binder: short transaction (%d bytes): %w", len(b), abi.EINVAL)
+	}
+	nameLen := int(binary.LittleEndian.Uint16(b))
+	if len(b) < 2+nameLen+4 {
+		return Transaction{}, fmt.Errorf("binder: truncated transaction: %w", abi.EINVAL)
+	}
+	name := string(b[2 : 2+nameLen])
+	code := binary.LittleEndian.Uint32(b[2+nameLen:])
+	payload := b[2+nameLen+4:]
+	return Transaction{Service: name, Code: code, Payload: append([]byte(nil), payload...)}, nil
+}

@@ -1,0 +1,178 @@
+package binder
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"anception/internal/abi"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	txn := Transaction{Service: "window", Code: 7, Payload: []byte("touch@12,88")}
+	got, err := DecodeTransaction(EncodeTransaction(txn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Service != txn.Service || got.Code != txn.Code || !bytes.Equal(got.Payload, txn.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", got, txn)
+	}
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(name string, code uint32, payload []byte) bool {
+		if len(name) > 60000 {
+			name = name[:60000]
+		}
+		in := Transaction{Service: name, Code: code, Payload: payload}
+		out, err := DecodeTransaction(EncodeTransaction(in))
+		if err != nil {
+			return false
+		}
+		return out.Service == in.Service && out.Code == in.Code && bytes.Equal(out.Payload, in.Payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	if _, err := DecodeTransaction([]byte{9}); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("short buffer: %v, want EINVAL", err)
+	}
+	// Name length claims more bytes than present.
+	bad := []byte{0xFF, 0xFF, 'x'}
+	if _, err := DecodeTransaction(bad); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("truncated: %v, want EINVAL", err)
+	}
+}
+
+func TestRegisterAndTransact(t *testing.T) {
+	d := NewDriver()
+	err := d.Register("location", false, func(from abi.Cred, code uint32, data []byte) ([]byte, error) {
+		return []byte("fix:42.28,-83.74"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := EncodeTransaction(Transaction{Service: "location", Code: 1})
+	reply, err := d.Transact(abi.Cred{UID: abi.UIDAppBase}, arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "fix:42.28,-83.74" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestRegisterDuplicate(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }
+	if err := d.Register("svc", false, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("svc", false, h); !errors.Is(err, abi.EEXIST) {
+		t.Fatalf("dup register: %v, want EEXIST", err)
+	}
+}
+
+func TestTransactOversizedPayload(t *testing.T) {
+	d := NewDriver()
+	if err := d.Register("svc", false, func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	big := EncodeTransaction(Transaction{Service: "svc", Payload: make([]byte, MaxTransaction+1)})
+	if _, err := d.Transact(abi.Cred{}, big); !errors.Is(err, abi.E2BIG) {
+		t.Fatalf("oversized txn: %v, want E2BIG", err)
+	}
+}
+
+func TestTransactUnknownService(t *testing.T) {
+	d := NewDriver()
+	arg := EncodeTransaction(Transaction{Service: "ghost"})
+	if _, err := d.Transact(abi.Cred{}, arg); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("err = %v, want ENOENT", err)
+	}
+}
+
+func TestUIClassification(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }
+	if err := d.Register("window", true, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("location", false, h); err != nil {
+		t.Fatal(err)
+	}
+
+	ui := EncodeTransaction(Transaction{Service: "window", Code: 1})
+	nonUI := EncodeTransaction(Transaction{Service: "location", Code: 1})
+	if !d.IsUITransaction(ui) {
+		t.Fatal("window transaction must classify as UI")
+	}
+	if d.IsUITransaction(nonUI) {
+		t.Fatal("location transaction must not classify as UI")
+	}
+	if d.IsUITransaction([]byte{1}) {
+		t.Fatal("garbage must not classify as UI")
+	}
+	if d.IsUITransaction(EncodeTransaction(Transaction{Service: "nosuch"})) {
+		t.Fatal("unknown service must not classify as UI")
+	}
+}
+
+func TestStatsCountUITransactions(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }
+	if err := d.Register("window", true, h); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("vold", false, h); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := d.Transact(abi.Cred{}, EncodeTransaction(Transaction{Service: "window"})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Transact(abi.Cred{}, EncodeTransaction(Transaction{Service: "vold"})); err != nil {
+		t.Fatal(err)
+	}
+	total, ui := d.Stats()
+	if total != 4 || ui != 3 {
+		t.Fatalf("stats = (%d, %d), want (4, 3)", total, ui)
+	}
+}
+
+func TestHandlerReceivesCallerCred(t *testing.T) {
+	d := NewDriver()
+	var got abi.Cred
+	err := d.Register("svc", false, func(from abi.Cred, code uint32, data []byte) ([]byte, error) {
+		got = from
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	caller := abi.Cred{UID: 10007, GID: 10007, PID: 99}
+	if _, err := d.Transact(caller, EncodeTransaction(Transaction{Service: "svc"})); err != nil {
+		t.Fatal(err)
+	}
+	if got != caller {
+		t.Fatalf("handler saw %+v, want %+v", got, caller)
+	}
+}
+
+func TestServicesList(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }
+	for _, n := range []string{"a", "b"} {
+		if err := d.Register(n, false, h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Services(); len(got) != 2 {
+		t.Fatalf("Services() = %v", got)
+	}
+}

@@ -1,0 +1,18 @@
+package binder
+
+import "testing"
+
+func FuzzDecodeTransaction(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeTransaction(Transaction{Service: "window", Code: 2, Payload: []byte("p")}))
+	f.Add([]byte{0xFF, 0xFF, 'x'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		txn, err := DecodeTransaction(data)
+		if err == nil {
+			// Whatever decodes must re-encode decodably.
+			if _, err2 := DecodeTransaction(EncodeTransaction(txn)); err2 != nil {
+				t.Fatalf("re-encode broke: %v", err2)
+			}
+		}
+	})
+}

@@ -1,0 +1,150 @@
+// Package encfs implements the Section VII extension: a transparent
+// per-app encrypting filesystem layered over the redirected file
+// interface. The app's key material lives on the host (delivered with the
+// app's protected code or a host-side keystore); every byte that crosses
+// into the container is ciphertext, so a compromised CVM sees only
+// read/write calls carrying encrypted data.
+//
+// The cipher is AES-128 in a seekable counter mode so random-access
+// Pread/Pwrite work without rewriting neighbors. EncFS implements the
+// same file interface as the raw Proc (minidb.FileIO), so the embedded
+// database runs over it unchanged — the "transparent cryptographic
+// file-system" of the paper's discussion.
+package encfs
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"encoding/binary"
+	"fmt"
+
+	"anception/internal/abi"
+)
+
+// FileIO is the underlying (redirected) file interface; anception.Proc
+// satisfies it. It is structurally identical to minidb.FileIO.
+type FileIO interface {
+	Open(path string, flags abi.OpenFlag, mode abi.FileMode) (int, error)
+	Close(fd int) error
+	Pread(fd int, n int, off int64) ([]byte, error)
+	Pwrite(fd int, data []byte, off int64) (int, error)
+	Fsync(fd int) (int, error)
+	Ftruncate(fd int, size int64) error
+	Unlink(path string) error
+	Stat(path string) (int64, error)
+}
+
+// KeySize is the AES key length used for per-app keys.
+const KeySize = 16
+
+// EncFS is a mounted encrypting view over a FileIO.
+type EncFS struct {
+	under FileIO
+	block cipher.Block
+	// nonce diversifies the keystream per mount (per app).
+	nonce uint64
+}
+
+var _ FileIO = (*EncFS)(nil)
+
+// Mount creates the encrypting layer with the app's key. The key never
+// leaves the host side: only this wrapper (running in host-resident app
+// memory) holds it.
+func Mount(under FileIO, key []byte) (*EncFS, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("encfs: key must be %d bytes, got %d: %w", KeySize, len(key), abi.EINVAL)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("encfs: %w", err)
+	}
+	nonce := binary.LittleEndian.Uint64(key[:8]) ^ 0xA5CE_9710_0000_0001
+	return &EncFS{under: under, block: block, nonce: nonce}, nil
+}
+
+// keystreamXOR XORs data with the keystream for the byte range starting
+// at off. The keystream block for byte index i is
+// AES(key, nonce || i/16), making the transform seekable and an involution
+// (applying it twice restores the plaintext).
+func (e *EncFS) keystreamXOR(data []byte, off int64) {
+	var in, out [aes.BlockSize]byte
+	binary.LittleEndian.PutUint64(in[:8], e.nonce)
+	pos := off
+	i := 0
+	for i < len(data) {
+		blockIdx := uint64(pos) / aes.BlockSize
+		inBlock := int(uint64(pos) % aes.BlockSize)
+		binary.LittleEndian.PutUint64(in[8:], blockIdx)
+		e.block.Encrypt(out[:], in[:])
+		for ; inBlock < aes.BlockSize && i < len(data); inBlock, i, pos = inBlock+1, i+1, pos+1 {
+			data[i] ^= out[inBlock]
+		}
+	}
+}
+
+// Open implements FileIO.
+func (e *EncFS) Open(path string, flags abi.OpenFlag, mode abi.FileMode) (int, error) {
+	return e.under.Open(path, flags, mode)
+}
+
+// Close implements FileIO.
+func (e *EncFS) Close(fd int) error { return e.under.Close(fd) }
+
+// Pread implements FileIO: ciphertext in, plaintext out.
+func (e *EncFS) Pread(fd int, n int, off int64) ([]byte, error) {
+	data, err := e.under.Pread(fd, n, off)
+	if err != nil {
+		return nil, err
+	}
+	e.keystreamXOR(data, off)
+	return data, nil
+}
+
+// Pwrite implements FileIO: plaintext in, ciphertext out. The caller's
+// buffer is not modified.
+func (e *EncFS) Pwrite(fd int, data []byte, off int64) (int, error) {
+	enc := make([]byte, len(data))
+	copy(enc, data)
+	e.keystreamXOR(enc, off)
+	return e.under.Pwrite(fd, enc, off)
+}
+
+// Fsync implements FileIO.
+func (e *EncFS) Fsync(fd int) (int, error) { return e.under.Fsync(fd) }
+
+// Ftruncate implements FileIO.
+func (e *EncFS) Ftruncate(fd int, size int64) error { return e.under.Ftruncate(fd, size) }
+
+// Unlink implements FileIO.
+func (e *EncFS) Unlink(path string) error { return e.under.Unlink(path) }
+
+// Stat implements FileIO (sizes are preserved by the stream cipher).
+func (e *EncFS) Stat(path string) (int64, error) { return e.under.Stat(path) }
+
+// WriteFileSealed is a convenience: create/overwrite a file with an
+// encrypted copy of data.
+func (e *EncFS) WriteFileSealed(path string, data []byte) error {
+	fd, err := e.Open(path, abi.OWrOnly|abi.OCreat|abi.OTrunc, 0o600)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = e.Close(fd) }()
+	if _, err := e.Pwrite(fd, data, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadFileSealed reads and decrypts a whole file.
+func (e *EncFS) ReadFileSealed(path string) ([]byte, error) {
+	size, err := e.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	fd, err := e.Open(path, abi.ORdOnly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = e.Close(fd) }()
+	return e.Pread(fd, int(size), 0)
+}

@@ -1,0 +1,355 @@
+package encfs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/minidb"
+)
+
+func launchApp(t *testing.T, pkg string) (*anception.Device, *anception.Proc) {
+	t.Helper()
+	d, err := anception.NewDevice(anception.Options{Mode: anception.ModeAnception})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, err := d.InstallApp(android.AppSpec{Package: pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, p
+}
+
+func testKey() []byte { return []byte("0123456789abcdef") }
+
+func TestMountRejectsBadKey(t *testing.T) {
+	_, p := launchApp(t, "com.enc.badkey")
+	if _, err := Mount(p, []byte("short")); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("err = %v, want EINVAL", err)
+	}
+}
+
+func TestRoundTripThroughContainer(t *testing.T) {
+	_, p := launchApp(t, "com.enc.roundtrip")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("account=12345678 balance=9000.01")
+	if err := efs.WriteFileSealed("ledger", secret); err != nil {
+		t.Fatal(err)
+	}
+	got, err := efs.ReadFileSealed("ledger")
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatalf("read back = %q, %v", got, err)
+	}
+}
+
+// TestCVMSeesOnlyCiphertext is the DESIGN.md invariant: the bytes stored
+// in the container's filesystem never contain the plaintext.
+func TestCVMSeesOnlyCiphertext(t *testing.T) {
+	d, p := launchApp(t, "com.enc.cipher")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	secret := []byte("PLAINTEXT-CREDENTIALS-hunter2")
+	if err := efs.WriteFileSealed("vault", secret); err != nil {
+		t.Fatal(err)
+	}
+	// Read the raw file as the container (root in the CVM) would.
+	raw, err := d.Guest.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, p.App.Info.DataDir+"/vault")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, secret) || bytes.Contains(raw, []byte("hunter2")) {
+		t.Fatal("plaintext visible in the container's filesystem")
+	}
+	if len(raw) != len(secret) {
+		t.Fatalf("ciphertext length %d != plaintext length %d", len(raw), len(secret))
+	}
+}
+
+func TestRandomAccessOffsets(t *testing.T) {
+	_, p := launchApp(t, "com.enc.offsets")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := efs.Open("rand", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write two disjoint extents at odd offsets, then read across them.
+	if _, err := efs.Pwrite(fd, []byte("AAAA"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := efs.Pwrite(fd, []byte("BBBB"), 21); err != nil {
+		t.Fatal(err)
+	}
+	a, err := efs.Pread(fd, 4, 3)
+	if err != nil || string(a) != "AAAA" {
+		t.Fatalf("extent A = %q, %v", a, err)
+	}
+	b, err := efs.Pread(fd, 4, 21)
+	if err != nil || string(b) != "BBBB" {
+		t.Fatalf("extent B = %q, %v", b, err)
+	}
+}
+
+// TestSeekableKeystreamProperty: decrypt(encrypt(x, off), off) == x for
+// arbitrary data and offsets, including reads that split a write.
+func TestSeekableKeystreamProperty(t *testing.T) {
+	_, p := launchApp(t, "com.enc.prop")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := efs.Open("prop", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte, off uint16, splitAt uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off % 8192)
+		if _, err := efs.Pwrite(fd, data, o); err != nil {
+			return false
+		}
+		// Read the whole extent in two arbitrary pieces.
+		split := int(splitAt) % len(data)
+		first, err := efs.Pread(fd, split, o)
+		if err != nil {
+			return false
+		}
+		second, err := efs.Pread(fd, len(data)-split, o+int64(split))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(append(first, second...), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentKeysDifferentCiphertext(t *testing.T) {
+	d, p := launchApp(t, "com.enc.keys")
+	efs1, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	efs2, err := Mount(p, []byte("fedcba9876543210"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("same plaintext, different apps")
+	if err := efs1.WriteFileSealed("f1", msg); err != nil {
+		t.Fatal(err)
+	}
+	if err := efs2.WriteFileSealed("f2", msg); err != nil {
+		t.Fatal(err)
+	}
+	root := abi.Cred{UID: abi.UIDRoot}
+	raw1, err := d.Guest.FS().ReadFile(root, p.App.Info.DataDir+"/f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := d.Guest.FS().ReadFile(root, p.App.Info.DataDir+"/f2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(raw1, raw2) {
+		t.Fatal("two keys produced identical ciphertext")
+	}
+}
+
+// TestMiniDBOverEncFS: the embedded database runs unchanged over the
+// encrypting layer — the transparent deployment the paper describes —
+// and the container's copy of the database file is ciphertext.
+func TestMiniDBOverEncFS(t *testing.T) {
+	d, p := launchApp(t, "com.enc.db")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := minidb.Open(efs, p.App.Info.DataDir+"/enc.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		if err := tx.Insert(i, []byte("sensitive-row-contents")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := db.Get(42); err != nil || string(got) != "sensitive-row-contents" {
+		t.Fatalf("db get = %q, %v", got, err)
+	}
+
+	raw, err := d.Guest.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, p.App.Info.DataDir+"/enc.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("sensitive-row-contents")) {
+		t.Fatal("database plaintext visible in the container")
+	}
+	if bytes.Contains(raw, []byte("MDB1")) {
+		t.Fatal("even the database magic should be encrypted")
+	}
+
+	// Reopen through the layer: persistence across mounts.
+	efs2, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db2, err := minidb.Open(efs2, p.App.Info.DataDir+"/enc.db")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := db2.Get(199); err != nil || string(got) != "sensitive-row-contents" {
+		t.Fatalf("reopened get = %q, %v", got, err)
+	}
+}
+
+// TestIagoTamperingGarblesNotLeaks: a malicious container flipping
+// ciphertext bits yields garbage plaintext, not attacker-chosen content —
+// the property that makes file-based Iago attacks harder (Section VII).
+func TestIagoTamperingGarblesNotLeaks(t *testing.T) {
+	d, p := launchApp(t, "com.enc.iago")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := []byte("cert-fingerprint=AB:CD:EF:01:23")
+	if err := efs.WriteFileSealed("pin", orig); err != nil {
+		t.Fatal(err)
+	}
+	// The compromised container rewrites the stored bytes wholesale with
+	// a chosen fake certificate.
+	fake := []byte("cert-fingerprint=EV:IL:EV:IL:66")
+	if err := d.Guest.FS().WriteFile(abi.Cred{UID: abi.UIDRoot}, p.App.Info.DataDir+"/pin", fake, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := efs.ReadFileSealed("pin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, fake) {
+		t.Fatal("container-chosen plaintext survived decryption: Iago succeeded")
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("tampering went unnoticed entirely")
+	}
+}
+
+// TestAuthenticatedRoundTrip: seal + verify happy path.
+func TestAuthenticatedRoundTrip(t *testing.T) {
+	_, p := launchApp(t, "com.enc.auth")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := []byte("authenticated health record")
+	if err := efs.WriteFileAuthenticated("rec", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := efs.ReadFileAuthenticated("rec")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("read = %q, %v", got, err)
+	}
+}
+
+// TestAuthenticatedDetectsSubstitution: wholesale ciphertext replacement
+// by a rooted container is detected, closing the gap the plain stream
+// cipher leaves (garbled-but-undetected reads).
+func TestAuthenticatedDetectsSubstitution(t *testing.T) {
+	d, p := launchApp(t, "com.enc.sub")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := efs.WriteFileAuthenticated("pin", []byte("cert=AB:CD")); err != nil {
+		t.Fatal(err)
+	}
+	root := abi.Cred{UID: abi.UIDRoot}
+	target := p.App.Info.DataDir + "/pin"
+	if err := d.Guest.FS().WriteFile(root, target, []byte("cert=EV:IL"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := efs.ReadFileAuthenticated("pin"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("substitution: %v, want ErrTampered", err)
+	}
+}
+
+// TestAuthenticatedDetectsBitFlipAndTruncation.
+func TestAuthenticatedDetectsBitFlipAndTruncation(t *testing.T) {
+	d, p := launchApp(t, "com.enc.flip")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := efs.WriteFileAuthenticated("doc", bytes.Repeat([]byte("x"), 500)); err != nil {
+		t.Fatal(err)
+	}
+	root := abi.Cred{UID: abi.UIDRoot}
+	target := p.App.Info.DataDir + "/doc"
+
+	// Flip one ciphertext bit.
+	raw, err := d.Guest.FS().ReadFile(root, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[250] ^= 0x01
+	if err := d.Guest.FS().WriteFile(root, target, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := efs.ReadFileAuthenticated("doc"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("bit flip: %v, want ErrTampered", err)
+	}
+
+	// Restore, then truncate.
+	raw[250] ^= 0x01
+	if err := d.Guest.FS().WriteFile(root, target, raw[:100], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := efs.ReadFileAuthenticated("doc"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("truncation: %v, want ErrTampered", err)
+	}
+}
+
+// TestAuthenticatedDetectsMissingSidecar: deleting the MAC is itself
+// tampering.
+func TestAuthenticatedDetectsMissingSidecar(t *testing.T) {
+	d, p := launchApp(t, "com.enc.nosidecar")
+	efs, err := Mount(p, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := efs.WriteFileAuthenticated("f", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	root := abi.Cred{UID: abi.UIDRoot}
+	if err := d.Guest.FS().Unlink(root, p.App.Info.DataDir+"/f.mac"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := efs.ReadFileAuthenticated("f"); !errors.Is(err, ErrTampered) {
+		t.Fatalf("missing sidecar: %v, want ErrTampered", err)
+	}
+}

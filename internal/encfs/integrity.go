@@ -1,0 +1,102 @@
+package encfs
+
+import (
+	"crypto/aes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"anception/internal/abi"
+)
+
+// Authenticated storage: the confidentiality layer stops the container
+// *reading* app data; authentication stops it *substituting* data — the
+// file-based Iago vector of Section VII. Each authenticated file carries
+// an HMAC-SHA256 over its ciphertext in a sidecar, keyed by a MAC key
+// derived from (and as host-resident as) the encryption key.
+
+// ErrTampered reports that a file's ciphertext fails authentication: the
+// container (or anything else between the app and flash) modified it.
+var ErrTampered = errors.New("encfs: authentication failed: stored data was tampered with")
+
+// macSuffix names the sidecar carrying a file's MAC.
+const macSuffix = ".mac"
+
+// macKey derives the authentication key from the mount key: one AES block
+// over a fixed derivation constant, expanded through SHA-256.
+func (e *EncFS) macKey() []byte {
+	var block [aes.BlockSize]byte
+	copy(block[:], "anception-mac-kd")
+	var out [aes.BlockSize]byte
+	e.block.Encrypt(out[:], block[:])
+	sum := sha256.Sum256(out[:])
+	return sum[:]
+}
+
+// WriteFileAuthenticated seals data (encrypt + MAC) at path. The MAC is
+// computed over the ciphertext, so verification needs no decryption.
+func (e *EncFS) WriteFileAuthenticated(path string, data []byte) error {
+	if err := e.WriteFileSealed(path, data); err != nil {
+		return err
+	}
+	// Read the ciphertext back through the raw layer to MAC exactly what
+	// is stored.
+	cipherText, err := readRaw(e.under, path, len(data))
+	if err != nil {
+		return err
+	}
+	mac := hmac.New(sha256.New, e.macKey())
+	mac.Write(cipherText)
+	sidecar := mac.Sum(nil)
+
+	fd, err := e.under.Open(path+macSuffix, abi.OWrOnly|abi.OCreat|abi.OTrunc, 0o600)
+	if err != nil {
+		return fmt.Errorf("encfs: mac sidecar: %w", err)
+	}
+	defer func() { _ = e.under.Close(fd) }()
+	if _, err := e.under.Pwrite(fd, sidecar, 0); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ReadFileAuthenticated verifies and decrypts the file at path. A missing
+// or mismatching MAC yields ErrTampered — truncation, bit flips, and
+// wholesale substitution are all caught.
+func (e *EncFS) ReadFileAuthenticated(path string) ([]byte, error) {
+	size, err := e.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	cipherText, err := readRaw(e.under, path, int(size))
+	if err != nil {
+		return nil, err
+	}
+
+	stored, err := readRaw(e.under, path+macSuffix, sha256.Size)
+	if err != nil || len(stored) != sha256.Size {
+		return nil, fmt.Errorf("%w (sidecar unreadable)", ErrTampered)
+	}
+	mac := hmac.New(sha256.New, e.macKey())
+	mac.Write(cipherText)
+	if !hmac.Equal(mac.Sum(nil), stored) {
+		return nil, ErrTampered
+	}
+
+	plain := make([]byte, len(cipherText))
+	copy(plain, cipherText)
+	e.keystreamXOR(plain, 0)
+	return plain, nil
+}
+
+// readRaw reads n bytes of a file through the underlying (unencrypted)
+// interface.
+func readRaw(under FileIO, path string, n int) ([]byte, error) {
+	fd, err := under.Open(path, abi.ORdOnly, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = under.Close(fd) }()
+	return under.Pread(fd, n, 0)
+}

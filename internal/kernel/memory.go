@@ -1,0 +1,714 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"anception/internal/abi"
+)
+
+// FrameID identifies one physical page frame.
+type FrameID int
+
+// FrameOwnerKind classifies who owns a physical frame.
+type FrameOwnerKind int
+
+// Frame owner kinds.
+const (
+	FrameFree FrameOwnerKind = iota + 1
+	FrameHostKernel
+	FrameGuestKernel
+	FrameProcess
+)
+
+// FrameOwner records the owner of a frame: the kind plus, for process
+// frames, the owning kernel name and PID.
+type FrameOwner struct {
+	Kind   FrameOwnerKind
+	Kernel string
+	PID    int
+}
+
+// Physical models the device's physical memory as an array of 4 KiB
+// frames. Frame *ownership* is tracked eagerly; frame *contents* are
+// allocated lazily on first write so a 1 GiB device costs almost nothing
+// to simulate.
+//
+// The memory-isolation invariant of Anception's principle 3 is enforced
+// here: an allocator bound to the guest region can never hand out, read, or
+// write a frame outside that region.
+type Physical struct {
+	mu     sync.Mutex
+	frames []frame
+	free   []FrameID // free list, host region
+}
+
+type frame struct {
+	owner FrameOwner
+	data  []byte // nil until first write
+}
+
+// NewPhysical creates physical memory with the given total size in bytes
+// (rounded down to whole frames).
+func NewPhysical(bytes int64) *Physical {
+	n := int(bytes / abi.PageSize)
+	p := &Physical{frames: make([]frame, n)}
+	p.free = make([]FrameID, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		p.frames[i].owner = FrameOwner{Kind: FrameFree}
+		p.free = append(p.free, FrameID(i))
+	}
+	return p
+}
+
+// TotalFrames reports the frame count.
+func (p *Physical) TotalFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.frames)
+}
+
+// FreeFrames reports how many frames are unallocated.
+func (p *Physical) FreeFrames() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Region is a contiguous frame range an allocator is confined to.
+// A zero End means "the whole of memory".
+type Region struct {
+	Start FrameID
+	End   FrameID // exclusive
+}
+
+// Contains reports whether f falls inside the region.
+func (r Region) Contains(f FrameID) bool {
+	if r.End == 0 {
+		return f >= r.Start
+	}
+	return f >= r.Start && f < r.End
+}
+
+// Frames reports the region size in frames.
+func (r Region) Frames() int { return int(r.End - r.Start) }
+
+// ReserveRegion carves out a contiguous run of n free frames for a guest
+// and marks them guest-kernel-owned. It returns the region. This models
+// the fixed memory assignment the lguest launcher gives the CVM (64 MB in
+// the paper's configuration).
+func (p *Physical) ReserveRegion(n int) (Region, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	// Find a contiguous free run by scanning; reservation happens once at
+	// boot so linear cost is fine.
+	run := 0
+	for i := range p.frames {
+		if p.frames[i].owner.Kind == FrameFree {
+			run++
+			if run == n {
+				start := i - n + 1
+				for j := start; j <= i; j++ {
+					p.frames[j].owner = FrameOwner{Kind: FrameGuestKernel}
+				}
+				p.rebuildFreeLocked()
+				return Region{Start: FrameID(start), End: FrameID(i + 1)}, nil
+			}
+		} else {
+			run = 0
+		}
+	}
+	return Region{}, fmt.Errorf("reserve %d frames: %w", n, abi.ENOMEM)
+}
+
+// ResetRegion returns every frame in a reserved guest region to the
+// guest-kernel-owned state and clears contents — the physical effect of
+// rebooting the container VM.
+func (p *Physical) ResetRegion(r Region) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for f := r.Start; f < r.End && int(f) < len(p.frames); f++ {
+		p.frames[f].owner = FrameOwner{Kind: FrameGuestKernel}
+		p.frames[f].data = nil
+	}
+}
+
+func (p *Physical) rebuildFreeLocked() {
+	p.free = p.free[:0]
+	for i := len(p.frames) - 1; i >= 0; i-- {
+		if p.frames[i].owner.Kind == FrameFree {
+			p.free = append(p.free, FrameID(i))
+		}
+	}
+}
+
+// Allocator hands out frames confined to a region on behalf of one kernel.
+type Allocator struct {
+	phys   *Physical
+	region Region
+	kernel string
+}
+
+// NewAllocator returns an allocator for the given kernel confined to
+// region. The host allocator uses the zero Region (all memory); a guest
+// allocator must use its reserved region.
+func (p *Physical) NewAllocator(kernelName string, region Region) *Allocator {
+	return &Allocator{phys: p, region: region, kernel: kernelName}
+}
+
+// Region returns the allocator's confinement region.
+func (a *Allocator) Region() Region { return a.region }
+
+// KernelName returns the owning kernel's label.
+func (a *Allocator) KernelName() string { return a.kernel }
+
+// Alloc assigns one frame to the given process (or the kernel itself when
+// pid < 0). Guest allocators take frames from their reserved region;
+// host allocators take them from the global free list.
+func (a *Allocator) Alloc(pid int) (FrameID, error) {
+	p := a.phys
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	owner := FrameOwner{Kind: FrameProcess, Kernel: a.kernel, PID: pid}
+	if pid < 0 {
+		owner = FrameOwner{Kind: FrameHostKernel}
+		if a.region.End != 0 {
+			owner = FrameOwner{Kind: FrameGuestKernel}
+		}
+	}
+	if a.region.End != 0 {
+		// Guest allocator: scan its region for a guest-kernel-owned frame
+		// not yet assigned to a process.
+		for f := a.region.Start; f < a.region.End; f++ {
+			if p.frames[f].owner.Kind == FrameGuestKernel {
+				p.frames[f].owner = owner
+				return f, nil
+			}
+		}
+		return 0, fmt.Errorf("guest region exhausted: %w", abi.ENOMEM)
+	}
+	for len(p.free) > 0 {
+		f := p.free[len(p.free)-1]
+		p.free = p.free[:len(p.free)-1]
+		if p.frames[f].owner.Kind == FrameFree {
+			p.frames[f].owner = owner
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("physical memory exhausted: %w", abi.ENOMEM)
+}
+
+// Free releases a frame back to the allocator's pool.
+func (a *Allocator) Free(f FrameID) error {
+	p := a.phys
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(f) >= len(p.frames) {
+		return abi.EINVAL
+	}
+	if !a.region.Contains(f) && a.region.End != 0 {
+		return fmt.Errorf("free frame %d outside guest region: %w", f, abi.EPERM)
+	}
+	if a.region.End != 0 {
+		p.frames[f].owner = FrameOwner{Kind: FrameGuestKernel}
+	} else {
+		p.frames[f].owner = FrameOwner{Kind: FrameFree}
+		p.free = append(p.free, f)
+	}
+	p.frames[f].data = nil
+	return nil
+}
+
+// Owner reports a frame's owner.
+func (p *Physical) Owner(f FrameID) FrameOwner {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(f) >= len(p.frames) {
+		return FrameOwner{}
+	}
+	return p.frames[f].owner
+}
+
+// WriteFrame stores data into a frame at the given page offset. The
+// accessor's region is checked: a guest-confined accessor touching a frame
+// outside its region is an isolation violation and is rejected.
+func (p *Physical) WriteFrame(accessor Region, f FrameID, off int, data []byte) error {
+	if accessor.End != 0 && !accessor.Contains(f) {
+		return fmt.Errorf("write to frame %d outside accessor region: %w", f, abi.EPERM)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(f) >= len(p.frames) || off+len(data) > abi.PageSize {
+		return abi.EINVAL
+	}
+	fr := &p.frames[f]
+	if fr.data == nil {
+		fr.data = make([]byte, abi.PageSize)
+	}
+	copy(fr.data[off:], data)
+	return nil
+}
+
+// ReadFrame copies out of a frame, under the same region confinement.
+func (p *Physical) ReadFrame(accessor Region, f FrameID, off int, buf []byte) error {
+	if accessor.End != 0 && !accessor.Contains(f) {
+		return fmt.Errorf("read of frame %d outside accessor region: %w", f, abi.EPERM)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if int(f) >= len(p.frames) || off+len(buf) > abi.PageSize {
+		return abi.EINVAL
+	}
+	fr := &p.frames[f]
+	if fr.data == nil {
+		for i := range buf {
+			buf[i] = 0
+		}
+		return nil
+	}
+	copy(buf, fr.data[off:])
+	return nil
+}
+
+// VMAKind classifies virtual memory areas.
+type VMAKind int
+
+// VMA kinds.
+const (
+	VMACode VMAKind = iota + 1
+	VMAHeap
+	VMAStack
+	VMAAnon
+	VMAFile
+	VMADevice
+)
+
+// String names the kind as /proc/pid/maps would.
+func (k VMAKind) String() string {
+	switch k {
+	case VMACode:
+		return "code"
+	case VMAHeap:
+		return "heap"
+	case VMAStack:
+		return "stack"
+	case VMAAnon:
+		return "anon"
+	case VMAFile:
+		return "file"
+	case VMADevice:
+		return "device"
+	default:
+		return "?"
+	}
+}
+
+// Prot bits for mappings.
+const (
+	ProtRead  = 1
+	ProtWrite = 2
+	ProtExec  = 4
+)
+
+// VMA is one virtual memory area: a contiguous run of pages backed by
+// physical frames.
+type VMA struct {
+	Start  uint64 // virtual address, page aligned
+	Pages  int
+	Prot   int
+	Kind   VMAKind
+	Tag    string // human-readable ("libc.so", "shellcode", ...)
+	Frames []FrameID
+	// DeviceMemory marks mappings of devices that expose kernel memory
+	// (the kernelchopper channel).
+	DeviceMemory bool
+	// Shared marks System V shared-segment mappings whose frames outlive
+	// the mapping.
+	Shared bool
+}
+
+// End returns the first address past the VMA.
+func (v *VMA) End() uint64 { return v.Start + uint64(v.Pages)*abi.PageSize }
+
+// Conventional layout addresses of the simulated 32-bit address space.
+const (
+	AddrCodeBase  uint64 = 0x0000_8000
+	AddrHeapBase  uint64 = 0x0100_0000
+	AddrMmapBase  uint64 = 0x4000_0000
+	AddrStackTop  uint64 = 0xBF00_0000
+	AddrStackSize        = 8 // pages
+)
+
+// AddressSpace is one task's virtual memory: an ordered set of VMAs plus a
+// heap break. All frame contents live in Physical, so cross-kernel
+// isolation follows from frame ownership.
+type AddressSpace struct {
+	mu    sync.Mutex
+	alloc *Allocator
+	pid   int
+	vmas  []*VMA
+	brk   uint64 // current heap end
+	// MmapMinAddr mirrors the kernel's mmap_min_addr sysctl; 0 permits
+	// null-page mappings (the pre-hardening default CVE-2009-2692 needs).
+	MmapMinAddr uint64
+
+	nextMmap uint64
+}
+
+// NewAddressSpace creates an empty address space whose pages will be
+// allocated by alloc on behalf of pid.
+func NewAddressSpace(alloc *Allocator, pid int) *AddressSpace {
+	return &AddressSpace{
+		alloc:    alloc,
+		pid:      pid,
+		brk:      AddrHeapBase,
+		nextMmap: AddrMmapBase,
+	}
+}
+
+// PID returns the owning process ID.
+func (as *AddressSpace) PID() int { return as.pid }
+
+func (as *AddressSpace) findVMALocked(addr uint64) *VMA {
+	for _, v := range as.vmas {
+		if addr >= v.Start && addr < v.End() {
+			return v
+		}
+	}
+	return nil
+}
+
+// overlapLocked reports whether [start, start+pages) intersects a VMA.
+func (as *AddressSpace) overlapLocked(start uint64, pages int) bool {
+	end := start + uint64(pages)*abi.PageSize
+	for _, v := range as.vmas {
+		if start < v.End() && v.Start < end {
+			return true
+		}
+	}
+	return false
+}
+
+// MapAnon creates an anonymous mapping of n pages at a kernel-chosen
+// address and returns its base.
+func (as *AddressSpace) MapAnon(n int, prot int, kind VMAKind, tag string) (uint64, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	base := as.nextMmap
+	for as.overlapLocked(base, n) {
+		base += uint64(n) * abi.PageSize
+	}
+	v, err := as.buildVMALocked(base, n, prot, kind, tag)
+	if err != nil {
+		return 0, err
+	}
+	as.nextMmap = v.End()
+	return v.Start, nil
+}
+
+// MapFixed creates a mapping at an exact address (MAP_FIXED). Mapping
+// below MmapMinAddr fails with EPERM, which is the hardening knob that
+// decides whether null-page exploits are even expressible.
+func (as *AddressSpace) MapFixed(addr uint64, n int, prot int, kind VMAKind, tag string) error {
+	if addr%abi.PageSize != 0 {
+		return abi.EINVAL
+	}
+	if addr < as.MmapMinAddr {
+		return fmt.Errorf("map at %#x below mmap_min_addr: %w", addr, abi.EPERM)
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if as.overlapLocked(addr, n) {
+		return abi.EEXIST
+	}
+	_, err := as.buildVMALocked(addr, n, prot, kind, tag)
+	return err
+}
+
+func (as *AddressSpace) buildVMALocked(start uint64, n int, prot int, kind VMAKind, tag string) (*VMA, error) {
+	v := &VMA{Start: start, Pages: n, Prot: prot, Kind: kind, Tag: tag}
+	for i := 0; i < n; i++ {
+		f, err := as.alloc.Alloc(as.pid)
+		if err != nil {
+			// Roll back partially allocated frames.
+			for _, g := range v.Frames {
+				_ = as.alloc.Free(g)
+			}
+			return nil, err
+		}
+		v.Frames = append(v.Frames, f)
+	}
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	return v, nil
+}
+
+// MapShared maps pre-existing frames (a System V shared segment) into
+// this address space at a kernel-chosen base. The frames are owned by the
+// segment: Release and UnmapShared leave them allocated.
+func (as *AddressSpace) MapShared(frames []FrameID, prot int, tag string) (uint64, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	base := as.nextMmap
+	for as.overlapLocked(base, len(frames)) {
+		base += uint64(len(frames)) * abi.PageSize
+	}
+	v := &VMA{Start: base, Pages: len(frames), Prot: prot, Kind: VMAAnon, Tag: tag, Shared: true}
+	v.Frames = append(v.Frames, frames...)
+	as.vmas = append(as.vmas, v)
+	sort.Slice(as.vmas, func(i, j int) bool { return as.vmas[i].Start < as.vmas[j].Start })
+	as.nextMmap = v.End()
+	return base, nil
+}
+
+// UnmapShared removes a shared mapping without freeing its frames.
+func (as *AddressSpace) UnmapShared(addr uint64) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, v := range as.vmas {
+		if v.Start == addr && v.Shared {
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			return nil
+		}
+	}
+	return abi.EINVAL
+}
+
+// MapDevice records a device-backed mapping. exposesKernel marks mappings
+// that leak kernel memory (e.g. an unprotected framebuffer node).
+func (as *AddressSpace) MapDevice(n int, prot int, tag string, exposesKernel bool) (uint64, error) {
+	base, err := as.MapAnon(n, prot, VMADevice, tag)
+	if err != nil {
+		return 0, err
+	}
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if v := as.findVMALocked(base); v != nil {
+		v.DeviceMemory = exposesKernel
+	}
+	return base, nil
+}
+
+// Unmap removes the mapping starting exactly at addr.
+func (as *AddressSpace) Unmap(addr uint64) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for i, v := range as.vmas {
+		if v.Start == addr {
+			for _, f := range v.Frames {
+				_ = as.alloc.Free(f)
+			}
+			as.vmas = append(as.vmas[:i], as.vmas[i+1:]...)
+			return nil
+		}
+	}
+	return abi.EINVAL
+}
+
+// Brk grows (or shrinks) the heap to end and returns the new break.
+// Passing 0 queries the current break.
+func (as *AddressSpace) Brk(end uint64) (uint64, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	if end == 0 {
+		return as.brk, nil
+	}
+	if end < AddrHeapBase {
+		return as.brk, abi.EINVAL
+	}
+	curPages := int((as.brk - AddrHeapBase + abi.PageSize - 1) / abi.PageSize)
+	newPages := int((end - AddrHeapBase + abi.PageSize - 1) / abi.PageSize)
+	heap := as.heapVMALocked()
+	switch {
+	case newPages > curPages:
+		if heap == nil {
+			v, err := as.buildVMALocked(AddrHeapBase, newPages, ProtRead|ProtWrite, VMAHeap, "heap")
+			if err != nil {
+				return as.brk, err
+			}
+			heap = v
+		} else {
+			for i := curPages; i < newPages; i++ {
+				f, err := as.alloc.Alloc(as.pid)
+				if err != nil {
+					return as.brk, err
+				}
+				heap.Frames = append(heap.Frames, f)
+				heap.Pages++
+			}
+		}
+	case newPages < curPages && heap != nil:
+		for i := curPages - 1; i >= newPages; i-- {
+			_ = as.alloc.Free(heap.Frames[i])
+		}
+		heap.Frames = heap.Frames[:newPages]
+		heap.Pages = newPages
+	}
+	as.brk = end
+	return as.brk, nil
+}
+
+func (as *AddressSpace) heapVMALocked() *VMA {
+	for _, v := range as.vmas {
+		if v.Kind == VMAHeap {
+			return v
+		}
+	}
+	return nil
+}
+
+// translate returns the frame and in-page offset backing addr, or nil.
+func (as *AddressSpace) translate(addr uint64) (FrameID, int, *VMA) {
+	v := as.findVMALocked(addr)
+	if v == nil {
+		return 0, 0, nil
+	}
+	pageIdx := int((addr - v.Start) / abi.PageSize)
+	off := int((addr - v.Start) % abi.PageSize)
+	return v.Frames[pageIdx], off, v
+}
+
+// WriteBytes stores data at the virtual address, page by page. accessor is
+// the physical region of whoever performs the access (the owning kernel's
+// region); crossing it fails, which is exactly the isolation property
+// tests assert.
+func (as *AddressSpace) WriteBytes(accessor Region, addr uint64, data []byte) error {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for len(data) > 0 {
+		f, off, v := as.translate(addr)
+		if v == nil {
+			return abi.EFAULT
+		}
+		n := abi.PageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		if err := as.alloc.phys.WriteFrame(accessor, f, off, data[:n]); err != nil {
+			return err
+		}
+		data = data[n:]
+		addr += uint64(n)
+	}
+	return nil
+}
+
+// ReadBytes copies n bytes from the virtual address under the accessor's
+// region confinement.
+func (as *AddressSpace) ReadBytes(accessor Region, addr uint64, n int) ([]byte, error) {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]byte, 0, n)
+	for n > 0 {
+		f, off, v := as.translate(addr)
+		if v == nil {
+			return nil, abi.EFAULT
+		}
+		c := abi.PageSize - off
+		if c > n {
+			c = n
+		}
+		buf := make([]byte, c)
+		if err := as.alloc.phys.ReadFrame(accessor, f, off, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf...)
+		n -= c
+		addr += uint64(c)
+	}
+	return out, nil
+}
+
+// HasExecutableMappingAt reports whether addr falls in an executable VMA;
+// the null-dereference exploit check uses it with addr 0.
+func (as *AddressSpace) HasExecutableMappingAt(addr uint64) bool {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	_, _, v := as.translate(addr)
+	return v != nil && v.Prot&ProtExec != 0
+}
+
+// VMAAt returns a copy of the VMA containing addr, or nil.
+func (as *AddressSpace) VMAAt(addr uint64) *VMA {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	v := as.findVMALocked(addr)
+	if v == nil {
+		return nil
+	}
+	cp := *v
+	return &cp
+}
+
+// VMAs returns a snapshot of the mappings.
+func (as *AddressSpace) VMAs() []VMA {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	out := make([]VMA, len(as.vmas))
+	for i, v := range as.vmas {
+		out[i] = *v
+	}
+	return out
+}
+
+// ResidentPages counts pages currently mapped.
+func (as *AddressSpace) ResidentPages() int {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	n := 0
+	for _, v := range as.vmas {
+		n += v.Pages
+	}
+	return n
+}
+
+// Clone duplicates the address space for fork: same layout, fresh frames,
+// contents copied (an eager model of copy-on-write).
+func (as *AddressSpace) Clone(alloc *Allocator, pid int, accessor Region) (*AddressSpace, error) {
+	as.mu.Lock()
+	vmas := make([]*VMA, len(as.vmas))
+	copy(vmas, as.vmas)
+	brk := as.brk
+	minAddr := as.MmapMinAddr
+	as.mu.Unlock()
+
+	child := NewAddressSpace(alloc, pid)
+	child.MmapMinAddr = minAddr
+	child.brk = brk
+	for _, v := range vmas {
+		child.mu.Lock()
+		nv, err := child.buildVMALocked(v.Start, v.Pages, v.Prot, v.Kind, v.Tag)
+		child.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		nv.DeviceMemory = v.DeviceMemory
+		for i, f := range v.Frames {
+			buf := make([]byte, abi.PageSize)
+			if err := as.alloc.phys.ReadFrame(accessor, f, 0, buf); err != nil {
+				return nil, err
+			}
+			if err := as.alloc.phys.WriteFrame(accessor, nv.Frames[i], 0, buf); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return child, nil
+}
+
+// Release frees every frame of the address space (process exit). Frames
+// of shared segments are owned by the segment and survive.
+func (as *AddressSpace) Release() {
+	as.mu.Lock()
+	defer as.mu.Unlock()
+	for _, v := range as.vmas {
+		if v.Shared {
+			continue
+		}
+		for _, f := range v.Frames {
+			_ = as.alloc.Free(f)
+		}
+	}
+	as.vmas = nil
+}

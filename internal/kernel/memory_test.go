@@ -1,0 +1,315 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"anception/internal/abi"
+)
+
+func TestPhysicalAllocFree(t *testing.T) {
+	phys := NewPhysical(1 << 20) // 256 frames
+	if phys.TotalFrames() != 256 {
+		t.Fatalf("frames = %d", phys.TotalFrames())
+	}
+	alloc := phys.NewAllocator("host", Region{})
+	f, err := alloc.Alloc(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := phys.Owner(f)
+	if owner.Kind != FrameProcess || owner.PID != 42 || owner.Kernel != "host" {
+		t.Fatalf("owner = %+v", owner)
+	}
+	if err := alloc.Free(f); err != nil {
+		t.Fatal(err)
+	}
+	if phys.Owner(f).Kind != FrameFree {
+		t.Fatal("frame not freed")
+	}
+}
+
+func TestReserveRegionConfinesGuest(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	region, err := phys.ReserveRegion(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if region.Frames() != 64 {
+		t.Fatalf("region = %+v", region)
+	}
+	guest := phys.NewAllocator("cvm", region)
+	for i := 0; i < 64; i++ {
+		if _, err := guest.Alloc(1); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := guest.Alloc(1); !errors.Is(err, abi.ENOMEM) {
+		t.Fatalf("65th guest alloc: %v, want ENOMEM", err)
+	}
+}
+
+func TestGuestCannotTouchHostFrames(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	region, err := phys.ReserveRegion(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := phys.NewAllocator("host", Region{})
+	hostFrame, err := host.Alloc(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := phys.WriteFrame(Region{}, hostFrame, 0, []byte("host secret")); err != nil {
+		t.Fatal(err)
+	}
+
+	// A guest-confined accessor must be rejected on host frames.
+	if err := phys.ReadFrame(region, hostFrame, 0, make([]byte, 4)); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("guest read of host frame: %v, want EPERM", err)
+	}
+	if err := phys.WriteFrame(region, hostFrame, 0, []byte("own3d")); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("guest write of host frame: %v, want EPERM", err)
+	}
+
+	// The unconfined (host) accessor works.
+	buf := make([]byte, 11)
+	if err := phys.ReadFrame(Region{}, hostFrame, 0, buf); err != nil || string(buf) != "host secret" {
+		t.Fatalf("host read: %q, %v", buf, err)
+	}
+}
+
+// Property: for any interleaving of guest allocations, every frame the
+// guest ever receives lies inside its reserved region.
+func TestGuestAllocationConfinementProperty(t *testing.T) {
+	phys := NewPhysical(4 << 20)
+	region, err := phys.ReserveRegion(128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guest := phys.NewAllocator("cvm", region)
+	var held []FrameID
+	f := func(allocate bool) bool {
+		if allocate || len(held) == 0 {
+			fr, err := guest.Alloc(1)
+			if err != nil {
+				return true // exhaustion is fine
+			}
+			held = append(held, fr)
+			return region.Contains(fr)
+		}
+		fr := held[len(held)-1]
+		held = held[:len(held)-1]
+		return guest.Free(fr) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceBrkGrowShrink(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	alloc := phys.NewAllocator("host", Region{})
+	as := NewAddressSpace(alloc, 1)
+
+	end, err := as.Brk(0)
+	if err != nil || end != AddrHeapBase {
+		t.Fatalf("initial brk = %#x, %v", end, err)
+	}
+	if _, err := as.Brk(AddrHeapBase + 3*abi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentPages(); got != 3 {
+		t.Fatalf("resident = %d, want 3", got)
+	}
+	if _, err := as.Brk(AddrHeapBase + abi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if got := as.ResidentPages(); got != 1 {
+		t.Fatalf("resident after shrink = %d, want 1", got)
+	}
+	if _, err := as.Brk(AddrHeapBase - 1); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("brk below base: %v, want EINVAL", err)
+	}
+}
+
+func TestAddressSpaceReadWriteAcrossPages(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	alloc := phys.NewAllocator("host", Region{})
+	as := NewAddressSpace(alloc, 1)
+	if _, err := as.Brk(AddrHeapBase + 2*abi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Write a run straddling the page boundary.
+	payload := bytes.Repeat([]byte("AB"), 3000) // 6000 bytes > one page
+	addr := AddrHeapBase + 1000
+	if err := as.WriteBytes(Region{}, addr, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := as.ReadBytes(Region{}, addr, len(payload))
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("cross-page round trip failed: %v", err)
+	}
+}
+
+func TestAddressSpaceFaultOnUnmapped(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	as := NewAddressSpace(phys.NewAllocator("host", Region{}), 1)
+	if _, err := as.ReadBytes(Region{}, 0xDEAD0000, 8); !errors.Is(err, abi.EFAULT) {
+		t.Fatalf("read unmapped: %v, want EFAULT", err)
+	}
+	if err := as.WriteBytes(Region{}, 0xDEAD0000, []byte("x")); !errors.Is(err, abi.EFAULT) {
+		t.Fatalf("write unmapped: %v, want EFAULT", err)
+	}
+}
+
+func TestMapFixedNullPageRespectsMinAddr(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	as := NewAddressSpace(phys.NewAllocator("host", Region{}), 1)
+	as.MmapMinAddr = abi.PageSize // hardened kernel
+	if err := as.MapFixed(0, 1, ProtRead|ProtExec, VMAAnon, "shellcode"); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("null map on hardened kernel: %v, want EPERM", err)
+	}
+	as.MmapMinAddr = 0 // pre-hardening kernel
+	if err := as.MapFixed(0, 1, ProtRead|ProtExec, VMAAnon, "shellcode"); err != nil {
+		t.Fatal(err)
+	}
+	if !as.HasExecutableMappingAt(0) {
+		t.Fatal("null page mapping not visible")
+	}
+}
+
+func TestMapFixedRejectsOverlapAndMisalignment(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	as := NewAddressSpace(phys.NewAllocator("host", Region{}), 1)
+	if err := as.MapFixed(abi.PageSize+1, 1, ProtRead, VMAAnon, "x"); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("misaligned: %v, want EINVAL", err)
+	}
+	if err := as.MapFixed(0x10000, 2, ProtRead, VMAAnon, "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.MapFixed(0x10000+abi.PageSize, 1, ProtRead, VMAAnon, "b"); !errors.Is(err, abi.EEXIST) {
+		t.Fatalf("overlap: %v, want EEXIST", err)
+	}
+}
+
+func TestMapAnonPlacementAndUnmap(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	as := NewAddressSpace(phys.NewAllocator("host", Region{}), 1)
+	a, err := as.MapAnon(2, ProtRead|ProtWrite, VMAAnon, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := as.MapAnon(1, ProtRead, VMAAnon, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < a+2*abi.PageSize {
+		t.Fatalf("mappings overlap: a=%#x b=%#x", a, b)
+	}
+	if err := as.Unmap(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := as.Unmap(a); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("double unmap: %v, want EINVAL", err)
+	}
+}
+
+func TestCloneCopiesButDoesNotShare(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	alloc := phys.NewAllocator("host", Region{})
+	parent := NewAddressSpace(alloc, 1)
+	if _, err := parent.Brk(AddrHeapBase + abi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.WriteBytes(Region{}, AddrHeapBase, []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	child, err := parent.Clone(alloc, 2, Region{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := child.ReadBytes(Region{}, AddrHeapBase, 8)
+	if string(got) != "original" {
+		t.Fatalf("clone contents = %q", got)
+	}
+	if err := child.WriteBytes(Region{}, AddrHeapBase, []byte("mutated!")); err != nil {
+		t.Fatal(err)
+	}
+	back, _ := parent.ReadBytes(Region{}, AddrHeapBase, 8)
+	if string(back) != "original" {
+		t.Fatalf("parent saw child write: %q", back)
+	}
+	// Frames of parent and child must be disjoint.
+	pf := map[FrameID]bool{}
+	for _, v := range parent.VMAs() {
+		for _, f := range v.Frames {
+			pf[f] = true
+		}
+	}
+	for _, v := range child.VMAs() {
+		for _, f := range v.Frames {
+			if pf[f] {
+				t.Fatalf("frame %d shared between parent and child", f)
+			}
+		}
+	}
+}
+
+func TestReleaseReturnsFrames(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	alloc := phys.NewAllocator("host", Region{})
+	free0 := phys.FreeFrames()
+	as := NewAddressSpace(alloc, 1)
+	if _, err := as.MapAnon(10, ProtRead, VMAAnon, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if phys.FreeFrames() != free0-10 {
+		t.Fatalf("free = %d, want %d", phys.FreeFrames(), free0-10)
+	}
+	as.Release()
+	if phys.FreeFrames() != free0 {
+		t.Fatalf("free after release = %d, want %d", phys.FreeFrames(), free0)
+	}
+}
+
+func TestGuestAddressSpaceConfinedOnWrite(t *testing.T) {
+	phys := NewPhysical(1 << 20)
+	region, err := phys.ReserveRegion(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guestAlloc := phys.NewAllocator("cvm", region)
+	as := NewAddressSpace(guestAlloc, 5)
+	if _, err := as.Brk(AddrHeapBase + abi.PageSize); err != nil {
+		t.Fatal(err)
+	}
+	// Writes through the guest's own accessor region succeed (its frames
+	// are inside the region by construction)...
+	if err := as.WriteBytes(region, AddrHeapBase, []byte("guest data")); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the frames really are inside the region.
+	for _, v := range as.VMAs() {
+		for _, f := range v.Frames {
+			if !region.Contains(f) {
+				t.Fatalf("guest AS frame %d outside region", f)
+			}
+		}
+	}
+}
+
+func TestVMAKindStrings(t *testing.T) {
+	want := map[VMAKind]string{
+		VMACode: "code", VMAHeap: "heap", VMAStack: "stack",
+		VMAAnon: "anon", VMAFile: "file", VMADevice: "device",
+		VMAKind(0): "?",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

@@ -1,0 +1,454 @@
+package kernel
+
+import (
+	"strings"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+// chargeIO charges the latency of moving n bytes through the storage
+// stack, page by page.
+func (k *Kernel) chargeIO(n int, perPage time.Duration) {
+	pages := (n + abi.PageSize - 1) / abi.PageSize
+	if pages == 0 {
+		pages = 1
+	}
+	k.clock.Advance(time.Duration(pages) * perPage)
+}
+
+func (k *Kernel) chargePathResolution(p string) {
+	comps := strings.Count(p, "/")
+	if comps == 0 {
+		comps = 1
+	}
+	k.clock.Advance(time.Duration(comps) * k.model.PathResolvePerComponent)
+}
+
+func (k *Kernel) sysOpen(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+
+	if strings.HasPrefix(p, "/proc/") || p == "/proc" {
+		return k.procfsOpen(t, p, args)
+	}
+
+	flags := args.Flags
+	if args.Nr == abi.SysCreat {
+		flags = abi.OWrOnly | abi.OCreat | abi.OTrunc
+	}
+	mode := args.Mode &^ t.Umask
+	f, err := k.fs.Open(t.Cred, p, flags, mode)
+	if err != nil {
+		return k.errResult(err)
+	}
+	fd := t.InstallFD(&FDEntry{Kind: FDFile, File: f, Path: p})
+	return Result{Ret: int64(fd), FD: fd}
+}
+
+func (k *Kernel) sysClose(t *Task, args Args) Result {
+	e := t.CloseFD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	switch e.Kind {
+	case FDSocket:
+		_ = e.Sock.Close()
+	case FDPipeRead, FDPipeWrite:
+		e.Pipe.Close()
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysRead(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	switch e.Kind {
+	case FDFile:
+		if !e.File.IsDevice() {
+			k.chargeIO(len(args.Buf), k.model.StorageReadPerPage)
+		}
+		n, err := e.File.Read(args.Buf)
+		if err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(n), Data: args.Buf[:n]}
+	case FDPipeRead:
+		n, err := e.Pipe.Read(args.Buf)
+		if err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(n), Data: args.Buf[:n]}
+	case FDSocket:
+		n, err := e.Sock.Recv(args.Buf)
+		if err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(n), Data: args.Buf[:n]}
+	case FDProcMem:
+		return k.procMemRead(t, e, args)
+	default:
+		return k.errResult(abi.EBADF)
+	}
+}
+
+func (k *Kernel) sysWrite(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	switch e.Kind {
+	case FDFile:
+		if !e.File.IsDevice() {
+			k.chargeIO(len(args.Buf), k.model.StorageWritePerPage)
+		}
+		n, err := e.File.Write(args.Buf)
+		if err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(n)}
+	case FDPipeWrite:
+		n, err := e.Pipe.Write(args.Buf)
+		if err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(n)}
+	case FDSocket:
+		return k.sysSend(t, args)
+	case FDProcMem:
+		return k.procMemWrite(t, e, args)
+	default:
+		return k.errResult(abi.EBADF)
+	}
+}
+
+func (k *Kernel) sysPread(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	if e.Kind == FDProcMem {
+		return k.procMemRead(t, e, args)
+	}
+	if e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	k.chargeIO(len(args.Buf), k.model.StorageReadPerPage)
+	n, err := e.File.ReadAt(args.Buf, args.Off)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: int64(n), Data: args.Buf[:n]}
+}
+
+func (k *Kernel) sysPwrite(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	if e.Kind == FDProcMem {
+		return k.procMemWrite(t, e, args)
+	}
+	if e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	k.chargeIO(len(args.Buf), k.model.StorageWritePerPage)
+	n, err := e.File.WriteAt(args.Buf, args.Off)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: int64(n)}
+}
+
+func (k *Kernel) sysLseek(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil || e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	pos, err := e.File.Seek(args.Off, args.Whence)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: pos}
+}
+
+func (k *Kernel) sysStat(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+	st, err := k.fs.StatPath(t.Cred, p)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: st.Size, Data: encodeStat(st)}
+}
+
+func (k *Kernel) sysFstat(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil || e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	st := e.File.Stat()
+	return Result{Ret: st.Size, Data: encodeStat(st)}
+}
+
+// encodeStat renders stat results as a stable text form; the simulation
+// passes structured data out-of-band via Result.Ret where callers need it.
+func encodeStat(st vfs.Stat) []byte {
+	return []byte(st.Type.String())
+}
+
+func (k *Kernel) sysAccess(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+	if err := k.fs.CheckAccess(t.Cred, p, args.Size); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysMkdir(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+	if err := k.fs.Mkdir(t.Cred, p, args.Mode&^t.Umask); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysRmdir(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+	if err := k.fs.Rmdir(t.Cred, p); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysUnlink(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	k.chargePathResolution(p)
+	if err := k.fs.Unlink(t.Cred, p); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysRename(t *Task, args Args) Result {
+	if err := k.fs.Rename(t.Cred, absPath(t, args.Path), absPath(t, args.Path2)); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysLink(t *Task, args Args) Result {
+	if err := k.fs.Link(t.Cred, absPath(t, args.Path), absPath(t, args.Path2)); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysSymlink(t *Task, args Args) Result {
+	if err := k.fs.Symlink(t.Cred, args.Path, absPath(t, args.Path2)); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysReadlink(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	if strings.HasPrefix(p, "/proc/") {
+		return k.procfsReadlink(t, p)
+	}
+	target, err := k.fs.Readlink(t.Cred, p)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Data: []byte(target), Ret: int64(len(target))}
+}
+
+func (k *Kernel) sysChmod(t *Task, args Args) Result {
+	p := args.Path
+	if args.Nr == abi.SysFchmod {
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != FDFile {
+			return k.errResult(abi.EBADF)
+		}
+		p = e.File.Path()
+	}
+	if err := k.fs.Chmod(t.Cred, absPath(t, p), args.Mode); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysChown(t *Task, args Args) Result {
+	p := args.Path
+	if args.Nr == abi.SysFchown {
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != FDFile {
+			return k.errResult(abi.EBADF)
+		}
+		p = e.File.Path()
+	}
+	if err := k.fs.Chown(t.Cred, absPath(t, p), args.UID, args.GID); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysTruncate(t *Task, args Args) Result {
+	if args.Nr == abi.SysFtruncate {
+		e := t.FD(args.FD)
+		if e == nil || e.Kind != FDFile {
+			return k.errResult(abi.EBADF)
+		}
+		if err := e.File.Truncate(args.Off); err != nil {
+			return k.errResult(err)
+		}
+		return Result{}
+	}
+	if err := k.fs.Truncate(t.Cred, absPath(t, args.Path), args.Off); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysGetdents(t *Task, args Args) Result {
+	p := absPath(t, args.Path)
+	if strings.HasPrefix(p, "/proc") {
+		return k.procfsGetdents(t, p)
+	}
+	entries, err := k.fs.ReadDir(t.Cred, p)
+	if err != nil {
+		return k.errResult(err)
+	}
+	names := make([]string, len(entries))
+	for i, e := range entries {
+		names[i] = e.Name
+	}
+	return Result{Data: []byte(strings.Join(names, "\n")), Ret: int64(len(entries))}
+}
+
+func (k *Kernel) sysDup(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	dup := *e
+	fd := t.InstallFD(&dup)
+	return Result{Ret: int64(fd), FD: fd}
+}
+
+func (k *Kernel) sysDup2(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	dup := *e
+	t.InstallFDAt(args.FD2, &dup)
+	return Result{Ret: int64(args.FD2), FD: args.FD2}
+}
+
+func (k *Kernel) sysPipe(t *Task, _ Args) Result {
+	p := &Pipe{}
+	r := t.InstallFD(&FDEntry{Kind: FDPipeRead, Pipe: p})
+	w := t.InstallFD(&FDEntry{Kind: FDPipeWrite, Pipe: p})
+	// Ret packs the read fd; FD carries the write fd.
+	return Result{Ret: int64(r), FD: w}
+}
+
+func (k *Kernel) sysFsync(t *Task, args Args) Result {
+	if args.Nr == abi.SysSync {
+		// Whole-filesystem sync: charge a fixed small cost; per-file
+		// flushes dominate in the workloads we model.
+		k.clock.Advance(k.model.StorageSyncPerPage)
+		return Result{}
+	}
+	e := t.FD(args.FD)
+	if e == nil || e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	flushed := e.File.Sync()
+	k.clock.Advance(time.Duration(flushed) * k.model.StorageSyncPerPage)
+	return Result{Ret: int64(flushed)}
+}
+
+func (k *Kernel) sysIoctl(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	if e.Kind != FDFile || !e.File.IsDevice() {
+		return k.errResult(abi.ENOTTY)
+	}
+	// A synchronous binder transaction includes the service-side handling
+	// and scheduling latency (Table I: ~12 ms); other device ioctls are
+	// lightweight register pokes.
+	if e.File.Device().DevName() == "binder" {
+		k.clock.Advance(k.model.BinderTransaction + timesDuration(len(args.Buf), k.model.BinderPerByte))
+	} else {
+		k.clock.Advance(k.model.UIIoctl)
+	}
+	out, err := e.File.Ioctl(args.Request, args.Buf)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Data: out, Ret: int64(len(out))}
+}
+
+func (k *Kernel) sysSendfile(t *Task, args Args) Result {
+	out := t.FD(args.FD)
+	in := t.FD(args.FD2)
+	if out == nil || in == nil {
+		return k.errResult(abi.EBADF)
+	}
+
+	// CVE-2009-2692: sendfile on a socket family whose proto_ops left
+	// sendpage NULL makes the kernel jump to address zero. Whether that
+	// is an exploit or a crash depends on whether *this* kernel can see
+	// an executable mapping at page zero in the calling task — under
+	// Anception the call executes in the CVM under the proxy, whose
+	// address space does not contain the shellcode.
+	if out.Kind == FDSocket && out.Sock.HasVulnerability(vulnNullSendpage) {
+		if t.AS != nil && t.AS.HasExecutableMappingAt(0) {
+			k.CompromiseKernel(t, "NULL sendpage dereference (CVE-2009-2692)")
+			return Result{}
+		}
+		k.Panic("NULL pointer dereference in sock_sendpage (pid " + t.Comm + ")")
+		return k.errResult(abi.EFAULT)
+	}
+
+	if in.Kind != FDFile {
+		return k.errResult(abi.EINVAL)
+	}
+	buf := make([]byte, args.Size)
+	k.chargeIO(len(buf), k.model.StorageReadPerPage)
+	n, err := in.File.Read(buf)
+	if err != nil {
+		return k.errResult(err)
+	}
+	switch out.Kind {
+	case FDSocket:
+		if _, err := out.Sock.Send(buf[:n]); err != nil {
+			return k.errResult(err)
+		}
+	case FDFile:
+		k.chargeIO(n, k.model.StorageWritePerPage)
+		if _, err := out.File.Write(buf[:n]); err != nil {
+			return k.errResult(err)
+		}
+	default:
+		return k.errResult(abi.EINVAL)
+	}
+	return Result{Ret: int64(n)}
+}
+
+func (k *Kernel) sysMount(t *Task, _ Args) Result {
+	if !t.Cred.Root() {
+		return k.errResult(abi.EPERM)
+	}
+	return Result{}
+}

@@ -1,0 +1,111 @@
+package kernel
+
+import (
+	"anception/internal/abi"
+	"anception/internal/netstack"
+)
+
+const vulnNullSendpage = netstack.VulnNullSendpage
+
+func (k *Kernel) sysSocket(t *Task, args Args) Result {
+	sock, err := k.net.Socket(t.Cred, args.Family, args.SockType, args.Proto)
+	if err != nil {
+		return k.errResult(err)
+	}
+	fd := t.InstallFD(&FDEntry{Kind: FDSocket, Sock: sock})
+	return Result{Ret: int64(fd), FD: fd}
+}
+
+func (k *Kernel) sockFD(t *Task, fd int) (*netstack.Socket, error) {
+	e := t.FD(fd)
+	if e == nil {
+		return nil, abi.EBADF
+	}
+	if e.Kind != FDSocket {
+		return nil, abi.ENOTSOCK
+	}
+	return e.Sock, nil
+}
+
+func (k *Kernel) sysBind(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	if err := sock.Bind(args.Addr); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysConnect(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	k.clock.Advance(k.model.NetworkRTT)
+	if err := sock.Connect(args.Addr); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysListen(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	if err := sock.Listen(); err != nil {
+		return k.errResult(err)
+	}
+	return Result{}
+}
+
+func (k *Kernel) sysAccept(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	conn, err := sock.Accept()
+	if err != nil {
+		return k.errResult(err)
+	}
+	fd := t.InstallFD(&FDEntry{Kind: FDSocket, Sock: conn})
+	return Result{Ret: int64(fd), FD: fd}
+}
+
+func (k *Kernel) sysSend(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	k.chargeNet(len(args.Buf))
+	if sock.Family == netstack.AFNetlink {
+		if err := sock.SendToNetlink(sock.Proto, t.Cred, args.Buf); err != nil {
+			return k.errResult(err)
+		}
+		return Result{Ret: int64(len(args.Buf))}
+	}
+	n, err := sock.Send(args.Buf)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: int64(n)}
+}
+
+func (k *Kernel) sysRecv(t *Task, args Args) Result {
+	sock, err := k.sockFD(t, args.FD)
+	if err != nil {
+		return k.errResult(err)
+	}
+	k.chargeNet(len(args.Buf))
+	n, err := sock.Recv(args.Buf)
+	if err != nil {
+		return k.errResult(err)
+	}
+	return Result{Ret: int64(n), Data: args.Buf[:n]}
+}
+
+func (k *Kernel) chargeNet(n int) {
+	k.clock.Advance(timesDuration(n, k.model.NetworkPerByte))
+}

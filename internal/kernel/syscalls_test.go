@@ -1,0 +1,302 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/netstack"
+)
+
+// Coverage for the file/metadata syscall surface not exercised by the
+// core kernel tests.
+
+func TestCreatTruncatesAndOpensForWrite(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	if err := k.FS().WriteFile(abi.Cred{UID: abi.UIDRoot}, "/data/c", []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := k.Invoke(task, Args{Nr: abi.SysCreat, Path: "/data/c", Mode: 0o600})
+	if !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if res2 := k.Invoke(task, Args{Nr: abi.SysWrite, FD: res.FD, Buf: []byte("new")}); !res2.Ok() {
+		t.Fatal(res2.Err)
+	}
+	data, _ := k.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, "/data/c")
+	if string(data) != "new" {
+		t.Fatalf("creat did not truncate: %q", data)
+	}
+}
+
+func TestChmodChownFchmodFchown(t *testing.T) {
+	k := newTestKernel(t)
+	root := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	cred := abi.Cred{UID: abi.UIDRoot}
+	if err := k.FS().WriteFile(cred, "/data/perm", nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res := k.Invoke(root, Args{Nr: abi.SysChmod, Path: "/data/perm", Mode: 0o600}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	st, _ := k.FS().StatPath(cred, "/data/perm")
+	if st.Mode != 0o600 {
+		t.Fatalf("mode = %o", st.Mode)
+	}
+	if res := k.Invoke(root, Args{Nr: abi.SysChown, Path: "/data/perm", UID: 10001, GID: 10001}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	st, _ = k.FS().StatPath(cred, "/data/perm")
+	if st.UID != 10001 {
+		t.Fatalf("uid = %d", st.UID)
+	}
+
+	open := k.Invoke(root, Args{Nr: abi.SysOpen, Path: "/data/perm", Flags: abi.ORdOnly})
+	if !open.Ok() {
+		t.Fatal(open.Err)
+	}
+	if res := k.Invoke(root, Args{Nr: abi.SysFchmod, FD: open.FD, Mode: 0o640}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if res := k.Invoke(root, Args{Nr: abi.SysFchown, FD: open.FD, UID: 10002, GID: 10002}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	st, _ = k.FS().StatPath(cred, "/data/perm")
+	if st.Mode != 0o640 || st.UID != 10002 {
+		t.Fatalf("after f-variants: %+v", st)
+	}
+	// f-variants on a bad fd.
+	if res := k.Invoke(root, Args{Nr: abi.SysFchmod, FD: 99, Mode: 0o600}); !errors.Is(res.Err, abi.EBADF) {
+		t.Fatalf("fchmod bad fd: %v", res.Err)
+	}
+}
+
+func TestTruncateAndFtruncate(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	cred := abi.Cred{UID: abi.UIDRoot}
+	if err := k.FS().WriteFile(cred, "/data/t", []byte("0123456789"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res := k.Invoke(task, Args{Nr: abi.SysTruncate, Path: "/data/t", Off: 4}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if d, _ := k.FS().ReadFile(cred, "/data/t"); string(d) != "0123" {
+		t.Fatalf("after truncate: %q", d)
+	}
+	open := k.Invoke(task, Args{Nr: abi.SysOpen, Path: "/data/t", Flags: abi.ORdWr})
+	if res := k.Invoke(task, Args{Nr: abi.SysFtruncate, FD: open.FD, Off: 2}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if d, _ := k.FS().ReadFile(cred, "/data/t"); string(d) != "01" {
+		t.Fatalf("after ftruncate: %q", d)
+	}
+}
+
+func TestLinkSymlinkReadlinkSyscalls(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	cred := abi.Cred{UID: abi.UIDRoot}
+	if err := k.FS().WriteFile(cred, "/data/orig", []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if res := k.Invoke(task, Args{Nr: abi.SysLink, Path: "/data/orig", Path2: "/data/hard"}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if res := k.Invoke(task, Args{Nr: abi.SysSymlink, Path: "/data/orig", Path2: "/data/soft"}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	res := k.Invoke(task, Args{Nr: abi.SysReadlink, Path: "/data/soft"})
+	if string(res.Data) != "/data/orig" {
+		t.Fatalf("readlink = %q", res.Data)
+	}
+	if d, _ := k.FS().ReadFile(cred, "/data/hard"); string(d) != "x" {
+		t.Fatalf("hard link = %q", d)
+	}
+}
+
+func TestStatfsAndAccessModes(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	if res := k.Invoke(task, Args{Nr: abi.SysStatfs, Path: "/data"}); string(res.Data) != "ext4" {
+		t.Fatalf("statfs = %q", res.Data)
+	}
+	app := spawnApp(t, k, 10001)
+	cred := abi.Cred{UID: abi.UIDRoot}
+	if err := k.FS().WriteFile(cred, "/data/ro", nil, 0o444); err != nil {
+		t.Fatal(err)
+	}
+	if res := k.Invoke(app, Args{Nr: abi.SysAccess, Path: "/data/ro", Size: abi.AccessRead}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if res := k.Invoke(app, Args{Nr: abi.SysAccess, Path: "/data/ro", Size: abi.AccessWrite}); !errors.Is(res.Err, abi.EACCES) {
+		t.Fatalf("write access to 0444: %v", res.Err)
+	}
+}
+
+func TestSendfileFileToFile(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	cred := abi.Cred{UID: abi.UIDRoot}
+	if err := k.FS().WriteFile(cred, "/data/src", []byte("kernel copy"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src := k.Invoke(task, Args{Nr: abi.SysOpen, Path: "/data/src", Flags: abi.ORdOnly})
+	dst := k.Invoke(task, Args{Nr: abi.SysOpen, Path: "/data/dst", Flags: abi.OWrOnly | abi.OCreat, Mode: 0o644})
+	res := k.Invoke(task, Args{Nr: abi.SysSendfile, FD: dst.FD, FD2: src.FD, Size: 11})
+	if res.Ret != 11 {
+		t.Fatalf("sendfile = %+v", res)
+	}
+	if d, _ := k.FS().ReadFile(cred, "/data/dst"); string(d) != "kernel copy" {
+		t.Fatalf("dst = %q", d)
+	}
+	// Sendfile into a pipe-read end is EINVAL.
+	pipe := k.Invoke(task, Args{Nr: abi.SysPipe})
+	if res := k.Invoke(task, Args{Nr: abi.SysSendfile, FD: int(pipe.Ret), FD2: src.FD, Size: 4}); !errors.Is(res.Err, abi.EINVAL) {
+		t.Fatalf("sendfile to pipe: %v", res.Err)
+	}
+}
+
+func TestMountRequiresRoot(t *testing.T) {
+	k := newTestKernel(t)
+	app := spawnApp(t, k, 10001)
+	if res := k.Invoke(app, Args{Nr: abi.SysMount}); !errors.Is(res.Err, abi.EPERM) {
+		t.Fatalf("app mount: %v", res.Err)
+	}
+	rootTask := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	if res := k.Invoke(rootTask, Args{Nr: abi.SysMount}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestOpenatAndMkdirat(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	if res := k.Invoke(task, Args{Nr: abi.SysMkdirat, Path: "/data/atdir", Mode: 0o755}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	res := k.Invoke(task, Args{Nr: abi.SysOpenat, Path: "/data/atdir/f", Flags: abi.OWrOnly | abi.OCreat, Mode: 0o600})
+	if !res.Ok() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestProcfsMapsShowsVMAs(t *testing.T) {
+	k := newTestKernel(t)
+	app := spawnApp(t, k, 10001)
+	if err := app.AS.MapFixed(0x40000000, 2, ProtRead|ProtExec, VMACode, "libfoo.so"); err != nil {
+		t.Fatal(err)
+	}
+	res := k.Invoke(app, Args{Nr: abi.SysOpen, Path: "/proc/self/maps", Flags: abi.ORdOnly})
+	if !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	buf := make([]byte, 1024)
+	res = k.Invoke(app, Args{Nr: abi.SysRead, FD: res.FD, Buf: buf})
+	if !strings.Contains(string(res.Data), "libfoo.so") || !strings.Contains(string(res.Data), "r-x") {
+		t.Fatalf("maps = %q", res.Data)
+	}
+}
+
+func TestNanosleepAdvancesClock(t *testing.T) {
+	k := newTestKernel(t)
+	app := spawnApp(t, k, 10001)
+	before := k.Clock().Now()
+	k.Invoke(app, Args{Nr: abi.SysNanosleep, Off: 5_000_000}) // 5ms
+	if elapsed := k.Clock().Now() - before; elapsed < 5_000_000 {
+		t.Fatalf("nanosleep advanced only %v", elapsed)
+	}
+}
+
+func TestUnameAndSysinfo(t *testing.T) {
+	k := newTestKernel(t)
+	app := spawnApp(t, k, 10001)
+	res := k.Invoke(app, Args{Nr: abi.SysUname})
+	if !bytes.Contains(res.Data, []byte("linux-3.4")) {
+		t.Fatalf("uname = %q", res.Data)
+	}
+}
+
+func TestSocketpairStubsSucceed(t *testing.T) {
+	k := newTestKernel(t)
+	app := spawnApp(t, k, 10001)
+	for _, nr := range []abi.SyscallNr{abi.SysSetsockopt, abi.SysGetsockopt, abi.SysShutdownSk, abi.SysGetsockname, abi.SysGetpeername} {
+		sock := k.Invoke(app, Args{Nr: abi.SysSocket, Family: netstack.AFInet, SockType: netstack.SockStream})
+		if res := k.Invoke(app, Args{Nr: nr, FD: sock.FD}); !res.Ok() {
+			t.Fatalf("%v: %v", nr, res.Err)
+		}
+	}
+}
+
+func TestReadOnSocketFD(t *testing.T) {
+	k := newTestKernel(t)
+	k.Net().RegisterRemote("r:1", func(req []byte) []byte { return []byte("pong") })
+	app := spawnApp(t, k, 10001)
+	sock := k.Invoke(app, Args{Nr: abi.SysSocket, Family: netstack.AFInet, SockType: netstack.SockStream})
+	if res := k.Invoke(app, Args{Nr: abi.SysConnect, FD: sock.FD, Addr: "r:1"}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	if res := k.Invoke(app, Args{Nr: abi.SysSend, FD: sock.FD, Buf: []byte("ping")}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	// read(2) on a socket behaves like recv.
+	buf := make([]byte, 8)
+	res := k.Invoke(app, Args{Nr: abi.SysRead, FD: sock.FD, Buf: buf})
+	if string(res.Data) != "pong" {
+		t.Fatalf("read on socket = %q", res.Data)
+	}
+	// write(2) on a socket behaves like send.
+	if res := k.Invoke(app, Args{Nr: abi.SysWrite, FD: sock.FD, Buf: []byte("more")}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+}
+
+func TestFsyncChargesPerDirtyPage(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	open := k.Invoke(task, Args{Nr: abi.SysOpen, Path: "/data/sync", Flags: abi.OWrOnly | abi.OCreat, Mode: 0o600})
+	k.Invoke(task, Args{Nr: abi.SysWrite, FD: open.FD, Buf: make([]byte, 3*abi.PageSize)})
+	before := k.Clock().Now()
+	res := k.Invoke(task, Args{Nr: abi.SysFsync, FD: open.FD})
+	if res.Ret < 3 {
+		t.Fatalf("flushed %d pages", res.Ret)
+	}
+	elapsed := k.Clock().Now() - before
+	want := k.Model().SyscallEntry + timesDuration(int(res.Ret), k.Model().StorageSyncPerPage)
+	if elapsed != want {
+		t.Fatalf("fsync cost %v, want %v", elapsed, want)
+	}
+	// Second fsync: nothing dirty, near-free.
+	res = k.Invoke(task, Args{Nr: abi.SysFsync, FD: open.FD})
+	if res.Ret != 0 {
+		t.Fatalf("second fsync flushed %d", res.Ret)
+	}
+}
+
+func TestShmWithinOneKernel(t *testing.T) {
+	k := newTestKernel(t)
+	a := spawnApp(t, k, 10001)
+	b := spawnApp(t, k, 10001)
+	get := k.Invoke(a, Args{Nr: abi.SysShmget, Size: 42, Pages: 1})
+	if !get.Ok() {
+		t.Fatal(get.Err)
+	}
+	atA := k.Invoke(a, Args{Nr: abi.SysShmat, FD: int(get.Ret)})
+	atB := k.Invoke(b, Args{Nr: abi.SysShmat, FD: int(get.Ret)})
+	if !atA.Ok() || !atB.Ok() {
+		t.Fatal(atA.Err, atB.Err)
+	}
+	if err := a.AS.WriteBytes(k.Region(), uint64(atA.Ret), []byte("via-a")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.AS.ReadBytes(k.Region(), uint64(atB.Ret), 5)
+	if err != nil || string(got) != "via-a" {
+		t.Fatalf("b sees %q, %v", got, err)
+	}
+	if k.ShmSegments() != 1 {
+		t.Fatalf("segments = %d", k.ShmSegments())
+	}
+}

@@ -1,0 +1,278 @@
+// Package marshal implements the host<->CVM data channel of the Anception
+// layer: encoding of system-call arguments and results (including the
+// pointer translation the paper describes — user-space buffers referenced
+// by pointer arguments are copied into the message), fixed-size chunking,
+// and the two transports the authors prototyped: remapped guest kernel
+// pages (the shipped design) and a socket-style channel (discarded for its
+// extra copies; kept here as ablation A5).
+package marshal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+)
+
+// field tags of the TLV wire format.
+const (
+	tagNr uint8 = iota + 1
+	tagPath
+	tagPath2
+	tagFD
+	tagFD2
+	tagFlags
+	tagMode
+	tagBuf
+	tagSize
+	tagOff
+	tagWhence
+	tagRequest
+	tagAddr
+	tagFamily
+	tagSockType
+	tagProto
+	tagSig
+	tagTargetPID
+	tagUID
+	tagGID
+	tagVaddr
+	tagPages
+	tagProt
+	tagTag
+	tagArgv
+
+	tagRet
+	tagData
+	tagResFD
+	tagErrno
+	tagErrText
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8)  { w.buf = append(w.buf, v) }
+func (w *writer) u32(v int64) { w.buf = binary.LittleEndian.AppendUint32(w.buf, uint32(v)) }
+func (w *writer) u64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+func (w *writer) field64(tag uint8, v uint64) {
+	if v == 0 {
+		return
+	}
+	w.u8(tag)
+	w.u64(v)
+}
+
+func (w *writer) fieldBytes(tag uint8, b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	w.u8(tag)
+	w.u32(int64(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) more() bool { return r.err == nil && r.pos < len(r.buf) }
+
+func (r *reader) u8() uint8 {
+	if r.pos+1 > len(r.buf) {
+		r.err = errTruncated
+		return 0
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+func (r *reader) u32() int {
+	if r.pos+4 > len(r.buf) {
+		r.err = errTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return int(v)
+}
+
+func (r *reader) u64() uint64 {
+	if r.pos+8 > len(r.buf) {
+		r.err = errTruncated
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || r.pos+n > len(r.buf) {
+		r.err = errTruncated
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, r.buf[r.pos:])
+	r.pos += n
+	return out
+}
+
+var errTruncated = fmt.Errorf("marshal: truncated message: %w", abi.EINVAL)
+
+// EncodeArgs flattens a syscall's arguments, performing the pointer
+// translation step: the Buf payload (a user-space pointer on real
+// hardware) is copied inline so the guest needs no access to host memory.
+func EncodeArgs(a *kernel.Args) []byte {
+	var w writer
+	w.u8(tagNr)
+	w.u64(uint64(a.Nr))
+	w.fieldBytes(tagPath, []byte(a.Path))
+	w.fieldBytes(tagPath2, []byte(a.Path2))
+	w.field64(tagFD, uint64(int64(a.FD)))
+	w.field64(tagFD2, uint64(int64(a.FD2)))
+	w.field64(tagFlags, uint64(a.Flags))
+	w.field64(tagMode, uint64(a.Mode))
+	w.fieldBytes(tagBuf, a.Buf)
+	w.field64(tagSize, uint64(int64(a.Size)))
+	w.field64(tagOff, uint64(a.Off))
+	w.field64(tagWhence, uint64(int64(a.Whence)))
+	w.field64(tagRequest, uint64(a.Request))
+	w.fieldBytes(tagAddr, []byte(a.Addr))
+	w.field64(tagFamily, uint64(int64(a.Family)))
+	w.field64(tagSockType, uint64(int64(a.SockType)))
+	w.field64(tagProto, uint64(int64(a.Proto)))
+	w.field64(tagSig, uint64(int64(a.Sig)))
+	w.field64(tagTargetPID, uint64(int64(a.TargetPID)))
+	w.field64(tagUID, uint64(int64(a.UID)))
+	w.field64(tagGID, uint64(int64(a.GID)))
+	w.field64(tagVaddr, a.Vaddr)
+	w.field64(tagPages, uint64(int64(a.Pages)))
+	w.field64(tagProt, uint64(int64(a.Prot)))
+	w.fieldBytes(tagTag, []byte(a.Tag))
+	for _, s := range a.Argv {
+		w.fieldBytes(tagArgv, []byte(s))
+	}
+	return w.buf
+}
+
+// DecodeArgs reverses EncodeArgs.
+func DecodeArgs(b []byte) (*kernel.Args, error) {
+	a := &kernel.Args{}
+	r := &reader{buf: b}
+	for r.more() {
+		switch tag := r.u8(); tag {
+		case tagNr:
+			a.Nr = abi.SyscallNr(r.u64())
+		case tagPath:
+			a.Path = string(r.bytes())
+		case tagPath2:
+			a.Path2 = string(r.bytes())
+		case tagFD:
+			a.FD = int(int64(r.u64()))
+		case tagFD2:
+			a.FD2 = int(int64(r.u64()))
+		case tagFlags:
+			a.Flags = abi.OpenFlag(r.u64())
+		case tagMode:
+			a.Mode = abi.FileMode(r.u64())
+		case tagBuf:
+			a.Buf = r.bytes()
+		case tagSize:
+			a.Size = int(int64(r.u64()))
+		case tagOff:
+			a.Off = int64(r.u64())
+		case tagWhence:
+			a.Whence = int(int64(r.u64()))
+		case tagRequest:
+			a.Request = uint32(r.u64())
+		case tagAddr:
+			a.Addr = string(r.bytes())
+		case tagFamily:
+			a.Family = netstack.Family(r.u64())
+		case tagSockType:
+			a.SockType = netstack.SockType(r.u64())
+		case tagProto:
+			a.Proto = int(int64(r.u64()))
+		case tagSig:
+			a.Sig = int(int64(r.u64()))
+		case tagTargetPID:
+			a.TargetPID = int(int64(r.u64()))
+		case tagUID:
+			a.UID = int(int64(r.u64()))
+		case tagGID:
+			a.GID = int(int64(r.u64()))
+		case tagVaddr:
+			a.Vaddr = r.u64()
+		case tagPages:
+			a.Pages = int(int64(r.u64()))
+		case tagProt:
+			a.Prot = int(int64(r.u64()))
+		case tagTag:
+			a.Tag = string(r.bytes())
+		case tagArgv:
+			a.Argv = append(a.Argv, string(r.bytes()))
+		default:
+			return nil, fmt.Errorf("marshal: unknown args tag %d: %w", tag, abi.EINVAL)
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return a, nil
+}
+
+// EncodeResult flattens a syscall result for the return trip.
+func EncodeResult(res kernel.Result) []byte {
+	var w writer
+	w.u8(tagRet)
+	w.u64(uint64(res.Ret))
+	w.fieldBytes(tagData, res.Data)
+	w.field64(tagResFD, uint64(int64(res.FD)))
+	if res.Err != nil {
+		var errno abi.Errno
+		if errors.As(res.Err, &errno) {
+			w.u8(tagErrno)
+			w.u64(uint64(int64(errno)))
+		} else {
+			w.fieldBytes(tagErrText, []byte(res.Err.Error()))
+		}
+	}
+	return w.buf
+}
+
+// DecodeResult reverses EncodeResult. Errno errors survive the trip
+// matchably (errors.Is); other errors degrade to EIO with text.
+func DecodeResult(b []byte) (kernel.Result, error) {
+	var res kernel.Result
+	r := &reader{buf: b}
+	for r.more() {
+		switch tag := r.u8(); tag {
+		case tagRet:
+			res.Ret = int64(r.u64())
+		case tagData:
+			res.Data = r.bytes()
+		case tagResFD:
+			res.FD = int(int64(r.u64()))
+		case tagErrno:
+			res.Err = abi.Errno(int64(r.u64()))
+		case tagErrText:
+			res.Err = fmt.Errorf("%s: %w", r.bytes(), abi.EIO)
+		default:
+			return kernel.Result{}, fmt.Errorf("marshal: unknown result tag %d: %w", tag, abi.EINVAL)
+		}
+	}
+	if r.err != nil {
+		return kernel.Result{}, r.err
+	}
+	return res, nil
+}

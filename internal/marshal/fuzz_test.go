@@ -1,0 +1,50 @@
+package marshal
+
+import (
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+)
+
+// Fuzz targets: the decoders face bytes a compromised container chose.
+// `go test` exercises the seed corpus; `go test -fuzz=FuzzDecodeArgs`
+// explores further.
+
+func FuzzDecodeArgs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeArgs(&kernel.Args{Nr: abi.SysWrite, FD: 3, Buf: []byte("data"), Path: "/x"}))
+	f.Add([]byte{0xFF, 0x00, 0x01})
+	f.Add([]byte{2, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		args, err := DecodeArgs(data)
+		if err == nil && args == nil {
+			t.Fatal("nil args without error")
+		}
+	})
+}
+
+func FuzzDecodeResult(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeResult(kernel.Result{Ret: 7, Data: []byte("ok"), FD: 4}))
+	f.Add(EncodeResult(kernel.Result{Ret: -1, Err: abi.EACCES}))
+	f.Add([]byte{0xEE, 0xEE})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeResult(data)
+	})
+}
+
+// FuzzArgsRoundTrip: anything that encodes must decode to itself.
+func FuzzArgsRoundTrip(f *testing.F) {
+	f.Add("/data/x", 3, []byte("buf"), int64(12), "tag")
+	f.Fuzz(func(t *testing.T, path string, fd int, buf []byte, off int64, tag string) {
+		in := &kernel.Args{Nr: abi.SysPwrite64, Path: path, FD: fd, Buf: buf, Off: off, Tag: tag}
+		out, err := DecodeArgs(EncodeArgs(in))
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if out.Path != path || out.FD != fd || out.Off != off || out.Tag != tag {
+			t.Fatal("round trip mismatch")
+		}
+	})
+}

@@ -1,0 +1,157 @@
+package marshal
+
+import (
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/hypervisor"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// GuestHandler executes a request in the guest and returns the response
+// bytes. It runs logically "inside" the CVM between the two world switches.
+type GuestHandler func(req []byte) []byte
+
+// Transport moves one request to the guest and its response back, charging
+// simulated time. Implementations differ only in cost structure.
+type Transport interface {
+	// RoundTrip delivers payload to the guest, runs handler there, and
+	// returns the response.
+	RoundTrip(payload []byte, handler GuestHandler) ([]byte, error)
+	// Name identifies the transport in ablation reports.
+	Name() string
+}
+
+// ChunkSize is the fixed transfer unit of the data channel (footnote 7).
+// It is a variable, not a constant, only in PageChannel's config so the
+// chunk-size ablation (A2) can sweep it.
+const DefaultChunkSize = abi.PageSize
+
+// PageChannel is the shipped transport: marshaled data is copied into
+// guest kernel pages that were remapped into host kernel space at launch,
+// then the guest is signaled by interrupt injection; the guest replies via
+// hypercall (Section IV-1).
+type PageChannel struct {
+	cvm       *hypervisor.CVM
+	clock     *sim.Clock
+	model     sim.LatencyModel
+	chunkSize int
+}
+
+var _ Transport = (*PageChannel)(nil)
+
+// NewPageChannel builds the remapped-page transport. chunkSize <= 0 uses
+// the default 4096-byte chunking.
+func NewPageChannel(cvm *hypervisor.CVM, clock *sim.Clock, model sim.LatencyModel, chunkSize int) *PageChannel {
+	if chunkSize <= 0 {
+		chunkSize = DefaultChunkSize
+	}
+	return &PageChannel{cvm: cvm, clock: clock, model: model, chunkSize: chunkSize}
+}
+
+// Name implements Transport.
+func (p *PageChannel) Name() string { return "remapped-pages" }
+
+// ChunkSize returns the configured transfer unit.
+func (p *PageChannel) ChunkSize() int { return p.chunkSize }
+
+// chargeChunks models copying data through the fixed-size channel slots.
+func (p *PageChannel) chargeChunks(n int, perByte time.Duration) {
+	if n == 0 {
+		p.clock.Advance(p.model.ChunkOverhead)
+		return
+	}
+	chunks := (n + p.chunkSize - 1) / p.chunkSize
+	p.clock.Advance(time.Duration(chunks)*p.model.ChunkOverhead + time.Duration(n)*perByte)
+}
+
+// RoundTrip implements Transport. The payload bytes really do traverse the
+// guest-owned channel frames, so anything the host sends is visible to
+// (and only to) the container — the property the encfs extension's tests
+// rely on.
+func (p *PageChannel) RoundTrip(payload []byte, handler GuestHandler) ([]byte, error) {
+	pages := p.cvm.ChannelPages()
+	if len(pages) == 0 {
+		return nil, abi.ENXIO
+	}
+	// Outbound: copy into remapped guest pages, chunk by chunk.
+	p.chargeChunks(len(payload), p.model.CopyToGuestPerByte)
+	if err := p.copyThroughChannel(pages, payload); err != nil {
+		return nil, err
+	}
+	// Signal the guest and run the call there.
+	p.cvm.InjectInterrupt()
+	resp := handler(payload)
+	// Inbound: the guest posts the response through the same pages and
+	// hypercalls back.
+	p.chargeChunks(len(resp), p.model.CopyFromGuestPerByte)
+	if err := p.copyThroughChannel(pages, resp); err != nil {
+		return nil, err
+	}
+	p.cvm.Hypercall()
+	return resp, nil
+}
+
+// copyThroughChannel writes data into the channel frames (ring-style) so
+// the bytes genuinely exist in guest-visible memory.
+func (p *PageChannel) copyThroughChannel(pages []kernel.FrameID, data []byte) error {
+	slot := 0
+	for off := 0; off < len(data); off += abi.PageSize {
+		end := off + abi.PageSize
+		if end > len(data) {
+			end = len(data)
+		}
+		// The host kernel may write these frames because they were
+		// remapped into its address space at launch; physically they are
+		// guest frames, which is the point.
+		if err := p.cvm.WriteChannelFrame(pages[slot], data[off:end]); err != nil {
+			return err
+		}
+		slot = (slot + 1) % len(pages)
+	}
+	return nil
+}
+
+// LastChannelBytes returns the current contents of the first channel
+// frame; tests use it to observe what the container could see.
+func (p *PageChannel) LastChannelBytes(n int) ([]byte, error) {
+	pages := p.cvm.ChannelPages()
+	if len(pages) == 0 {
+		return nil, abi.ENXIO
+	}
+	buf := make([]byte, n)
+	if err := p.cvm.ReadChannelFrame(pages[0], buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// SocketChannel is the discarded prototype transport (Section IV-1): a
+// socket/virtio-style path with extra data copies and per-message fixed
+// cost. Functionally identical; only the cost model differs.
+type SocketChannel struct {
+	cvm   *hypervisor.CVM
+	clock *sim.Clock
+	model sim.LatencyModel
+}
+
+var _ Transport = (*SocketChannel)(nil)
+
+// NewSocketChannel builds the ablation transport.
+func NewSocketChannel(cvm *hypervisor.CVM, clock *sim.Clock, model sim.LatencyModel) *SocketChannel {
+	return &SocketChannel{cvm: cvm, clock: clock, model: model}
+}
+
+// Name implements Transport.
+func (s *SocketChannel) Name() string { return "socket" }
+
+// RoundTrip implements Transport.
+func (s *SocketChannel) RoundTrip(payload []byte, handler GuestHandler) ([]byte, error) {
+	s.clock.Advance(s.model.SocketChannelFixed + time.Duration(len(payload))*s.model.SocketChannelPerByte)
+	s.cvm.InjectInterrupt()
+	resp := handler(payload)
+	s.clock.Advance(s.model.SocketChannelFixed + time.Duration(len(resp))*s.model.SocketChannelPerByte)
+	s.cvm.Hypercall()
+	return resp, nil
+}

@@ -1,0 +1,96 @@
+package minidb
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Engine-level wall-clock benchmarks (the simulated-latency benches live
+// in the repository root).
+
+func benchDB(b *testing.B) *DB {
+	b.Helper()
+	db, err := Open(newFSIO(b), "/data/bench.db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db
+}
+
+func BenchmarkInsertSequential(b *testing.B) {
+	db := benchDB(b)
+	tx, err := db.Begin()
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := []byte("benchmark row value, 32 bytes...")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx.Insert(int64(i), val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetWarm(b *testing.B) {
+	db := benchDB(b)
+	tx, _ := db.Begin()
+	for i := int64(0); i < 10000; i++ {
+		if err := tx.Insert(i, []byte("value")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.Get(int64(i % 10000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCommit100Rows(b *testing.B) {
+	db := benchDB(b)
+	key := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := db.Begin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 100; j++ {
+			if err := tx.Insert(key, []byte(fmt.Sprintf("row %d", key))); err != nil {
+				b.Fatal(err)
+			}
+			key++
+		}
+		if err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScan10K(b *testing.B) {
+	db := benchDB(b)
+	tx, _ := db.Begin()
+	for i := int64(0); i < 10000; i++ {
+		if err := tx.Insert(i, []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if err := db.Scan(0, 10000, func(int64, []byte) bool { n++; return true }); err != nil {
+			b.Fatal(err)
+		}
+		if n != 10000 {
+			b.Fatal("scan lost rows")
+		}
+	}
+}

@@ -1,0 +1,364 @@
+package minidb
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Page types.
+const (
+	pageLeaf     = 1
+	pageInterior = 2
+)
+
+// MaxValueLen bounds row values so several cells always fit in a page.
+const MaxValueLen = 1024
+
+// leaf page layout:   [type u8][ncells u16] cells: (key i64, vlen u16, val)
+// interior layout:    [type u8][ncells u16][rightmost u32] cells: (key i64, child u32)
+//
+// Interior cell semantics: child holds keys <= key; rightmost holds the
+// rest.
+
+type leafCell struct {
+	key int64
+	val []byte
+}
+
+type interiorCell struct {
+	key   int64
+	child uint32
+}
+
+func decodeLeaf(buf []byte) ([]leafCell, error) {
+	if buf[0] != pageLeaf {
+		return nil, fmt.Errorf("expected leaf: %w", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[1:]))
+	cells := make([]leafCell, 0, n)
+	off := 3
+	for i := 0; i < n; i++ {
+		if off+10 > len(buf) {
+			return nil, ErrCorrupt
+		}
+		key := int64(binary.LittleEndian.Uint64(buf[off:]))
+		vlen := int(binary.LittleEndian.Uint16(buf[off+8:]))
+		off += 10
+		if off+vlen > len(buf) {
+			return nil, ErrCorrupt
+		}
+		val := make([]byte, vlen)
+		copy(val, buf[off:off+vlen])
+		off += vlen
+		cells = append(cells, leafCell{key: key, val: val})
+	}
+	return cells, nil
+}
+
+func encodeLeaf(buf []byte, cells []leafCell) bool {
+	need := 3
+	for _, c := range cells {
+		need += 10 + len(c.val)
+	}
+	if need > len(buf) {
+		return false
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = pageLeaf
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(cells)))
+	off := 3
+	for _, c := range cells {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(c.key))
+		binary.LittleEndian.PutUint16(buf[off+8:], uint16(len(c.val)))
+		off += 10
+		copy(buf[off:], c.val)
+		off += len(c.val)
+	}
+	return true
+}
+
+func decodeInterior(buf []byte) (cells []interiorCell, rightmost uint32, err error) {
+	if buf[0] != pageInterior {
+		return nil, 0, fmt.Errorf("expected interior: %w", ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(buf[1:]))
+	rightmost = binary.LittleEndian.Uint32(buf[3:])
+	off := 7
+	cells = make([]interiorCell, 0, n)
+	for i := 0; i < n; i++ {
+		if off+12 > len(buf) {
+			return nil, 0, ErrCorrupt
+		}
+		key := int64(binary.LittleEndian.Uint64(buf[off:]))
+		child := binary.LittleEndian.Uint32(buf[off+8:])
+		off += 12
+		cells = append(cells, interiorCell{key: key, child: child})
+	}
+	return cells, rightmost, nil
+}
+
+func encodeInterior(buf []byte, cells []interiorCell, rightmost uint32) bool {
+	need := 7 + 12*len(cells)
+	if need > len(buf) {
+		return false
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	buf[0] = pageInterior
+	binary.LittleEndian.PutUint16(buf[1:], uint16(len(cells)))
+	binary.LittleEndian.PutUint32(buf[3:], rightmost)
+	off := 7
+	for _, c := range cells {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(c.key))
+		binary.LittleEndian.PutUint32(buf[off+8:], c.child)
+		off += 12
+	}
+	return true
+}
+
+// splitResult propagates a split upward: a new right sibling and the
+// separator key (max key of the left node).
+type splitResult struct {
+	sepKey   int64
+	newRight uint32
+}
+
+// insert descends from page no; returns a split to propagate, or nil.
+func (p *pager) insert(no uint32, key int64, val []byte) (*splitResult, error) {
+	buf, err := p.page(no)
+	if err != nil {
+		return nil, err
+	}
+	switch buf[0] {
+	case pageLeaf:
+		cells, err := decodeLeaf(buf)
+		if err != nil {
+			return nil, err
+		}
+		idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+		if idx < len(cells) && cells[idx].key == key {
+			cells[idx].val = val // overwrite
+		} else {
+			cells = append(cells, leafCell{})
+			copy(cells[idx+1:], cells[idx:])
+			cells[idx] = leafCell{key: key, val: val}
+		}
+		buf, err = p.modify(no)
+		if err != nil {
+			return nil, err
+		}
+		if encodeLeaf(buf, cells) {
+			return nil, nil
+		}
+		// Split: left keeps the first half.
+		mid := len(cells) / 2
+		left, right := cells[:mid], cells[mid:]
+		if !encodeLeaf(buf, left) {
+			return nil, ErrCorrupt
+		}
+		rightNo, rightBuf := p.alloc()
+		if !encodeLeaf(rightBuf, right) {
+			return nil, ErrCorrupt
+		}
+		return &splitResult{sepKey: left[len(left)-1].key, newRight: rightNo}, nil
+
+	case pageInterior:
+		cells, rightmost, err := decodeInterior(buf)
+		if err != nil {
+			return nil, err
+		}
+		idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+		child := rightmost
+		if idx < len(cells) {
+			child = cells[idx].child
+		}
+		split, err := p.insert(child, key, val)
+		if err != nil {
+			return nil, err
+		}
+		if split == nil {
+			return nil, nil
+		}
+		// Insert the separator: newRight takes child's upper half.
+		newCell := interiorCell{key: split.sepKey, child: child}
+		if idx < len(cells) {
+			cells = append(cells, interiorCell{})
+			copy(cells[idx+1:], cells[idx:])
+			cells[idx] = newCell
+			cells[idx+1].child = split.newRight
+		} else {
+			cells = append(cells, newCell)
+			rightmost = split.newRight
+		}
+		buf, err = p.modify(no)
+		if err != nil {
+			return nil, err
+		}
+		if encodeInterior(buf, cells, rightmost) {
+			return nil, nil
+		}
+		// Split the interior node.
+		mid := len(cells) / 2
+		sep := cells[mid]
+		leftCells := cells[:mid]
+		rightCells := append([]interiorCell(nil), cells[mid+1:]...)
+		if !encodeInterior(buf, leftCells, sep.child) {
+			return nil, ErrCorrupt
+		}
+		rightNo, rightBuf := p.alloc()
+		if !encodeInterior(rightBuf, rightCells, rightmost) {
+			return nil, ErrCorrupt
+		}
+		return &splitResult{sepKey: sep.key, newRight: rightNo}, nil
+
+	default:
+		return nil, ErrCorrupt
+	}
+}
+
+// treeInsert inserts at the root, growing the tree on a root split.
+func (p *pager) treeInsert(key int64, val []byte) error {
+	split, err := p.insert(p.rootPage, key, val)
+	if err != nil {
+		return err
+	}
+	if split == nil {
+		return nil
+	}
+	newRootNo, newRootBuf := p.alloc()
+	ok := encodeInterior(newRootBuf, []interiorCell{{key: split.sepKey, child: p.rootPage}}, split.newRight)
+	if !ok {
+		return ErrCorrupt
+	}
+	p.rootPage = newRootNo
+	return p.writeHeader()
+}
+
+// treeGet finds a key.
+func (p *pager) treeGet(key int64) ([]byte, error) {
+	no := p.rootPage
+	for {
+		buf, err := p.page(no)
+		if err != nil {
+			return nil, err
+		}
+		switch buf[0] {
+		case pageLeaf:
+			cells, err := decodeLeaf(buf)
+			if err != nil {
+				return nil, err
+			}
+			idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+			if idx < len(cells) && cells[idx].key == key {
+				return cells[idx].val, nil
+			}
+			return nil, ErrNotFound
+		case pageInterior:
+			cells, rightmost, err := decodeInterior(buf)
+			if err != nil {
+				return nil, err
+			}
+			idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+			if idx < len(cells) {
+				no = cells[idx].child
+			} else {
+				no = rightmost
+			}
+		default:
+			return nil, ErrCorrupt
+		}
+	}
+}
+
+// treeDelete removes a key from its leaf (no rebalancing: deleted space
+// is reclaimed on subsequent splits, the classic slotted-page tradeoff).
+func (p *pager) treeDelete(key int64) error {
+	no := p.rootPage
+	for {
+		buf, err := p.page(no)
+		if err != nil {
+			return err
+		}
+		switch buf[0] {
+		case pageLeaf:
+			cells, err := decodeLeaf(buf)
+			if err != nil {
+				return err
+			}
+			idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+			if idx >= len(cells) || cells[idx].key != key {
+				return ErrNotFound
+			}
+			cells = append(cells[:idx], cells[idx+1:]...)
+			buf, err = p.modify(no)
+			if err != nil {
+				return err
+			}
+			if !encodeLeaf(buf, cells) {
+				return ErrCorrupt
+			}
+			return nil
+		case pageInterior:
+			cells, rightmost, err := decodeInterior(buf)
+			if err != nil {
+				return err
+			}
+			idx := sort.Search(len(cells), func(i int) bool { return cells[i].key >= key })
+			if idx < len(cells) {
+				no = cells[idx].child
+			} else {
+				no = rightmost
+			}
+		default:
+			return ErrCorrupt
+		}
+	}
+}
+
+// treeScan visits keys in [from, to] in order.
+func (p *pager) treeScan(no uint32, from, to int64, visit func(key int64, val []byte) bool) (bool, error) {
+	buf, err := p.page(no)
+	if err != nil {
+		return false, err
+	}
+	switch buf[0] {
+	case pageLeaf:
+		cells, err := decodeLeaf(buf)
+		if err != nil {
+			return false, err
+		}
+		for _, c := range cells {
+			if c.key < from {
+				continue
+			}
+			if c.key > to {
+				return false, nil
+			}
+			if !visit(c.key, c.val) {
+				return false, nil
+			}
+		}
+		return true, nil
+	case pageInterior:
+		cells, rightmost, err := decodeInterior(buf)
+		if err != nil {
+			return false, err
+		}
+		for _, c := range cells {
+			if c.key < from {
+				continue
+			}
+			cont, err := p.treeScan(c.child, from, to, visit)
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return p.treeScan(rightmost, from, to, visit)
+	default:
+		return false, ErrCorrupt
+	}
+}

@@ -1,0 +1,494 @@
+// Package netstack implements the simulated network stack: INET stream and
+// datagram sockets (loopback plus scripted remote endpoints), Unix domain
+// sockets, and netlink channels used by Android's privileged daemons.
+//
+// The stack also carries the *vulnerability surface* of the kernel network
+// code that Section V studies: socket families can be flagged with known
+// historical bugs (e.g. the NULL proto_ops sendpage of CVE-2009-2692) that
+// the kernel layer consults when executing calls.
+package netstack
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"anception/internal/abi"
+)
+
+// Family is a socket address family.
+type Family int
+
+// Address families used by the simulation.
+const (
+	AFInet Family = iota + 1
+	AFUnix
+	AFNetlink
+	AFBluetooth
+)
+
+// String names the family as in <sys/socket.h>.
+func (f Family) String() string {
+	switch f {
+	case AFInet:
+		return "AF_INET"
+	case AFUnix:
+		return "AF_UNIX"
+	case AFNetlink:
+		return "AF_NETLINK"
+	case AFBluetooth:
+		return "PF_BLUETOOTH"
+	default:
+		return fmt.Sprintf("AF(%d)", int(f))
+	}
+}
+
+// SockType distinguishes stream and datagram sockets.
+type SockType int
+
+// Socket types.
+const (
+	SockStream SockType = iota + 1
+	SockDgram
+)
+
+// String names the type.
+func (t SockType) String() string {
+	if t == SockStream {
+		return "SOCK_STREAM"
+	}
+	return "SOCK_DGRAM"
+}
+
+// Cred mirrors vfs.Cred for the network layer.
+type Cred = abi.Cred
+
+// RemoteHandler simulates a remote server (e.g. the bank backend): it
+// receives request bytes and returns response bytes.
+type RemoteHandler func(req []byte) []byte
+
+// NetlinkReceiver is the daemon-side handler of a netlink protocol. It
+// receives the sender's credentials and the message; vold's GingerBreak bug
+// lives behind one of these.
+type NetlinkReceiver func(sender Cred, msg []byte) error
+
+// VulnFlag marks a historical kernel bug present in the simulated stack.
+type VulnFlag int
+
+// Known stack vulnerabilities.
+const (
+	// VulnNullSendpage models CVE-2009-2692: the proto_ops of certain
+	// socket families left sendpage NULL, so sendfile() on such a socket
+	// makes the kernel jump through a NULL function pointer — i.e. to
+	// whatever the attacker mapped at virtual page zero.
+	VulnNullSendpage VulnFlag = iota + 1
+)
+
+// State tracks the lifecycle of a socket.
+type State int
+
+// Socket states.
+const (
+	StateNew State = iota + 1
+	StateBound
+	StateListening
+	StateConnected
+	StateClosed
+)
+
+// Socket is one endpoint.
+type Socket struct {
+	stack  *Stack
+	Family Family
+	Type   SockType
+	Proto  int
+
+	mu        sync.Mutex
+	state     State
+	localAddr string
+	peerAddr  string
+	peer      *Socket
+	remote    RemoteHandler
+	recvq     [][]byte
+	backlog   []*Socket
+	vulns     map[VulnFlag]bool
+	owner     Cred
+}
+
+// ConnectPolicy may veto outbound connections. The host installs one on
+// the CVM's stack to firewall the container's external connectivity
+// ("the CVM's external connectivity can be controlled from the host by
+// firewall rules", Section III-D).
+type ConnectPolicy func(cred Cred, addr string) error
+
+// Stack is one kernel's network stack.
+type Stack struct {
+	mu        sync.Mutex
+	name      string
+	remotes   map[string]RemoteHandler
+	listeners map[string]*Socket
+	unixNames map[string]*Socket
+	netlinks  map[int]netlinkEntry
+	vulnByKey map[string]VulnFlag
+	policy    ConnectPolicy
+}
+
+type netlinkEntry struct {
+	receiver NetlinkReceiver
+	// worldSendable models the GingerBreak misconfiguration: the channel
+	// accepts messages from any UID instead of only root/system.
+	worldSendable bool
+}
+
+// New returns an empty stack labeled with the owning kernel's name.
+func New(name string) *Stack {
+	return &Stack{
+		name:      name,
+		remotes:   make(map[string]RemoteHandler),
+		listeners: make(map[string]*Socket),
+		unixNames: make(map[string]*Socket),
+		netlinks:  make(map[int]netlinkEntry),
+		vulnByKey: make(map[string]VulnFlag),
+	}
+}
+
+// Name returns the stack's label ("host" or "cvm").
+func (s *Stack) Name() string { return s.name }
+
+// RegisterRemote installs a scripted remote server reachable at addr
+// (host:port form).
+func (s *Stack) RegisterRemote(addr string, h RemoteHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.remotes[addr] = h
+}
+
+// RegisterNetlink installs the daemon-side receiver for a netlink protocol
+// number. worldSendable re-creates the permission misconfiguration that
+// GingerBreak exploited.
+func (s *Stack) RegisterNetlink(proto int, recv NetlinkReceiver, worldSendable bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.netlinks[proto] = netlinkEntry{receiver: recv, worldSendable: worldSendable}
+}
+
+// SetConnectPolicy installs (or clears, with nil) the outbound firewall.
+func (s *Stack) SetConnectPolicy(p ConnectPolicy) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.policy = p
+}
+
+// NetlinkProtocols lists the registered netlink protocol numbers in
+// ascending order; the kernel synthesizes /proc/net/netlink from it.
+func (s *Stack) NetlinkProtocols() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.netlinks))
+	for proto := range s.netlinks {
+		out = append(out, proto)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// InjectVulnerability marks sockets of the given family/type as carrying a
+// historical kernel bug.
+func (s *Stack) InjectVulnerability(f Family, t SockType, v VulnFlag) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.vulnByKey[vulnKey(f, t)] = v
+}
+
+func vulnKey(f Family, t SockType) string { return fmt.Sprintf("%d/%d", f, t) }
+
+// Socket creates a new socket owned by cred.
+func (s *Stack) Socket(cred Cred, f Family, t SockType, proto int) (*Socket, error) {
+	if f == 0 || t == 0 {
+		return nil, abi.EINVAL
+	}
+	sock := &Socket{
+		stack:  s,
+		Family: f,
+		Type:   t,
+		Proto:  proto,
+		state:  StateNew,
+		vulns:  make(map[VulnFlag]bool),
+		owner:  cred,
+	}
+	s.mu.Lock()
+	if v, ok := s.vulnByKey[vulnKey(f, t)]; ok {
+		sock.vulns[v] = true
+	}
+	s.mu.Unlock()
+	return sock, nil
+}
+
+// HasVulnerability reports whether the socket carries a flagged kernel bug.
+func (sk *Socket) HasVulnerability(v VulnFlag) bool {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return sk.vulns[v]
+}
+
+// Owner returns the creating credentials.
+func (sk *Socket) Owner() Cred { return sk.owner }
+
+// State returns the socket state.
+func (sk *Socket) State() State {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return sk.state
+}
+
+// Bind attaches a local address: "host:port" for INET, a filesystem-style
+// name for Unix sockets, or the protocol number (ignored address) for
+// netlink.
+func (sk *Socket) Bind(addr string) error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.state != StateNew {
+		return abi.EINVAL
+	}
+	s := sk.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch sk.Family {
+	case AFInet:
+		if _, taken := s.listeners[addr]; taken {
+			return abi.EADDRINUSE
+		}
+	case AFUnix:
+		if _, taken := s.unixNames[addr]; taken {
+			return abi.EADDRINUSE
+		}
+		s.unixNames[addr] = sk
+	}
+	sk.localAddr = addr
+	sk.state = StateBound
+	return nil
+}
+
+// Listen marks a bound stream socket as accepting connections.
+func (sk *Socket) Listen() error {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.Type != SockStream {
+		return abi.EOPNOTSUPP
+	}
+	if sk.state != StateBound {
+		return abi.EINVAL
+	}
+	sk.state = StateListening
+	s := sk.stack
+	s.mu.Lock()
+	if sk.Family == AFInet {
+		s.listeners[sk.localAddr] = sk
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Accept dequeues one pending connection; EAGAIN if none is waiting (the
+// simulation is event-driven, not blocking).
+func (sk *Socket) Accept() (*Socket, error) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.state != StateListening {
+		return nil, abi.EINVAL
+	}
+	if len(sk.backlog) == 0 {
+		return nil, abi.EAGAIN
+	}
+	conn := sk.backlog[0]
+	sk.backlog = sk.backlog[1:]
+	return conn, nil
+}
+
+// Connect attaches the socket to a remote address: a scripted remote, a
+// local listener, or a bound unix socket.
+func (sk *Socket) Connect(addr string) error {
+	sk.mu.Lock()
+	if sk.state == StateConnected {
+		sk.mu.Unlock()
+		return abi.EINVAL
+	}
+	sk.mu.Unlock()
+
+	s := sk.stack
+	s.mu.Lock()
+	policy := s.policy
+	s.mu.Unlock()
+	if policy != nil {
+		if err := policy(sk.owner, addr); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	remote, isRemote := s.remotes[addr]
+	var listener *Socket
+	var unixPeer *Socket
+	switch sk.Family {
+	case AFInet:
+		listener = s.listeners[addr]
+	case AFUnix:
+		unixPeer = s.unixNames[addr]
+	}
+	s.mu.Unlock()
+
+	switch {
+	case isRemote:
+		sk.mu.Lock()
+		sk.remote = remote
+		sk.peerAddr = addr
+		sk.state = StateConnected
+		sk.mu.Unlock()
+		return nil
+	case listener != nil:
+		serverSide := &Socket{
+			stack: s, Family: sk.Family, Type: sk.Type, Proto: sk.Proto,
+			state: StateConnected, peerAddr: "client", vulns: map[VulnFlag]bool{},
+			owner: listener.owner,
+		}
+		sk.mu.Lock()
+		sk.peer = serverSide
+		sk.peerAddr = addr
+		sk.state = StateConnected
+		sk.mu.Unlock()
+		serverSide.peer = sk
+		listener.mu.Lock()
+		listener.backlog = append(listener.backlog, serverSide)
+		listener.mu.Unlock()
+		return nil
+	case unixPeer != nil:
+		serverSide := &Socket{
+			stack: s, Family: sk.Family, Type: sk.Type, Proto: sk.Proto,
+			state: StateConnected, peerAddr: "client", vulns: map[VulnFlag]bool{},
+			owner: unixPeer.owner,
+		}
+		sk.mu.Lock()
+		sk.peer = serverSide
+		sk.peerAddr = addr
+		sk.state = StateConnected
+		sk.mu.Unlock()
+		serverSide.peer = sk
+		unixPeer.mu.Lock()
+		unixPeer.backlog = append(unixPeer.backlog, serverSide)
+		unixPeer.mu.Unlock()
+		return nil
+	default:
+		return abi.ENETUNREACH
+	}
+}
+
+// Send transmits data on a connected socket. For scripted remotes the
+// response is queued for the next Recv.
+func (sk *Socket) Send(data []byte) (int, error) {
+	sk.mu.Lock()
+	if sk.state != StateConnected {
+		sk.mu.Unlock()
+		return 0, abi.EPIPE
+	}
+	remote := sk.remote
+	peer := sk.peer
+	sk.mu.Unlock()
+
+	switch {
+	case remote != nil:
+		resp := remote(append([]byte(nil), data...))
+		sk.mu.Lock()
+		if resp != nil {
+			sk.recvq = append(sk.recvq, resp)
+		}
+		sk.mu.Unlock()
+		return len(data), nil
+	case peer != nil:
+		peer.mu.Lock()
+		peer.recvq = append(peer.recvq, append([]byte(nil), data...))
+		peer.mu.Unlock()
+		return len(data), nil
+	default:
+		return 0, abi.EPIPE
+	}
+}
+
+// SendToNetlink delivers a datagram to the netlink protocol's registered
+// daemon. Non-root senders are rejected unless the channel was (mis-)
+// configured as world-sendable.
+func (sk *Socket) SendToNetlink(proto int, sender Cred, msg []byte) error {
+	if sk.Family != AFNetlink {
+		return abi.EOPNOTSUPP
+	}
+	s := sk.stack
+	s.mu.Lock()
+	entry, ok := s.netlinks[proto]
+	s.mu.Unlock()
+	if !ok {
+		return abi.ENETUNREACH
+	}
+	if !entry.worldSendable && sender.UID != abi.UIDRoot && sender.UID != abi.UIDSystem {
+		return abi.EPERM
+	}
+	return entry.receiver(sender, msg)
+}
+
+// Recv dequeues one buffered message; EAGAIN when empty.
+func (sk *Socket) Recv(p []byte) (int, error) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.state == StateClosed {
+		return 0, abi.EBADF
+	}
+	if len(sk.recvq) == 0 {
+		return 0, abi.EAGAIN
+	}
+	msg := sk.recvq[0]
+	n := copy(p, msg)
+	if sk.Type == SockStream && n < len(msg) {
+		sk.recvq[0] = msg[n:]
+	} else {
+		sk.recvq = sk.recvq[1:]
+	}
+	return n, nil
+}
+
+// Pending reports the number of queued messages.
+func (sk *Socket) Pending() int {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return len(sk.recvq)
+}
+
+// LocalAddr returns the bound address.
+func (sk *Socket) LocalAddr() string {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return sk.localAddr
+}
+
+// PeerAddr returns the connected peer address.
+func (sk *Socket) PeerAddr() string {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return sk.peerAddr
+}
+
+// Close tears the socket down and unregisters any names it held.
+func (sk *Socket) Close() error {
+	sk.mu.Lock()
+	local, fam, st := sk.localAddr, sk.Family, sk.state
+	sk.state = StateClosed
+	sk.recvq = nil
+	sk.mu.Unlock()
+
+	s := sk.stack
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fam == AFInet && st == StateListening {
+		delete(s.listeners, local)
+	}
+	if fam == AFUnix && local != "" {
+		delete(s.unixNames, local)
+	}
+	return nil
+}

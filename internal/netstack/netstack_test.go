@@ -1,0 +1,305 @@
+package netstack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+)
+
+var (
+	appCred  = Cred{UID: abi.UIDAppBase, PID: 100}
+	rootCred = Cred{UID: abi.UIDRoot, PID: 1}
+)
+
+func TestSocketCreation(t *testing.T) {
+	s := New("host")
+	sk, err := s.Socket(appCred, AFInet, SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk.State() != StateNew {
+		t.Fatalf("state = %v", sk.State())
+	}
+	if _, err := s.Socket(appCred, 0, SockStream, 0); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("invalid family: %v, want EINVAL", err)
+	}
+}
+
+func TestRemoteExchange(t *testing.T) {
+	s := New("cvm")
+	s.RegisterRemote("bank.com:443", func(req []byte) []byte {
+		return append([]byte("ack:"), req...)
+	})
+	sk, err := s.Socket(appCred, AFInet, SockStream, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sk.Connect("bank.com:443"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Send([]byte("LOGIN")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	n, err := sk.Recv(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "ack:LOGIN" {
+		t.Fatalf("resp = %q", buf[:n])
+	}
+}
+
+func TestConnectUnreachable(t *testing.T) {
+	s := New("host")
+	sk, _ := s.Socket(appCred, AFInet, SockStream, 0)
+	if err := sk.Connect("nowhere:1"); !errors.Is(err, abi.ENETUNREACH) {
+		t.Fatalf("err = %v, want ENETUNREACH", err)
+	}
+}
+
+func TestLoopbackListenAccept(t *testing.T) {
+	s := New("host")
+	srv, _ := s.Socket(rootCred, AFInet, SockStream, 0)
+	if err := srv.Bind("127.0.0.1:8000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Accept(); !errors.Is(err, abi.EAGAIN) {
+		t.Fatalf("accept empty backlog: %v, want EAGAIN", err)
+	}
+
+	cli, _ := s.Socket(appCred, AFInet, SockStream, 0)
+	if err := cli.Connect("127.0.0.1:8000"); err != nil {
+		t.Fatal(err)
+	}
+	conn, err := srv.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Send([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	n, err := conn.Recv(buf)
+	if err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("server recv = %q, %v", buf[:n], err)
+	}
+	if _, err := conn.Send([]byte("pong")); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cli.Recv(buf)
+	if err != nil || string(buf[:n]) != "pong" {
+		t.Fatalf("client recv = %q, %v", buf[:n], err)
+	}
+}
+
+func TestBindAddrInUse(t *testing.T) {
+	s := New("host")
+	a, _ := s.Socket(rootCred, AFInet, SockStream, 0)
+	b, _ := s.Socket(rootCred, AFInet, SockStream, 0)
+	if err := a.Bind(":9"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Bind(":9"); !errors.Is(err, abi.EADDRINUSE) {
+		t.Fatalf("err = %v, want EADDRINUSE", err)
+	}
+}
+
+func TestUnixSocketPair(t *testing.T) {
+	s := New("host")
+	srv, _ := s.Socket(rootCred, AFUnix, SockStream, 0)
+	if err := srv.Bind("/dev/socket/zygote"); err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := s.Socket(appCred, AFUnix, SockStream, 0)
+	if err := cli.Connect("/dev/socket/zygote"); err != nil {
+		t.Fatal(err)
+	}
+	conn := func() *Socket {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		if len(srv.backlog) == 0 {
+			t.Fatal("no pending unix connection")
+		}
+		return srv.backlog[0]
+	}()
+	if _, err := cli.Send([]byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if n, err := conn.Recv(buf); err != nil || string(buf[:n]) != "hi" {
+		t.Fatalf("unix recv = %q, %v", buf[:n], err)
+	}
+}
+
+func TestStreamPartialRecvKeepsRemainder(t *testing.T) {
+	s := New("host")
+	s.RegisterRemote("r:1", func(req []byte) []byte { return []byte("abcdefgh") })
+	sk, _ := s.Socket(appCred, AFInet, SockStream, 0)
+	if err := sk.Connect("r:1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sk.Send([]byte("go")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if n, _ := sk.Recv(buf); string(buf[:n]) != "abc" {
+		t.Fatalf("first chunk = %q", buf[:n])
+	}
+	rest := make([]byte, 16)
+	if n, _ := sk.Recv(rest); string(rest[:n]) != "defgh" {
+		t.Fatalf("second chunk = %q", rest[:n])
+	}
+}
+
+func TestNetlinkPermissionModel(t *testing.T) {
+	s := New("host")
+	var got []byte
+	var from Cred
+	// Correctly configured channel: only root/system may send.
+	s.RegisterNetlink(15, func(sender Cred, msg []byte) error {
+		from = sender
+		got = append([]byte(nil), msg...)
+		return nil
+	}, false)
+
+	sk, _ := s.Socket(appCred, AFNetlink, SockDgram, 15)
+	if err := sk.SendToNetlink(15, appCred, []byte("evil")); !errors.Is(err, abi.EPERM) {
+		t.Fatalf("app send on protected channel: %v, want EPERM", err)
+	}
+	if err := sk.SendToNetlink(15, rootCred, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("ok")) || from.UID != abi.UIDRoot {
+		t.Fatalf("delivery = %q from %+v", got, from)
+	}
+}
+
+func TestNetlinkWorldSendableMisconfiguration(t *testing.T) {
+	s := New("host")
+	delivered := false
+	// The GingerBreak misconfiguration: anyone can send to vold.
+	s.RegisterNetlink(16, func(sender Cred, msg []byte) error {
+		delivered = true
+		return nil
+	}, true)
+	sk, _ := s.Socket(appCred, AFNetlink, SockDgram, 16)
+	if err := sk.SendToNetlink(16, appCred, []byte("NEGATIVE_INDEX")); err != nil {
+		t.Fatal(err)
+	}
+	if !delivered {
+		t.Fatal("world-sendable channel dropped app message")
+	}
+}
+
+func TestNetlinkUnknownProtocol(t *testing.T) {
+	s := New("host")
+	sk, _ := s.Socket(appCred, AFNetlink, SockDgram, 99)
+	if err := sk.SendToNetlink(99, appCred, nil); !errors.Is(err, abi.ENETUNREACH) {
+		t.Fatalf("err = %v, want ENETUNREACH", err)
+	}
+	sk2, _ := s.Socket(appCred, AFInet, SockDgram, 0)
+	if err := sk2.SendToNetlink(1, appCred, nil); !errors.Is(err, abi.EOPNOTSUPP) {
+		t.Fatalf("netlink send on inet socket: %v, want EOPNOTSUPP", err)
+	}
+}
+
+func TestVulnerabilityInjection(t *testing.T) {
+	s := New("host")
+	s.InjectVulnerability(AFBluetooth, SockDgram, VulnNullSendpage)
+	vuln, _ := s.Socket(appCred, AFBluetooth, SockDgram, 0)
+	if !vuln.HasVulnerability(VulnNullSendpage) {
+		t.Fatal("bluetooth dgram socket should carry CVE-2009-2692")
+	}
+	clean, _ := s.Socket(appCred, AFInet, SockStream, 0)
+	if clean.HasVulnerability(VulnNullSendpage) {
+		t.Fatal("inet socket must not carry the bluetooth bug")
+	}
+}
+
+func TestSendOnUnconnected(t *testing.T) {
+	s := New("host")
+	sk, _ := s.Socket(appCred, AFInet, SockStream, 0)
+	if _, err := sk.Send([]byte("x")); !errors.Is(err, abi.EPIPE) {
+		t.Fatalf("err = %v, want EPIPE", err)
+	}
+}
+
+func TestCloseReleasesNames(t *testing.T) {
+	s := New("host")
+	srv, _ := s.Socket(rootCred, AFInet, SockStream, 0)
+	if err := srv.Bind(":80"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := s.Socket(rootCred, AFInet, SockStream, 0)
+	if err := again.Bind(":80"); err != nil {
+		t.Fatalf("rebind after close: %v", err)
+	}
+	if _, err := srv.Recv(nil); !errors.Is(err, abi.EBADF) {
+		t.Fatalf("recv after close: %v, want EBADF", err)
+	}
+
+	u, _ := s.Socket(rootCred, AFUnix, SockStream, 0)
+	if err := u.Bind("/dev/socket/x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Close(); err != nil {
+		t.Fatal(err)
+	}
+	u2, _ := s.Socket(rootCred, AFUnix, SockStream, 0)
+	if err := u2.Bind("/dev/socket/x"); err != nil {
+		t.Fatalf("unix rebind after close: %v", err)
+	}
+}
+
+func TestFamilyAndTypeStrings(t *testing.T) {
+	if AFBluetooth.String() != "PF_BLUETOOTH" || AFInet.String() != "AF_INET" {
+		t.Fatal("family names wrong")
+	}
+	if SockStream.String() != "SOCK_STREAM" || SockDgram.String() != "SOCK_DGRAM" {
+		t.Fatal("type names wrong")
+	}
+	if Family(42).String() != "AF(42)" {
+		t.Fatal("unknown family format")
+	}
+}
+
+func TestDgramRecvDiscardsRemainder(t *testing.T) {
+	s := New("host")
+	srvSock, _ := s.Socket(rootCred, AFUnix, SockDgram, 0)
+	if err := srvSock.Bind("/dev/socket/dgram"); err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := s.Socket(appCred, AFUnix, SockDgram, 0)
+	if err := cli.Connect("/dev/socket/dgram"); err != nil {
+		t.Fatal(err)
+	}
+	srvSock.mu.Lock()
+	conn := srvSock.backlog[0]
+	srvSock.mu.Unlock()
+	if _, err := cli.Send([]byte("datagram-payload")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 4)
+	if n, _ := conn.Recv(small); string(small[:n]) != "data" {
+		t.Fatalf("dgram head = %q", small[:n])
+	}
+	// Datagram semantics: the remainder of the message is gone.
+	if _, err := conn.Recv(small); !errors.Is(err, abi.EAGAIN) {
+		t.Fatalf("second recv: %v, want EAGAIN", err)
+	}
+}

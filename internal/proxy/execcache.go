@@ -1,0 +1,52 @@
+package proxy
+
+import (
+	"fmt"
+	"path"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+// ExecCache implements the host-side execution cache for user-generated
+// code (Section III-D, Fork/Clone and exec): binaries written by an app
+// live in the CVM, so before exec the Anception layer copies them out to a
+// protected host directory and execs from there. The cache directory is
+// owned by the system and not writable by apps, so an app cannot trick
+// the system into copying an executable to a restricted location.
+type ExecCache struct {
+	hostFS *vfs.FileSystem
+	root   string
+}
+
+// CacheRoot is the protected host directory holding copied-out binaries.
+const CacheRoot = "/anception/execcache"
+
+// NewExecCache creates the cache directory tree on the host filesystem.
+func NewExecCache(hostFS *vfs.FileSystem) (*ExecCache, error) {
+	system := abi.Cred{UID: abi.UIDRoot}
+	if err := hostFS.MkdirAll(system, CacheRoot, 0o711); err != nil {
+		return nil, fmt.Errorf("exec cache: %w", err)
+	}
+	return &ExecCache{hostFS: hostFS, root: CacheRoot}, nil
+}
+
+// Place copies a user-generated binary (fetched from the CVM by the
+// caller) into the cache for the given app UID and returns the host path
+// to exec. The file is root-owned and world-executable but not writable
+// by the app.
+func (c *ExecCache) Place(uid int, guestPath string, contents []byte) (string, error) {
+	system := abi.Cred{UID: abi.UIDRoot}
+	dir := fmt.Sprintf("%s/%d", c.root, uid)
+	if err := c.hostFS.MkdirAll(system, dir, 0o711); err != nil {
+		return "", fmt.Errorf("exec cache dir: %w", err)
+	}
+	dst := path.Join(dir, path.Base(guestPath))
+	if err := c.hostFS.WriteFile(system, dst, contents, 0o755); err != nil {
+		return "", fmt.Errorf("exec cache place %q: %w", guestPath, err)
+	}
+	return dst, nil
+}
+
+// Root returns the cache root path.
+func (c *ExecCache) Root() string { return c.root }

@@ -1,0 +1,66 @@
+// Package sim provides the discrete-event simulation substrate used by the
+// Anception reproduction: a virtual clock, a calibrated latency model, a
+// deterministic random source, and an event trace.
+//
+// Every other package charges costs against a Clock instead of sleeping or
+// reading wall time, so experiments are exactly reproducible and the
+// latency figures reported by the benchmark harness are properties of the
+// model, not of the machine running the simulation.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock measured in nanoseconds of simulated time.
+// The zero value is a clock at t=0, ready to use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock starting at t=0.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current simulated time since boot.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves simulated time forward by d and returns the new time.
+// Negative durations are ignored: time never runs backwards.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// Stopwatch measures a span of simulated time on a clock.
+type Stopwatch struct {
+	clock *Clock
+	start time.Duration
+}
+
+// StartStopwatch begins measuring simulated time on c.
+func StartStopwatch(c *Clock) Stopwatch {
+	return Stopwatch{clock: c, start: c.Now()}
+}
+
+// Elapsed reports the simulated time since the stopwatch started.
+func (s Stopwatch) Elapsed() time.Duration {
+	return s.clock.Now() - s.start
+}
+
+// Microseconds formats a duration as fractional microseconds, the unit the
+// paper's Table I uses.
+func Microseconds(d time.Duration) string {
+	return fmt.Sprintf("%.2f us", float64(d)/float64(time.Microsecond))
+}

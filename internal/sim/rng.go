@@ -1,0 +1,52 @@
+package sim
+
+// RNG is a small deterministic pseudo-random source (SplitMix64). The
+// simulation must be exactly reproducible across runs and platforms, so it
+// does not use math/rand's global state or any seed derived from wall time.
+// The zero value is a valid generator seeded with 0.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator with the given seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next value in the sequence.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0, mirroring math/rand.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bytes fills b with pseudo-random bytes.
+func (r *RNG) Bytes(b []byte) {
+	for i := range b {
+		if i%8 == 0 {
+			v := r.Uint64()
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				b[i+j] = byte(v >> (8 * j))
+			}
+		}
+	}
+}
+
+// Fork derives an independent generator; useful for giving each simulated
+// app its own stream without cross-coupling the sequences.
+func (r *RNG) Fork() *RNG {
+	return NewRNG(r.Uint64())
+}

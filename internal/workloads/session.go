@@ -1,0 +1,148 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/minidb"
+	"anception/internal/netstack"
+)
+
+// InteractiveSession models a "real application" session (the paper's
+// closing claim: "on macrobenchmarks and on real applications, the impact
+// is minimal"): an email-style app that syncs messages over the network,
+// stores them in its database, renders the list, and reacts to user
+// input. The syscall mix spans every routing class: UI passthrough,
+// bridged binder, redirected network and file I/O, and pure compute.
+func InteractiveSession() Workload {
+	const (
+		messages    = 30
+		messageSize = 2048
+		frames      = 40
+		frameWork   = 1_500_000 // ~3 ms of layout/render per frame
+		parseWork   = 250_000   // ~0.5 ms to parse one message
+	)
+	return Workload{
+		Name: "app-session",
+		Run: func(p *anception.Proc) (int, error) {
+			d := p.Device()
+			// The mail server, reachable through whichever stack serves
+			// app sockets on this platform.
+			d.RegisterRemote("imap.example.com:993", func(req []byte) []byte {
+				body := make([]byte, messageSize)
+				copy(body, req)
+				return body
+			})
+
+			ops := 0
+			// 1. Sync: fetch messages and store them.
+			sock, err := p.Socket(netstack.AFInet, netstack.SockStream, 0)
+			if err != nil {
+				return 0, err
+			}
+			if err := p.Connect(sock, "imap.example.com:993"); err != nil {
+				return 0, err
+			}
+			db, err := minidb.Open(p, p.App.Info.DataDir+"/mail.db")
+			if err != nil {
+				return 0, err
+			}
+			tx, err := db.Begin()
+			if err != nil {
+				return 0, err
+			}
+			for m := 0; m < messages; m++ {
+				if _, err := p.Send(sock, []byte(fmt.Sprintf("FETCH %d", m))); err != nil {
+					return 0, err
+				}
+				body, err := p.Recv(sock, messageSize)
+				if err != nil {
+					return 0, err
+				}
+				p.Compute(parseWork)
+				if err := tx.Insert(int64(m), body[:64]); err != nil {
+					return 0, err
+				}
+				ops++
+			}
+			if err := tx.Commit(); err != nil {
+				return 0, err
+			}
+
+			// 2. Render the message list, polling input between frames.
+			bfd, err := p.OpenBinder()
+			if err != nil {
+				return 0, err
+			}
+			d.QueueInput(p.App, []byte("tap:open-message-3"))
+			for f := 0; f < frames; f++ {
+				p.Compute(frameWork)
+				if err := p.Draw(bfd); err != nil {
+					return 0, err
+				}
+				if _, err := p.WaitInput(bfd); err != nil && f == 0 {
+					return 0, fmt.Errorf("input: %w", err)
+				}
+				ops++
+			}
+
+			// 3. Open one message: a DB point query plus a location tag
+			// lookup through the bridged service.
+			if _, err := db.Get(3); err != nil {
+				return 0, err
+			}
+			if _, err := p.BinderCall(bfd, "location", android.CodeGetLocation, []byte("geotag")); err != nil {
+				return 0, err
+			}
+			ops += 2
+			return ops, db.Close()
+		},
+	}
+}
+
+// LaunchStats measures cold app-launch latency: installation aside, the
+// time from Spawn to a first successful UI frame, including Anception's
+// proxy enrollment.
+type LaunchStats struct {
+	Mode    anception.Mode
+	Latency time.Duration
+}
+
+// MeasureLaunch boots a platform and measures one cold launch.
+func MeasureLaunch(mode anception.Mode) (LaunchStats, error) {
+	d, err := benchDevice(mode)
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	app, err := d.InstallApp(android.AppSpec{Package: "com.launch.bench"})
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	start := d.Clock.Now()
+	p, err := d.Launch(app)
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	// First frame: code paging, a config read, one draw.
+	if _, err := p.Open("/system/framework/framework.jar", abi.ORdOnly, 0); err != nil {
+		return LaunchStats{}, err
+	}
+	cfgFD, err := p.Open("config.xml", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	if _, err := p.Write(cfgFD, []byte("<config/>")); err != nil {
+		return LaunchStats{}, err
+	}
+	bfd, err := p.OpenBinder()
+	if err != nil {
+		return LaunchStats{}, err
+	}
+	if err := p.Draw(bfd); err != nil {
+		return LaunchStats{}, err
+	}
+	return LaunchStats{Mode: mode, Latency: d.Clock.Now() - start}, nil
+}

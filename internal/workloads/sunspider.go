@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"math"
+
+	"anception/internal/anception"
+)
+
+// SunSpider-style suites (Figure 7): pure user-space computation.
+// Each suite performs a real (scaled-down) computation to keep the code
+// honest and charges the latency model for the full workload's abstract
+// operation count, calibrated to the hundreds-of-milliseconds range the
+// benchmark produces on the paper's tablet.
+//
+// No system calls occur, which is the entire point of the figure: these
+// run at native speed under Anception.
+
+// sunSuite describes one SunSpider component.
+type sunSuite struct {
+	name  string
+	units int64 // abstract ops charged against the CPU model
+	run   func() float64
+}
+
+func sunSuites() []sunSuite {
+	return []sunSuite{
+		{name: "3d", units: 180_000_000, run: run3D},
+		{name: "access", units: 150_000_000, run: runAccess},
+		{name: "bitops", units: 120_000_000, run: runBitops},
+		{name: "ctrlflow", units: 60_000_000, run: runCtrlflow},
+		{name: "math", units: 140_000_000, run: runMath},
+		{name: "string", units: 200_000_000, run: runString},
+	}
+}
+
+// SunSpiderSuiteNames lists the Figure 7 x-axis.
+func SunSpiderSuiteNames() []string {
+	var out []string
+	for _, s := range sunSuites() {
+		out = append(out, s.name)
+	}
+	return out
+}
+
+// SunSpiderWorkload returns one suite as a Workload.
+func SunSpiderWorkload(name string) (Workload, bool) {
+	for _, s := range sunSuites() {
+		if s.name != name {
+			continue
+		}
+		suite := s
+		return Workload{
+			Name: "sunspider-" + suite.name,
+			Run: func(p *anception.Proc) (int, error) {
+				sink := suite.run() // real computation (scaled down)
+				_ = sink
+				p.Compute(suite.units)
+				return int(suite.units / 1000), nil
+			},
+		}, true
+	}
+	return Workload{}, false
+}
+
+// run3D: small ray/vector kernel.
+func run3D() float64 {
+	acc := 0.0
+	for i := 0; i < 20000; i++ {
+		x, y, z := float64(i%97), float64(i%89), float64(i%83)
+		n := math.Sqrt(x*x + y*y + z*z)
+		if n > 0 {
+			acc += x/n + y/n + z/n
+		}
+	}
+	return acc
+}
+
+// runAccess: array traversal patterns (nsieve-style).
+func runAccess() float64 {
+	const n = 20000
+	sieve := make([]bool, n)
+	count := 0
+	for i := 2; i < n; i++ {
+		if !sieve[i] {
+			count++
+			for j := i * 2; j < n; j += i {
+				sieve[j] = true
+			}
+		}
+	}
+	return float64(count)
+}
+
+// runBitops: bit twiddling (bits-in-byte style).
+func runBitops() float64 {
+	acc := uint32(0)
+	for i := uint32(0); i < 50000; i++ {
+		v := i
+		v = (v & 0x55555555) + ((v >> 1) & 0x55555555)
+		v = (v & 0x33333333) + ((v >> 2) & 0x33333333)
+		v = (v & 0x0F0F0F0F) + ((v >> 4) & 0x0F0F0F0F)
+		acc += v & 0xFF
+	}
+	return float64(acc)
+}
+
+// runCtrlflow: recursive control flow (ackermann-ish, bounded).
+func runCtrlflow() float64 {
+	var fib func(n int) int
+	fib = func(n int) int {
+		if n < 2 {
+			return n
+		}
+		return fib(n-1) + fib(n-2)
+	}
+	return float64(fib(22))
+}
+
+// runMath: transcendental series (partial-sums style).
+func runMath() float64 {
+	acc := 0.0
+	for k := 1; k <= 20000; k++ {
+		f := float64(k)
+		acc += 1/(f*f) + math.Sin(f)/f + math.Pow(f, -1.5)
+	}
+	return acc
+}
+
+// runString: string building and scanning (validate-input style).
+func runString() float64 {
+	buf := make([]byte, 0, 1<<15)
+	for i := 0; i < 2000; i++ {
+		buf = append(buf, byte('a'+i%26))
+		if i%7 == 0 {
+			buf = append(buf, "-suffix"...)
+		}
+	}
+	hits := 0
+	for i := 0; i+6 < len(buf); i++ {
+		if buf[i] == 's' && buf[i+5] == 'x' {
+			hits++
+		}
+	}
+	return float64(hits)
+}

@@ -1,0 +1,115 @@
+// Package workloads implements the macrobenchmark suite of Section VI:
+// AnTuTu-style Database I/O, 2D and 3D tests (Figure 6), the six
+// SunSpider-style CPU suites (Figure 7), the 10,000-row SQLite
+// transaction benchmark, and the ProfileDroid-style syscall profiler that
+// measures the ioctl share of popular apps (Section VI-A).
+//
+// Workloads drive the platform exclusively through the Proc system-call
+// API, so every platform effect (UI passthrough, redirection cost,
+// buffering) emerges from the simulation rather than from workload
+// constants.
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/sim"
+)
+
+// Measurement is one workload's outcome on one platform.
+type Measurement struct {
+	Name      string
+	Mode      anception.Mode
+	Simulated time.Duration
+	Ops       int
+}
+
+// OpsPerSecond converts to a throughput score (AnTuTu-style: higher is
+// better).
+func (m Measurement) OpsPerSecond() float64 {
+	if m.Simulated <= 0 {
+		return 0
+	}
+	return float64(m.Ops) / m.Simulated.Seconds()
+}
+
+// String renders a result row.
+func (m Measurement) String() string {
+	return fmt.Sprintf("%-22s %-10s %12v %10d ops (%.1f ops/s)",
+		m.Name, m.Mode, m.Simulated, m.Ops, m.OpsPerSecond())
+}
+
+// Comparison is a native-vs-Anception pair for one workload.
+type Comparison struct {
+	Native    Measurement
+	Anception Measurement
+}
+
+// RelativeScore is the Figure 6 normalization: Anception's throughput
+// over native's (1.0 = parity, higher = better).
+func (c Comparison) RelativeScore() float64 {
+	n := c.Native.OpsPerSecond()
+	if n == 0 {
+		return 0
+	}
+	return c.Anception.OpsPerSecond() / n
+}
+
+// Slowdown is Anception time over native time.
+func (c Comparison) Slowdown() float64 {
+	if c.Native.Simulated == 0 {
+		return 0
+	}
+	return float64(c.Anception.Simulated) / float64(c.Native.Simulated)
+}
+
+// Workload is one benchmark: it runs against a launched app process and
+// reports operation count.
+type Workload struct {
+	Name string
+	Run  func(p *anception.Proc) (ops int, err error)
+}
+
+// benchDevice boots a quiet platform (no vulnerabilities, no trace) for
+// performance measurement.
+func benchDevice(mode anception.Mode) (*anception.Device, error) {
+	return anception.NewDevice(anception.Options{Mode: mode, DisableTrace: true})
+}
+
+// MeasureOn runs one workload on one platform mode.
+func MeasureOn(mode anception.Mode, w Workload) (Measurement, error) {
+	d, err := benchDevice(mode)
+	if err != nil {
+		return Measurement{}, err
+	}
+	app, err := d.InstallApp(android.AppSpec{Package: "com.bench." + w.Name})
+	if err != nil {
+		return Measurement{}, err
+	}
+	p, err := d.Launch(app)
+	if err != nil {
+		return Measurement{}, err
+	}
+	sw := sim.StartStopwatch(d.Clock)
+	ops, err := w.Run(p)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("%s on %s: %w", w.Name, mode, err)
+	}
+	return Measurement{Name: w.Name, Mode: mode, Simulated: sw.Elapsed(), Ops: ops}, nil
+}
+
+// Compare runs one workload on native and Anception.
+func Compare(w Workload) (Comparison, error) {
+	nat, err := MeasureOn(anception.ModeNative, w)
+	if err != nil {
+		return Comparison{}, err
+	}
+	anc, err := MeasureOn(anception.ModeAnception, w)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Native: nat, Anception: anc}, nil
+}
