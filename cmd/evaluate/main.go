@@ -11,6 +11,7 @@
 //	evaluate -exp loc       deprivileged lines of code (Section V-D)
 //	evaluate -exp memory    CVM memory overhead (Section VI-C)
 //	evaluate -exp profile   ioctl profile of popular apps (Section VI-A)
+//	evaluate -exp recovery  supervised fault drills: per-class MTTR
 //	evaluate -exp all       everything (default)
 package main
 
@@ -29,7 +30,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -47,11 +48,12 @@ func run(exp string) error {
 		"surface": surface,
 		"loc":     loc,
 		"memory":  memory,
-		"profile": profile,
-		"session": session,
+		"profile":  profile,
+		"session":  session,
+		"recovery": recovery,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,9 +1,12 @@
 // Resilience: the operational story around the container. The CVM is
 // crash-only — malware that merely crashes it (the failed CVE-2009-2692
-// here) causes a blip, not a compromise: the host restarts the container,
-// apps keep their processes and host-side state, and the container's
-// persistent storage survives. The host also firewalls the container's
-// external connectivity.
+// here) causes a blip, not a compromise. A supervisor watchdog detects the
+// outage via heartbeat probes over the data channel and restarts the
+// container automatically; apps keep their processes and host-side state,
+// the container's persistent storage survives, and a hung (not just dead)
+// channel is detected the same way: redirected calls time out at their
+// deadline instead of blocking, and the watchdog reboots the CVM. The
+// host also firewalls the container's external connectivity.
 //
 //	go run ./examples/resilience
 package main
@@ -17,6 +20,8 @@ import (
 	"anception/internal/android"
 	"anception/internal/kernel"
 	"anception/internal/netstack"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
 )
 
 func main() {
@@ -33,6 +38,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Splice the fault injector into the data channel and put the
+	// container under watchdog supervision.
+	inj := supervisor.NewInjector(device.Layer.Transport(), sim.NewRNG(1), device.Clock, device.Trace)
+	device.Layer.SetTransport(inj)
+	sup := supervisor.New(device, device.Clock, device.Trace, supervisor.Config{
+		CriticalServices: []string{"vold"},
+		Channel:          inj,
+	})
 
 	// Host-controlled firewall over the container's connectivity.
 	device.RegisterRemote("updates.example.com:443", func(req []byte) []byte { return []byte("update-ok") })
@@ -64,7 +78,7 @@ func run() error {
 		fmt.Println("tracker blocked by the host firewall:", err)
 	}
 
-	// Durable state before the incident.
+	// Durable state before the incidents.
 	fd, err := proc.Open("state.json", abi.OWrOnly|abi.OCreat, 0o600)
 	if err != nil {
 		return err
@@ -76,8 +90,9 @@ func run() error {
 		return err
 	}
 
-	// Malware crashes the container (shellcode stays on the host, so the
-	// null dereference only oopses the guest).
+	// --- Incident 1: malware crashes the container ---
+	// Shellcode stays on the host, so the null dereference only oopses the
+	// guest kernel.
 	mal, err := device.InstallApp(android.AppSpec{Package: "com.bad.actor"})
 	if err != nil {
 		return err
@@ -93,11 +108,28 @@ func run() error {
 	fmt.Println("container crashed:", device.Guest.Panicked())
 	fmt.Println("host app still running:", proc.Task.CurrentState())
 
-	// Crash-only recovery.
-	if err := device.RestartCVM(); err != nil {
+	// While the container is down, redirected calls fail fast with a clean
+	// errno — nothing blocks.
+	if _, err := proc.Open("while-down.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		fmt.Println("redirected call during outage:", err)
+	}
+
+	// The watchdog notices and restarts the container — no manual step.
+	if err := sup.RunUntilHealthy(50); err != nil {
 		return err
 	}
-	fmt.Println("container restarted; services:", len(device.GuestServices.Names()))
+	fmt.Printf("watchdog recovered the container; MTTR %v (sim time)\n", sup.Stats().LastMTTR)
+	fmt.Println("services after restart:", len(device.GuestServices.Names()))
+
+	// --- Incident 2: the data channel wedges (a hang, not a crash) ---
+	inj.Wedge()
+	if _, err := proc.Open("while-hung.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		fmt.Println("redirected call on the wedged channel:", err)
+	}
+	if err := sup.RunUntilHealthy(50); err != nil {
+		return err
+	}
+	fmt.Printf("watchdog recovered the wedged channel; MTTR %v (sim time)\n", sup.Stats().LastMTTR)
 
 	// The app resumes on a fresh proxy and its durable state is intact.
 	fd2, err := proc.Open("state.json", abi.ORdOnly, 0)
@@ -108,7 +140,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("durable state after restart: %s\n", data)
-	fmt.Printf("simulated downtime cost: %v of clock time\n", device.Clock.Now())
+	fmt.Printf("durable state after both incidents: %s\n", data)
+
+	st := sup.Stats()
+	lst := device.Layer.Stats()
+	fmt.Printf("supervisor: %d probes, %d failures, %d restarts, mean MTTR %v\n",
+		st.Probes, st.ProbeFailures, st.Restarts, st.MeanMTTR())
+	fmt.Printf("layer: %d redirected, %d timed out, %d refused while down\n",
+		lst.Redirected, lst.TimedOut, lst.HostDown)
+	fmt.Printf("total simulated clock time: %v\n", device.Clock.Now())
 	return nil
 }

@@ -50,6 +50,8 @@ const (
 	EOPNOTSUPP  Errno = 95  // operation not supported
 	EADDRINUSE  Errno = 98  // address already in use
 	ENETUNREACH Errno = 101 // network is unreachable
+	ETIMEDOUT   Errno = 110 // connection timed out
+	EHOSTDOWN   Errno = 112 // host is down
 )
 
 // Error implements the error interface with the strerror text.
@@ -99,4 +101,6 @@ var errnoNames = map[Errno]string{
 	EOPNOTSUPP:  "operation not supported",
 	EADDRINUSE:  "address already in use",
 	ENETUNREACH: "network is unreachable",
+	ETIMEDOUT:   "connection timed out",
+	EHOSTDOWN:   "host is down",
 }

@@ -11,6 +11,7 @@ package anception
 
 import (
 	"fmt"
+	"time"
 
 	"anception/internal/abi"
 	"anception/internal/android"
@@ -82,6 +83,9 @@ type Options struct {
 	KeepFSOnHost bool
 	// FullCVMStack boots a non-headless container (A4).
 	FullCVMStack bool
+	// CallDeadline bounds each redirected call in sim time (default
+	// anception.DefaultCallDeadline).
+	CallDeadline time.Duration
 
 	// Vulns selects the historical bugs present on the platform.
 	Vulns android.VulnProfile
@@ -281,6 +285,7 @@ func (d *Device) bootAnception() error {
 		Model:        d.Model,
 		Trace:        d.Trace,
 		KeepFSOnHost: d.Opts.KeepFSOnHost,
+		CallDeadline: d.Opts.CallDeadline,
 	})
 	if err != nil {
 		return err
@@ -371,6 +376,67 @@ func (d *Device) RestartCVM() error {
 		d.Trace.Record(sim.EvLifecycle, "cvm restarted: fresh guest kernel, %d services", len(svcs.Names()))
 	}
 	return nil
+}
+
+// Probe sends one supervisor heartbeat through the Anception layer's data
+// channel. It satisfies the supervisor's Target interface; see Layer.Ping
+// for the error vocabulary.
+func (d *Device) Probe() error {
+	if d.Opts.Mode != ModeAnception {
+		return fmt.Errorf("probe: not an anception platform: %w", abi.EINVAL)
+	}
+	return d.Layer.Ping()
+}
+
+// SetDegraded forwards circuit-breaker state to the Anception layer.
+func (d *Device) SetDegraded(on bool) {
+	if d.Layer != nil {
+		d.Layer.SetDegraded(on)
+	}
+}
+
+// GuestServiceAlive reports whether a named container service is still
+// running. The supervisor checks critical services through this because a
+// channel ping cannot see a dead service behind a live kernel.
+func (d *Device) GuestServiceAlive(name string) bool {
+	if d.GuestServices == nil {
+		return false
+	}
+	svc := d.GuestServices.Service(name)
+	if svc == nil || svc.Task == nil {
+		return false
+	}
+	return svc.Task.CurrentState() == kernel.TaskRunning
+}
+
+// KillGuestService kills a named container service in place — a fault
+// drill modeling a service crash that leaves the guest kernel up.
+func (d *Device) KillGuestService(name string) error {
+	if d.Opts.Mode != ModeAnception {
+		return fmt.Errorf("kill guest service: not an anception platform: %w", abi.EINVAL)
+	}
+	svc := d.GuestServices.Service(name)
+	if svc == nil || svc.Task == nil {
+		return fmt.Errorf("kill guest service: no service %q: %w", name, abi.ENOENT)
+	}
+	svc.Task.SetState(kernel.TaskDead)
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvFault, "injected: guest service %q killed (pid=%d)", name, svc.Task.PID)
+	}
+	return nil
+}
+
+// InjectGuestPanic crashes the container kernel — a fault drill modeling
+// a guest kernel panic. Recovery is RestartCVM (typically driven by the
+// supervisor's watchdog).
+func (d *Device) InjectGuestPanic(reason string) {
+	if d.Opts.Mode != ModeAnception || d.Guest == nil {
+		return
+	}
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvFault, "injected: guest kernel panic (%s)", reason)
+	}
+	d.Guest.Panic(reason)
 }
 
 // AppKernel returns the kernel apps execute on: the host for native and

@@ -5,11 +5,14 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"anception/internal/abi"
 	"anception/internal/android"
 	"anception/internal/kernel"
+	"anception/internal/marshal"
 	"anception/internal/netstack"
+	"anception/internal/sim"
 )
 
 func bootDevice(t *testing.T, mode Mode) *Device {
@@ -449,4 +452,110 @@ func TestMmapOfCVMFileAndMsyncWriteback(t *testing.T) {
 
 func sprintf(f string, args ...any) string {
 	return fmt.Sprintf(f, args...)
+}
+
+// hangTransport is a stub transport whose every round-trip hangs; layer
+// tests use it to exercise deadline handling without the supervisor
+// package (which lives upstream of this one).
+type hangTransport struct{}
+
+func (hangTransport) RoundTrip(payload []byte, handler marshal.GuestHandler) ([]byte, error) {
+	return nil, marshal.ErrHang
+}
+func (hangTransport) Name() string { return "hang-stub" }
+
+func TestLayerTimedOutCounter(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	app := installAndLaunch(t, d, "com.timeout")
+	real := d.Layer.Transport()
+	d.Layer.SetTransport(hangTransport{})
+
+	before := d.Clock.Now()
+	_, err := app.Open("t.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if !errors.Is(err, abi.ETIMEDOUT) {
+		t.Fatalf("err = %v, want ETIMEDOUT", err)
+	}
+	if got := d.Layer.Stats().TimedOut; got != 1 {
+		t.Fatalf("TimedOut = %d, want 1", got)
+	}
+	// The app was charged exactly its deadline (plus marshal overhead),
+	// never more: no redirected call blocks forever.
+	if elapsed := d.Clock.Now() - before; elapsed > d.Layer.Deadline()+time.Millisecond {
+		t.Fatalf("hung call consumed %v, deadline %v", elapsed, d.Layer.Deadline())
+	}
+	if d.Trace.Count(sim.EvTimeout) == 0 {
+		t.Fatal("no timeout event traced")
+	}
+
+	// Restoring the transport restores service.
+	d.Layer.SetTransport(real)
+	if _, err := app.Open("ok.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerFailedFastCounter(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	app := installAndLaunch(t, d, "com.degraded")
+	d.SetDegraded(true)
+
+	_, err := app.Open("d.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if !errors.Is(err, abi.EAGAIN) {
+		t.Fatalf("degraded err = %v, want EAGAIN", err)
+	}
+	if got := d.Layer.Stats().FailedFast; got != 1 {
+		t.Fatalf("FailedFast = %d, want 1", got)
+	}
+	// Host-class calls are untouched by degraded mode.
+	if pid := app.Getpid(); pid <= 0 {
+		t.Fatalf("host-class getpid failed under degraded mode: %d", pid)
+	}
+
+	d.SetDegraded(false)
+	if _, err := app.Open("ok.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerRestartCounterAndGeneration(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	if got := d.CVM.Generation(); got != 1 {
+		t.Fatalf("generation after boot = %d, want 1", got)
+	}
+	for i := 0; i < 2; i++ {
+		if err := d.RestartCVM(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Layer.Stats().Restarts; got != 2 {
+		t.Fatalf("Restarts = %d, want 2", got)
+	}
+	if got := d.CVM.Generation(); got != 3 {
+		t.Fatalf("generation after two restarts = %d, want 3", got)
+	}
+	if d.Trace.Count(sim.EvWatchdog) == 0 {
+		t.Fatal("no watchdog event traced for guest replacement")
+	}
+}
+
+func TestLayerHostDownCounter(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	app := installAndLaunch(t, d, "com.hostdown")
+	// Enroll the proxy first so the failure comes from the transport's
+	// liveness check, not proxy enrollment.
+	if _, err := app.Open("pre.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d.InjectGuestPanic("drill")
+
+	_, err := app.Open("down.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if !errors.Is(err, abi.EHOSTDOWN) {
+		t.Fatalf("err = %v, want EHOSTDOWN", err)
+	}
+	if got := d.Layer.Stats().HostDown; got == 0 {
+		t.Fatal("HostDown counter not bumped")
+	}
+	if d.Trace.Count(sim.EvFault) == 0 {
+		t.Fatal("no fault event traced for the injected panic")
+	}
 }

@@ -1,6 +1,8 @@
 package anception
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"path"
 	"strings"
@@ -34,10 +36,17 @@ type Layer struct {
 	execCache *proxy.ExecCache
 
 	keepFSOnHost bool
+	// deadline is the sim-clock budget of one redirected round-trip: a
+	// hung transport or wedged guest surfaces as ETIMEDOUT at this bound
+	// instead of blocking the app forever.
+	deadline time.Duration
 
 	mu     sync.Mutex
 	stats  LayerStats
 	tamper func([]byte) []byte
+	// degraded is the circuit-breaker fail-fast mode: forwarded calls
+	// return EAGAIN immediately; UI and host classes are untouched.
+	degraded bool
 	// mmapBindings tracks host mappings backed by CVM files, for msync
 	// write-back (Section III-D, Memory-mapped files).
 	mmapBindings map[int]map[uint64]mmapBinding
@@ -48,7 +57,7 @@ type mmapBinding struct {
 	pages   int
 }
 
-// LayerStats counts routing outcomes.
+// LayerStats counts routing outcomes and recovery events.
 type LayerStats struct {
 	Redirected    int
 	HostExecuted  int
@@ -57,7 +66,21 @@ type LayerStats struct {
 	BinderBridged int
 	UIPassthrough int
 	AppsKilled    int
+	// Restarts counts guest swaps after CVM reboots (ReplaceGuest).
+	Restarts int
+	// TimedOut counts redirected calls abandoned at their deadline.
+	TimedOut int
+	// FailedFast counts calls rejected with EAGAIN in degraded mode.
+	FailedFast int
+	// HostDown counts calls refused because the container was dead.
+	HostDown int
 }
+
+// DefaultCallDeadline bounds one redirected round-trip in sim time. It is
+// far above any legitimate single-call cost (hundreds of microseconds)
+// but small enough that a wedged container degrades interactivity, not
+// usability.
+const DefaultCallDeadline = 100 * time.Millisecond
 
 // LayerConfig wires a Layer.
 type LayerConfig struct {
@@ -70,6 +93,8 @@ type LayerConfig struct {
 	Model        sim.LatencyModel
 	Trace        *sim.Trace
 	KeepFSOnHost bool
+	// CallDeadline overrides DefaultCallDeadline (0 keeps the default).
+	CallDeadline time.Duration
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -80,7 +105,11 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Layer{
+	deadline := cfg.CallDeadline
+	if deadline <= 0 {
+		deadline = DefaultCallDeadline
+	}
+	l := &Layer{
 		host:         cfg.Host,
 		guest:        cfg.Guest,
 		cvm:          cfg.CVM,
@@ -92,8 +121,35 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 		trace:        cfg.Trace,
 		execCache:    cache,
 		keepFSOnHost: cfg.KeepFSOnHost,
+		deadline:     deadline,
 		mmapBindings: make(map[int]map[uint64]mmapBinding),
-	}, nil
+	}
+	if ls, ok := l.transport.(marshal.LivenessSetter); ok {
+		ls.SetLiveness(l.guestAlive)
+	}
+	return l, nil
+}
+
+// guestKernel snapshots the current container kernel under the layer lock
+// so forwarding paths never race with ReplaceGuest.
+func (l *Layer) guestKernel() *kernel.Kernel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.guest
+}
+
+// proxyMgr snapshots the current proxy manager under the layer lock.
+func (l *Layer) proxyMgr() *proxy.Manager {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.proxies
+}
+
+// guestAlive is the liveness probe wired into the transport: it always
+// reads the *current* guest, so it stays correct across CVM restarts.
+func (l *Layer) guestAlive() bool {
+	g := l.guestKernel()
+	return g != nil && g.Panicked() == ""
 }
 
 // ReplaceGuest swaps in a freshly booted container kernel and proxy
@@ -101,10 +157,89 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 // remote descriptors in host tasks surface as EBADF on next use.
 func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	l.guest = guest
 	l.proxies = proxies
 	l.mmapBindings = make(map[int]map[uint64]mmapBinding)
+	l.stats.Restarts++
+	n := l.stats.Restarts
+	l.mu.Unlock()
+	if l.trace != nil {
+		l.trace.Record(sim.EvWatchdog, "guest replaced after CVM restart #%d", n)
+	}
+}
+
+// Transport returns the current data-channel transport.
+func (l *Layer) Transport() marshal.Transport {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.transport
+}
+
+// SetTransport swaps the data-channel transport — typically to wrap the
+// live one in a fault injector. Liveness wiring is re-applied so the new
+// transport keeps refusing calls to a dead container.
+func (l *Layer) SetTransport(tr marshal.Transport) {
+	if ls, ok := tr.(marshal.LivenessSetter); ok {
+		ls.SetLiveness(l.guestAlive)
+	}
+	l.mu.Lock()
+	l.transport = tr
+	l.mu.Unlock()
+}
+
+// SetDegraded toggles the circuit-breaker fail-fast mode: while degraded,
+// redirected calls return EAGAIN immediately instead of touching the
+// container. Host-class and UI paths are unaffected.
+func (l *Layer) SetDegraded(on bool) {
+	l.mu.Lock()
+	changed := l.degraded != on
+	l.degraded = on
+	l.mu.Unlock()
+	if changed && l.trace != nil {
+		if on {
+			l.trace.Record(sim.EvWatchdog, "circuit breaker open: redirected classes fail fast with EAGAIN")
+		} else {
+			l.trace.Record(sim.EvWatchdog, "circuit breaker closed: redirection restored")
+		}
+	}
+}
+
+// Degraded reports whether fail-fast mode is active.
+func (l *Layer) Degraded() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.degraded
+}
+
+// Deadline returns the per-call sim-time budget.
+func (l *Layer) Deadline() time.Duration { return l.deadline }
+
+// Ping sends a heartbeat over the data channel: an identity-echo
+// round-trip that exercises the transport, both world switches, and the
+// liveness check without touching any proxy. The supervisor uses the
+// error to distinguish a healthy container (nil), a dead one (EHOSTDOWN),
+// a wedged or lossy one (ETIMEDOUT), and a corrupting one (EIO). Ping
+// deliberately ignores degraded mode so a half-open breaker can probe.
+func (l *Layer) Ping() error {
+	payload := []byte("anception-heartbeat")
+	start := l.clock.Now()
+	resp, err := l.Transport().RoundTrip(payload, func(req []byte) []byte { return req })
+	if err != nil {
+		if errors.Is(err, marshal.ErrHang) {
+			if elapsed := l.clock.Now() - start; elapsed < l.deadline {
+				l.clock.Advance(l.deadline - elapsed)
+			}
+			return fmt.Errorf("heartbeat hung past %v deadline: %w", l.deadline, abi.ETIMEDOUT)
+		}
+		return err
+	}
+	if elapsed := l.clock.Now() - start; elapsed > l.deadline {
+		return fmt.Errorf("heartbeat completed past %v deadline: %w", l.deadline, abi.ETIMEDOUT)
+	}
+	if !bytes.Equal(resp, payload) {
+		return fmt.Errorf("heartbeat echo corrupted: %w", abi.EIO)
+	}
+	return nil
 }
 
 // SetResultTampering installs a hook that rewrites every marshaled result
@@ -145,7 +280,7 @@ func (l *Layer) Intercept(k *kernel.Kernel, t *kernel.Task, args *kernel.Args) (
 		if t.AS != nil {
 			t.AS.Release()
 		}
-		l.proxies.MirrorExit(t.PID)
+		l.proxyMgr().MirrorExit(t.PID)
 		return kernel.Result{Ret: -1, Err: abi.EPERM}, true
 	}
 	switch redirect.Classify(args.Nr) {
@@ -336,7 +471,7 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 		// Not a host UI service: if the target lives in the CVM, bridge
 		// the transaction across the boundary (the +19 ms path).
 		txn, err := binder.DecodeTransaction(args.Buf)
-		if err == nil && l.guest.Binder().Lookup(txn.Service) != nil {
+		if g := l.guestKernel(); err == nil && g.Panicked() == "" && g.Binder().Lookup(txn.Service) != nil {
 			return l.bridgeBinder(t, args, txn), true
 		}
 		// Unknown service: let the host driver report the dead ref.
@@ -349,6 +484,11 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 // bridgeBinder relays a binder transaction to a service delegated to the
 // container.
 func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Transaction) kernel.Result {
+	g := l.guestKernel()
+	if g.Panicked() != "" {
+		l.count(func(s *LayerStats) { s.HostDown++ })
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("binder bridge: container down: %w", abi.EHOSTDOWN)}
+	}
 	l.count(func(s *LayerStats) { s.BinderBridged++ })
 	l.clock.Advance(l.model.BinderTransaction +
 		l.model.BinderCVMPenalty +
@@ -356,7 +496,7 @@ func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Trans
 	if l.trace != nil {
 		l.trace.Record(sim.EvBinder, "bridged binder txn %q from pid=%d to CVM", txn.Service, t.PID)
 	}
-	out, err := l.guest.Binder().Transact(t.Cred, args.Buf)
+	out, err := g.Binder().Transact(t.Cred, args.Buf)
 	if err != nil {
 		return kernel.Result{Ret: -1, Err: err}
 	}
@@ -402,10 +542,25 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 }
 
 // forward marshals one call, moves it over the transport, executes it in
-// the proxy's context inside the CVM, and unmarshals the result.
+// the proxy's context inside the CVM, and unmarshals the result. Every
+// forwarded call runs under the layer's sim-clock deadline: a hung or
+// lossy transport surfaces as ETIMEDOUT at the deadline instead of
+// blocking the app forever, and a dead container as EHOSTDOWN.
 func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
-	p, err := l.proxies.Ensure(t)
+	if l.Degraded() {
+		l.count(func(s *LayerStats) { s.FailedFast++ })
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
+	}
+	// Snapshot guest-side references once: ReplaceGuest may swap them
+	// mid-flight, and this call must complete (or fail cleanly) against a
+	// consistent pair.
+	proxies := l.proxyMgr()
+	transport := l.Transport()
+	p, err := proxies.Ensure(t)
 	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.count(func(s *LayerStats) { s.HostDown++ })
+		}
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("enroll proxy: %w", err)}
 	}
 	l.count(func(s *LayerStats) { s.Redirected++ })
@@ -423,7 +578,8 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 	payload := marshal.EncodeArgs(&enc)
 	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
 
-	respBytes, terr := l.transport.RoundTrip(payload, func(req []byte) []byte {
+	start := l.clock.Now()
+	respBytes, terr := transport.RoundTrip(payload, func(req []byte) []byte {
 		decoded, derr := marshal.DecodeArgs(req)
 		if derr != nil {
 			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
@@ -431,7 +587,7 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 		if isReadLike(decoded.Nr) && decoded.Buf == nil && decoded.Size > 0 {
 			decoded.Buf = make([]byte, decoded.Size)
 		}
-		resp := marshal.EncodeResult(l.proxies.Execute(p, *decoded))
+		resp := marshal.EncodeResult(proxies.Execute(p, *decoded))
 		l.mu.Lock()
 		tamper := l.tamper
 		l.mu.Unlock()
@@ -441,13 +597,42 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 		return resp
 	})
 	if terr != nil {
-		return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel: %w", terr)}
+		return l.transportFailure(t, args, start, terr)
+	}
+	// An injected (or modeled) delay can push a completed call past its
+	// budget; the app sees ETIMEDOUT either way.
+	if l.clock.Now()-start > l.deadline {
+		l.count(func(s *LayerStats) { s.TimedOut++ })
+		if l.trace != nil {
+			l.trace.Record(sim.EvTimeout, "%s pid=%d completed past %v deadline", args.Nr, t.PID, l.deadline)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("call exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT)}
 	}
 	res, derr := marshal.DecodeResult(respBytes)
 	if derr != nil {
 		return kernel.Result{Ret: -1, Err: derr}
 	}
 	return res
+}
+
+// transportFailure converts a transport error into the app-visible errno:
+// ErrHang charges the remaining deadline and becomes ETIMEDOUT; EHOSTDOWN
+// passes through (counted); anything else is reported as-is.
+func (l *Layer) transportFailure(t *kernel.Task, args *kernel.Args, start time.Duration, terr error) kernel.Result {
+	if errors.Is(terr, marshal.ErrHang) {
+		if elapsed := l.clock.Now() - start; elapsed < l.deadline {
+			l.clock.Advance(l.deadline - elapsed)
+		}
+		l.count(func(s *LayerStats) { s.TimedOut++ })
+		if l.trace != nil {
+			l.trace.Record(sim.EvTimeout, "%s pid=%d abandoned at %v deadline", args.Nr, t.PID, l.deadline)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel hung past %v deadline: %w", l.deadline, abi.ETIMEDOUT)}
+	}
+	if errors.Is(terr, abi.EHOSTDOWN) {
+		l.count(func(s *LayerStats) { s.HostDown++ })
+	}
+	return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel: %w", terr)}
 }
 
 // forwardWithFDResult forwards a descriptor-creating call and installs a

@@ -2,6 +2,8 @@ package anception
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 
 	"anception/internal/abi"
@@ -162,5 +164,92 @@ func TestRestartPreservesMemoryIsolation(t *testing.T) {
 	// And the host app's secret is still unreadable from the guest side.
 	if _, err := hi.Task.AS.ReadBytes(d.Guest.Region(), addr, 12); !errors.Is(err, abi.EPERM) {
 		t.Fatalf("guest-region read of host memory after restart: %v", err)
+	}
+}
+
+// TestConcurrentRestartUnderLoad: apps hammer redirected I/O from several
+// goroutines while the container is restarted repeatedly. Every failure an
+// app observes must be a clean errno — never a raw data race, deadlock, or
+// non-errno error — and once the dust settles every app can still do
+// redirected I/O. Run under -race in CI.
+func TestConcurrentRestartUnderLoad(t *testing.T) {
+	d := bootDevice(t, ModeAnception)
+	const workers = 4
+	apps := make([]*Proc, workers)
+	for i := range apps {
+		apps[i] = installAndLaunch(t, d, fmt.Sprintf("com.worker%d", i))
+	}
+
+	stop := make(chan struct{})
+	badErr := make(chan error, workers)
+	var wg sync.WaitGroup
+	for i, app := range apps {
+		wg.Add(1)
+		go func(i int, app *Proc) {
+			defer wg.Done()
+			report := func(err error) {
+				var errno abi.Errno
+				if err != nil && !errors.As(err, &errno) {
+					select {
+					case badErr <- fmt.Errorf("worker %d: non-errno error: %w", i, err):
+					default:
+					}
+				}
+			}
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				name := fmt.Sprintf("w%d-%d.txt", i, n)
+				fd, err := app.Open(name, abi.OWrOnly|abi.OCreat, 0o600)
+				if err != nil {
+					report(err)
+					continue
+				}
+				if _, err := app.Write(fd, []byte("under load")); err != nil {
+					report(err)
+				}
+				if _, err := app.Pread(fd, 4, 0); err != nil {
+					report(err)
+				}
+				report(app.Close(fd))
+			}
+		}(i, app)
+	}
+
+	for r := 0; r < 5; r++ {
+		if err := d.RestartCVM(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-badErr:
+		t.Fatal(err)
+	default:
+	}
+
+	// Every worker recovers: a fresh open/write/close round-trip works and
+	// its proxy re-enrolls against the final guest.
+	for i, app := range apps {
+		fd, err := app.Open("final.txt", abi.OWrOnly|abi.OCreat, 0o600)
+		if err != nil {
+			t.Fatalf("worker %d post-restart open: %v", i, err)
+		}
+		if _, err := app.Write(fd, []byte("clean")); err != nil {
+			t.Fatalf("worker %d post-restart write: %v", i, err)
+		}
+		if err := app.Close(fd); err != nil {
+			t.Fatalf("worker %d post-restart close: %v", i, err)
+		}
+		if d.Proxies.ProxyFor(app.Task.PID) == nil {
+			t.Fatalf("worker %d has no proxy on the final guest", i)
+		}
+	}
+	if got := d.Layer.Stats().Restarts; got != 5 {
+		t.Fatalf("Restarts = %d, want 5", got)
 	}
 }

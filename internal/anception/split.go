@@ -20,10 +20,10 @@ func (l *Layer) handleSplit(t *kernel.Task, args *kernel.Args) kernel.Result {
 			return res
 		}
 		child := l.host.Task(int(res.Ret))
-		if l.proxies.ProxyFor(t.PID) != nil || child.RE != 0 {
+		if proxies := l.proxyMgr(); proxies.ProxyFor(t.PID) != nil || child.RE != 0 {
 			// Mirroring the fork costs one small control round trip.
 			l.chargeControlTrip()
-			if _, err := l.proxies.MirrorFork(t.PID, child); err != nil {
+			if _, err := proxies.MirrorFork(t.PID, child); err != nil {
 				return kernel.Result{Ret: -1, Err: err}
 			}
 		}
@@ -34,9 +34,9 @@ func (l *Layer) handleSplit(t *kernel.Task, args *kernel.Args) kernel.Result {
 
 	case abi.SysExit, abi.SysExitGroup:
 		res := l.host.InvokeLocal(t, *args)
-		if l.proxies.ProxyFor(t.PID) != nil {
+		if proxies := l.proxyMgr(); proxies.ProxyFor(t.PID) != nil {
 			l.chargeControlTrip()
-			l.proxies.MirrorExit(t.PID)
+			proxies.MirrorExit(t.PID)
 		}
 		l.forgetMmapBindings(t.PID)
 		return res
@@ -50,7 +50,7 @@ func (l *Layer) handleSplit(t *kernel.Task, args *kernel.Args) kernel.Result {
 	case abi.SysUmask:
 		res := l.host.InvokeLocal(t, *args)
 		l.chargeControlTrip()
-		l.proxies.MirrorUmask(t.PID, t.Umask)
+		l.proxyMgr().MirrorUmask(t.PID, t.Umask)
 		return res
 
 	case abi.SysBrk, abi.SysMremap:
@@ -78,7 +78,7 @@ func (l *Layer) handleChdir(t *kernel.Task, args *kernel.Args) kernel.Result {
 		res := l.host.InvokeLocal(t, *args)
 		if res.Ok() {
 			l.chargeControlTrip()
-			l.proxies.MirrorChdir(t.PID, t.CWD)
+			l.proxyMgr().MirrorChdir(t.PID, t.CWD)
 		}
 		return res
 	}
@@ -90,7 +90,7 @@ func (l *Layer) handleChdir(t *kernel.Task, args *kernel.Args) kernel.Result {
 		return kernel.Result{Ret: -1, Err: abi.ENOTDIR}
 	}
 	t.CWD = p
-	l.proxies.MirrorChdir(t.PID, p)
+	l.proxyMgr().MirrorChdir(t.PID, p)
 	return kernel.Result{}
 }
 
@@ -115,7 +115,7 @@ func (l *Layer) handleCredChange(t *kernel.Task, args *kernel.Args) kernel.Resul
 	if t.AS != nil {
 		t.AS.Release()
 	}
-	l.proxies.MirrorExit(t.PID)
+	l.proxyMgr().MirrorExit(t.PID)
 	return kernel.Result{Ret: -1, Err: abi.EPERM}
 }
 

@@ -37,6 +37,9 @@ type CVM struct {
 	switchesOut   int // guest -> host (hypercall)
 	channelPages  []kernel.FrameID
 	remapped      bool
+	// generation counts boots of this container: 1 after Launch, +1 per
+	// Relaunch. Recovery tooling reports it as the restart count.
+	generation int
 }
 
 // Config sizes the container.
@@ -71,6 +74,7 @@ func Launch(phys *kernel.Physical, cfg Config) (*CVM, error) {
 		trace:         cfg.Trace,
 		nChannel:      cfg.ChannelPages,
 		kernelReserve: int(cfg.KernelReserveBytes / abi.PageSize),
+		generation:    1,
 	}
 	if cfg.ChannelPages > 0 {
 		// The channel lives in guest kernel pages remapped into host
@@ -105,6 +109,7 @@ func (c *CVM) Relaunch() error {
 	n := c.nChannel
 	c.channelPages = nil
 	c.remapped = false
+	c.generation++
 	c.mu.Unlock()
 	if n > 0 {
 		alloc := c.phys.NewAllocator("cvm-channel", c.region)
@@ -197,6 +202,14 @@ func (c *CVM) Hypercall() {
 	if c.trace != nil {
 		c.trace.Record(sim.EvWorldSwitch, "guest->host (hypercall)")
 	}
+}
+
+// Generation reports how many times this container has booted: 1 after
+// Launch, incremented by each Relaunch.
+func (c *CVM) Generation() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.generation
 }
 
 // WorldSwitches reports the (in, out) switch counts since launch.

@@ -1,6 +1,8 @@
 package marshal
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"anception/internal/abi"
@@ -23,6 +25,27 @@ type Transport interface {
 	Name() string
 }
 
+// ErrHang signals that a round-trip would never complete in real time: the
+// request was lost, the hypercall path is wedged, or the guest stopped
+// responding. The Anception layer converts it into an ETIMEDOUT at the
+// call's deadline instead of blocking the app forever.
+var ErrHang = errors.New("marshal: data-channel round-trip hung")
+
+// LivenessSetter is implemented by transports that can check guest
+// liveness before signaling it. The probe returns false when the guest
+// kernel is down (panicked); the transport then fails fast with an
+// EHOSTDOWN-style error instead of running the handler against a dead
+// kernel.
+type LivenessSetter interface {
+	SetLiveness(probe func() bool)
+}
+
+// errGuestDown builds the distinct "container dead" transport error so the
+// layer can tell a dead container from a slow one.
+func errGuestDown(transport string) error {
+	return fmt.Errorf("%s: guest kernel down: %w", transport, abi.EHOSTDOWN)
+}
+
 // ChunkSize is the fixed transfer unit of the data channel (footnote 7).
 // It is a variable, not a constant, only in PageChannel's config so the
 // chunk-size ablation (A2) can sweep it.
@@ -37,6 +60,7 @@ type PageChannel struct {
 	clock     *sim.Clock
 	model     sim.LatencyModel
 	chunkSize int
+	liveness  func() bool
 }
 
 var _ Transport = (*PageChannel)(nil)
@@ -52,6 +76,10 @@ func NewPageChannel(cvm *hypervisor.CVM, clock *sim.Clock, model sim.LatencyMode
 
 // Name implements Transport.
 func (p *PageChannel) Name() string { return "remapped-pages" }
+
+// SetLiveness implements LivenessSetter. Must be called before the channel
+// is shared across goroutines (it is wired once at layer construction).
+func (p *PageChannel) SetLiveness(probe func() bool) { p.liveness = probe }
 
 // ChunkSize returns the configured transfer unit.
 func (p *PageChannel) ChunkSize() int { return p.chunkSize }
@@ -71,6 +99,12 @@ func (p *PageChannel) chargeChunks(n int, perByte time.Duration) {
 // (and only to) the container — the property the encfs extension's tests
 // rely on.
 func (p *PageChannel) RoundTrip(payload []byte, handler GuestHandler) ([]byte, error) {
+	// Liveness first: a panicked guest must not be signaled, and the
+	// handler must not run against its dead kernel. The distinct errno
+	// lets the layer tell "container dead" from "container slow".
+	if p.liveness != nil && !p.liveness() {
+		return nil, errGuestDown("page channel")
+	}
 	pages := p.cvm.ChannelPages()
 	if len(pages) == 0 {
 		return nil, abi.ENXIO
@@ -131,9 +165,10 @@ func (p *PageChannel) LastChannelBytes(n int) ([]byte, error) {
 // socket/virtio-style path with extra data copies and per-message fixed
 // cost. Functionally identical; only the cost model differs.
 type SocketChannel struct {
-	cvm   *hypervisor.CVM
-	clock *sim.Clock
-	model sim.LatencyModel
+	cvm      *hypervisor.CVM
+	clock    *sim.Clock
+	model    sim.LatencyModel
+	liveness func() bool
 }
 
 var _ Transport = (*SocketChannel)(nil)
@@ -146,8 +181,14 @@ func NewSocketChannel(cvm *hypervisor.CVM, clock *sim.Clock, model sim.LatencyMo
 // Name implements Transport.
 func (s *SocketChannel) Name() string { return "socket" }
 
+// SetLiveness implements LivenessSetter.
+func (s *SocketChannel) SetLiveness(probe func() bool) { s.liveness = probe }
+
 // RoundTrip implements Transport.
 func (s *SocketChannel) RoundTrip(payload []byte, handler GuestHandler) ([]byte, error) {
+	if s.liveness != nil && !s.liveness() {
+		return nil, errGuestDown("socket channel")
+	}
 	s.clock.Advance(s.model.SocketChannelFixed + time.Duration(len(payload))*s.model.SocketChannelPerByte)
 	s.cvm.InjectInterrupt()
 	resp := handler(payload)

@@ -63,6 +63,12 @@ func (m *Manager) Ensure(host *kernel.Task) (*kernel.Task, error) {
 	}
 	m.mu.Unlock()
 
+	// A panicked guest cannot enroll proxies: fail with the distinct
+	// "container dead" errno rather than spawning into a dead kernel.
+	if m.guest.Panicked() != "" {
+		return nil, fmt.Errorf("proxy for pid %d: container down: %w", host.PID, abi.EHOSTDOWN)
+	}
+
 	p := m.guest.Spawn(host.Cred, host.Comm+":proxy")
 	p.Umask = host.Umask
 	p.CWD = host.CWD

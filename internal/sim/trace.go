@@ -19,6 +19,13 @@ const (
 	EvExploit
 	EvSecurity
 	EvLifecycle
+	// EvFault marks a deliberately injected failure (fault drill).
+	EvFault
+	// EvTimeout marks a redirected call abandoned at its deadline.
+	EvTimeout
+	// EvWatchdog marks supervisor activity: heartbeat probes, detections,
+	// restarts, circuit-breaker transitions.
+	EvWatchdog
 )
 
 // String returns the short label used in trace dumps.
@@ -38,6 +45,12 @@ func (k EventKind) String() string {
 		return "security"
 	case EvLifecycle:
 		return "lifecycle"
+	case EvFault:
+		return "fault"
+	case EvTimeout:
+		return "timeout"
+	case EvWatchdog:
+		return "watchdog"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

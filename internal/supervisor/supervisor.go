@@ -1,0 +1,310 @@
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"anception/internal/sim"
+)
+
+// Target is the platform surface the watchdog drives. *anception.Device
+// satisfies it structurally (no anception import here — it would cycle).
+type Target interface {
+	// Probe sends one heartbeat over the data channel; nil means healthy.
+	Probe() error
+	// RestartCVM reboots the container on its persistent filesystem.
+	RestartCVM() error
+	// SetDegraded toggles fail-fast mode on the redirection layer.
+	SetDegraded(on bool)
+	// GuestServiceAlive reports whether a named container service runs.
+	GuestServiceAlive(name string) bool
+}
+
+// Config tunes the watchdog. Zero values take the documented defaults.
+type Config struct {
+	// Heartbeat is the sim-time probe cadence (default 50 ms).
+	Heartbeat time.Duration
+	// BackoffBase is the pause before the first restart attempt; it
+	// doubles per consecutive failure (default 10 ms).
+	BackoffBase time.Duration
+	// BackoffMax caps the pause (default 500 ms).
+	BackoffMax time.Duration
+	// BreakerThreshold trips the circuit breaker after this many restarts
+	// inside BreakerWindow (default 5).
+	BreakerThreshold int
+	// BreakerWindow is the sliding window for BreakerThreshold
+	// (default 10 s).
+	BreakerWindow time.Duration
+	// CriticalServices are container services whose death fails a probe
+	// even when the channel itself answers.
+	CriticalServices []string
+	// Channel, when set, is unwedged after every successful restart —
+	// the relaunch rebuilt the data channel, clearing a wedge.
+	Channel *Injector
+}
+
+func (c *Config) applyDefaults() {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 50 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 10 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 500 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+}
+
+// Stats counts what the supervisor observed and did, in sim time.
+type Stats struct {
+	Probes          int
+	ProbeFailures   int
+	Restarts        int
+	RestartFailures int
+	BreakerTrips    int
+	// Recoveries counts down->up transitions; MTTR aggregates are over
+	// these.
+	Recoveries int
+	LastMTTR   time.Duration
+	TotalMTTR  time.Duration
+}
+
+// MeanMTTR is the mean sim-time to recovery across all recoveries.
+func (s Stats) MeanMTTR() time.Duration {
+	if s.Recoveries == 0 {
+		return 0
+	}
+	return s.TotalMTTR / time.Duration(s.Recoveries)
+}
+
+// Supervisor is the watchdog: Tick() advances one heartbeat period,
+// probes the container, and reacts — restart with exponential backoff on
+// failure, breaker trip into degraded mode when restarts keep happening,
+// breaker close (and MTTR record) on the first healthy probe after an
+// outage.
+type Supervisor struct {
+	cfg    Config
+	target Target
+	clock  *sim.Clock
+	trace  *sim.Trace
+
+	mu          sync.Mutex
+	stats       Stats
+	healthy     bool
+	downSince   time.Duration
+	consecutive int // consecutive failed probe/restart cycles, drives backoff
+	restartLog  []time.Duration
+	degraded    bool
+	lastErr     error
+}
+
+// New builds a supervisor around a target. The clock must be the same sim
+// clock the platform runs on.
+func New(target Target, clock *sim.Clock, trace *sim.Trace, cfg Config) *Supervisor {
+	cfg.applyDefaults()
+	return &Supervisor{cfg: cfg, target: target, clock: clock, trace: trace, healthy: true}
+}
+
+// Stats returns a copy of the counters.
+func (s *Supervisor) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Healthy reports whether the last probe succeeded.
+func (s *Supervisor) Healthy() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.healthy
+}
+
+// Degraded reports whether the breaker is open.
+func (s *Supervisor) Degraded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degraded
+}
+
+// LastError returns the most recent probe or restart error (nil when
+// healthy).
+func (s *Supervisor) LastError() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// probe runs the channel heartbeat and the critical-service checks.
+func (s *Supervisor) probe() error {
+	if err := s.target.Probe(); err != nil {
+		return err
+	}
+	for _, name := range s.cfg.CriticalServices {
+		if !s.target.GuestServiceAlive(name) {
+			return fmt.Errorf("critical service %q dead", name)
+		}
+	}
+	return nil
+}
+
+// Tick advances one heartbeat period and runs one probe/react cycle.
+// It returns true when the container is healthy after the cycle.
+func (s *Supervisor) Tick() bool {
+	s.clock.Advance(s.cfg.Heartbeat)
+	s.mu.Lock()
+	s.stats.Probes++
+	s.mu.Unlock()
+
+	err := s.probe()
+	if err == nil {
+		s.noteHealthy()
+		return true
+	}
+	s.noteFailure(err)
+
+	// The breaker stays open until a probe succeeds (half-open semantics
+	// are in noteHealthy); while open we do not restart — restarts are
+	// what tripped it.
+	if s.Degraded() {
+		return false
+	}
+
+	// Back off, then restart. Backoff is sim time: the watchdog waits
+	// before burning another reboot.
+	s.mu.Lock()
+	backoff := s.cfg.BackoffBase << s.consecutive
+	if backoff > s.cfg.BackoffMax || backoff <= 0 {
+		backoff = s.cfg.BackoffMax
+	}
+	s.consecutive++
+	s.mu.Unlock()
+	s.clock.Advance(backoff)
+	if s.trace != nil {
+		s.trace.Record(sim.EvWatchdog, "probe failed (%v); restarting CVM after %v backoff", err, backoff)
+	}
+
+	if rerr := s.target.RestartCVM(); rerr != nil {
+		s.mu.Lock()
+		s.stats.RestartFailures++
+		s.lastErr = rerr
+		s.mu.Unlock()
+		if s.trace != nil {
+			s.trace.Record(sim.EvWatchdog, "restart failed: %v", rerr)
+		}
+		return false
+	}
+	s.mu.Lock()
+	s.stats.Restarts++
+	now := s.clock.Now()
+	s.restartLog = append(s.restartLog, now)
+	trip := s.countRestartsSinceLocked(now-s.cfg.BreakerWindow) >= s.cfg.BreakerThreshold
+	if trip {
+		s.degraded = true
+		s.stats.BreakerTrips++
+	}
+	s.mu.Unlock()
+	// A successful relaunch rebuilt the data channel: clear any wedge.
+	if s.cfg.Channel != nil {
+		s.cfg.Channel.Unwedge()
+	}
+	if trip {
+		s.target.SetDegraded(true)
+		if s.trace != nil {
+			s.trace.Record(sim.EvWatchdog, "circuit breaker tripped: %d restarts within %v; entering degraded mode",
+				s.cfg.BreakerThreshold, s.cfg.BreakerWindow)
+		}
+	}
+
+	// Re-probe immediately: a good restart recovers within this tick.
+	if err := s.probe(); err == nil {
+		s.noteHealthy()
+		return true
+	} else {
+		s.mu.Lock()
+		s.lastErr = err
+		s.mu.Unlock()
+	}
+	return false
+}
+
+// countRestartsSinceLocked counts restarts at or after cutoff; callers
+// hold s.mu.
+func (s *Supervisor) countRestartsSinceLocked(cutoff time.Duration) int {
+	n := 0
+	for _, at := range s.restartLog {
+		if at >= cutoff {
+			n++
+		}
+	}
+	return n
+}
+
+// noteHealthy records a successful probe: close the breaker if it was
+// open (half-open -> closed), and record MTTR if we were down.
+func (s *Supervisor) noteHealthy() {
+	s.mu.Lock()
+	wasDown := !s.healthy
+	wasDegraded := s.degraded
+	s.healthy = true
+	s.degraded = false
+	s.consecutive = 0
+	s.lastErr = nil
+	var mttr time.Duration
+	if wasDown {
+		mttr = s.clock.Now() - s.downSince
+		s.stats.Recoveries++
+		s.stats.LastMTTR = mttr
+		s.stats.TotalMTTR += mttr
+	}
+	s.mu.Unlock()
+	if wasDegraded {
+		s.target.SetDegraded(false)
+		if s.trace != nil {
+			s.trace.Record(sim.EvWatchdog, "circuit breaker closed: probe healthy again")
+		}
+	}
+	if wasDown && s.trace != nil {
+		s.trace.Record(sim.EvWatchdog, "container recovered; MTTR %v", mttr)
+	}
+}
+
+// noteFailure records a failed probe, starting the outage clock on the
+// first failure.
+func (s *Supervisor) noteFailure(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.ProbeFailures++
+	s.lastErr = err
+	if s.healthy {
+		s.healthy = false
+		s.downSince = s.clock.Now()
+	}
+}
+
+// RunUntilHealthy ticks until the container is healthy again or maxTicks
+// cycles pass; it returns an error in the latter case. Drills use it as
+// "let the watchdog do its job, bounded".
+func (s *Supervisor) RunUntilHealthy(maxTicks int) error {
+	for n := 0; n < maxTicks; n++ {
+		if s.Tick() {
+			return nil
+		}
+	}
+	return fmt.Errorf("container not healthy after %d ticks: %w", maxTicks, errLast(s.LastError()))
+}
+
+// errLast keeps RunUntilHealthy's %w well-formed when no error was seen.
+func errLast(err error) error {
+	if err == nil {
+		return errors.New("no probe error recorded")
+	}
+	return err
+}

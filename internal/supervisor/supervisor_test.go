@@ -1,0 +1,322 @@
+package supervisor_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// rig is one supervised Anception platform with a fault injector spliced
+// into the data channel.
+type rig struct {
+	d   *anception.Device
+	inj *supervisor.Injector
+	sup *supervisor.Supervisor
+	app *anception.Proc
+}
+
+func bootSupervised(t *testing.T, cfg supervisor.Config, wireChannel bool) *rig {
+	t.Helper()
+	d, err := anception.NewDevice(anception.Options{Mode: anception.ModeAnception})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := supervisor.NewInjector(d.Layer.Transport(), sim.NewRNG(42), d.Clock, d.Trace)
+	d.Layer.SetTransport(inj)
+	if wireChannel {
+		cfg.Channel = inj
+	}
+	sup := supervisor.New(d, d.Clock, d.Trace, cfg)
+
+	app, err := d.InstallApp(android.AppSpec{Package: "com.drill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{d: d, inj: inj, sup: sup, app: proc}
+}
+
+// writeDurable persists a file through the redirected path and returns its
+// absolute container path for post-recovery verification.
+func writeDurable(t *testing.T, r *rig, name, contents string) string {
+	t.Helper()
+	fd, err := r.app.Open(name, abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.app.Write(fd, []byte(contents)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.app.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	return r.app.App.Info.DataDir + "/" + name
+}
+
+// assertRecovered runs the invariant every drill must end with: the
+// supervisor reports healthy with a bounded MTTR, the app process never
+// died, its durable pre-fault state survived, and redirected I/O works.
+func assertRecovered(t *testing.T, r *rig, durablePath, contents string) {
+	t.Helper()
+	if err := r.sup.RunUntilHealthy(50); err != nil {
+		t.Fatalf("watchdog never recovered the container: %v", err)
+	}
+	st := r.sup.Stats()
+	if st.Recoveries == 0 {
+		t.Fatal("no recovery recorded")
+	}
+	if st.LastMTTR <= 0 || st.LastMTTR > 5*time.Second {
+		t.Fatalf("MTTR %v outside (0, 5s]", st.LastMTTR)
+	}
+	if r.app.Task.CurrentState() != kernel.TaskRunning {
+		t.Fatal("app process died during the fault")
+	}
+	data, err := r.d.Guest.FS().ReadFile(abi.Cred{UID: abi.UIDRoot}, durablePath)
+	if err != nil || string(data) != contents {
+		t.Fatalf("durable state after recovery = %q, %v; want %q", data, err, contents)
+	}
+	fd, err := r.app.Open("post-recovery.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatalf("redirected open after recovery: %v", err)
+	}
+	if _, err := r.app.Write(fd, []byte("recovered")); err != nil {
+		t.Fatalf("redirected write after recovery: %v", err)
+	}
+}
+
+// TestRecoveryDrills exercises the watchdog against every fault class the
+// harness models: transient channel faults (drop, corrupt, truncate), a
+// wedged channel, a guest kernel panic, and a killed critical service.
+func TestRecoveryDrills(t *testing.T) {
+	cases := []struct {
+		name   string
+		inject func(t *testing.T, r *rig)
+		// wantErrno, when nonzero, is checked against the app-visible
+		// failure of one redirected call made right after injection.
+		wantErrno abi.Errno
+	}{
+		{
+			name: "drop",
+			inject: func(t *testing.T, r *rig) {
+				r.inj.InjectNext(supervisor.FaultDrop, supervisor.FaultDrop, supervisor.FaultDrop)
+			},
+			wantErrno: abi.ETIMEDOUT,
+		},
+		{
+			name: "corrupt",
+			inject: func(t *testing.T, r *rig) {
+				r.inj.InjectNext(supervisor.FaultCorrupt, supervisor.FaultCorrupt)
+			},
+		},
+		{
+			name: "truncate",
+			inject: func(t *testing.T, r *rig) {
+				r.inj.InjectNext(supervisor.FaultTruncate, supervisor.FaultTruncate)
+			},
+		},
+		{
+			name:      "hang",
+			inject:    func(t *testing.T, r *rig) { r.inj.Wedge() },
+			wantErrno: abi.ETIMEDOUT,
+		},
+		{
+			name:      "guest-panic",
+			inject:    func(t *testing.T, r *rig) { r.d.InjectGuestPanic("drill") },
+			wantErrno: abi.EHOSTDOWN,
+		},
+		{
+			name: "service-kill",
+			inject: func(t *testing.T, r *rig) {
+				if err := r.d.KillGuestService("vold"); err != nil {
+					t.Fatal(err)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := bootSupervised(t, supervisor.Config{
+				CriticalServices: []string{"vold"},
+			}, true)
+			durable := writeDurable(t, r, "precious.txt", "written before the fault")
+
+			tc.inject(t, r)
+
+			// One app call under the fault. It may fail — but only with a
+			// clean errno, never a hang or corruption-induced panic.
+			_, err := r.app.Open("during-fault.txt", abi.OWrOnly|abi.OCreat, 0o600)
+			if err != nil {
+				var errno abi.Errno
+				if !errors.As(err, &errno) {
+					t.Fatalf("fault surfaced a non-errno error: %v", err)
+				}
+				if tc.wantErrno != 0 && errno != tc.wantErrno {
+					t.Fatalf("errno = %v, want %v", errno, tc.wantErrno)
+				}
+			} else if tc.wantErrno != 0 {
+				t.Fatalf("call under %s fault unexpectedly succeeded", tc.name)
+			}
+
+			assertRecovered(t, r, durable, "written before the fault")
+			if got := r.d.Trace.Count(sim.EvWatchdog); got == 0 {
+				t.Fatal("no watchdog events traced")
+			}
+		})
+	}
+}
+
+// TestNoCallBlocksForever: with the channel wedged, every redirected call
+// returns ETIMEDOUT after consuming at most its deadline in sim time.
+func TestNoCallBlocksForever(t *testing.T) {
+	r := bootSupervised(t, supervisor.Config{}, true)
+	deadline := r.d.Layer.Deadline()
+	r.inj.Wedge()
+
+	calls := []func() error{
+		func() error { _, err := r.app.Open("a.txt", abi.OWrOnly|abi.OCreat, 0o600); return err },
+		func() error { _, err := r.app.Stat("b.txt"); return err },
+		func() error { return r.app.Mkdir("dir", 0o700) },
+	}
+	for i, call := range calls {
+		before := r.d.Clock.Now()
+		err := call()
+		elapsed := r.d.Clock.Now() - before
+		if !errors.Is(err, abi.ETIMEDOUT) {
+			t.Fatalf("call %d: err = %v, want ETIMEDOUT", i, err)
+		}
+		// The deadline plus a small marshaling allowance bounds the call.
+		if elapsed > deadline+time.Millisecond {
+			t.Fatalf("call %d consumed %v, deadline is %v", i, elapsed, deadline)
+		}
+	}
+	if r.d.Layer.Stats().TimedOut != len(calls) {
+		t.Fatalf("TimedOut = %d, want %d", r.d.Layer.Stats().TimedOut, len(calls))
+	}
+}
+
+// TestCircuitBreaker: when restarts stop helping (the wedge outlives the
+// relaunch), the breaker trips into degraded fail-fast mode; apps get
+// EAGAIN instantly; a healthy probe closes the breaker again.
+func TestCircuitBreaker(t *testing.T) {
+	// No Channel wiring: restarts do NOT clear the wedge, so the watchdog
+	// burns through its restart budget.
+	r := bootSupervised(t, supervisor.Config{
+		BreakerThreshold: 3,
+		BreakerWindow:    time.Hour,
+	}, false)
+	r.inj.Wedge()
+
+	for i := 0; i < 10 && !r.sup.Degraded(); i++ {
+		r.sup.Tick()
+	}
+	if !r.sup.Degraded() {
+		t.Fatal("breaker never tripped")
+	}
+	st := r.sup.Stats()
+	if st.BreakerTrips != 1 || st.Restarts < 3 {
+		t.Fatalf("stats = %+v, want 1 trip after >=3 restarts", st)
+	}
+	if !r.d.Layer.Degraded() {
+		t.Fatal("layer not in degraded mode")
+	}
+
+	// Degraded mode: fail fast with EAGAIN, without touching the wedged
+	// channel (no sim time burned on the deadline).
+	before := r.d.Clock.Now()
+	_, err := r.app.Open("during-degraded.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if !errors.Is(err, abi.EAGAIN) {
+		t.Fatalf("degraded call err = %v, want EAGAIN", err)
+	}
+	if elapsed := r.d.Clock.Now() - before; elapsed > time.Millisecond {
+		t.Fatalf("degraded call burned %v of sim time", elapsed)
+	}
+	if r.d.Layer.Stats().FailedFast == 0 {
+		t.Fatal("FailedFast counter not bumped")
+	}
+
+	// While degraded the watchdog keeps probing but stops restarting.
+	restartsBefore := r.sup.Stats().Restarts
+	r.sup.Tick()
+	if got := r.sup.Stats().Restarts; got != restartsBefore {
+		t.Fatalf("restart while degraded: %d -> %d", restartsBefore, got)
+	}
+
+	// The operator (or a channel rebuild) clears the wedge: the next probe
+	// succeeds, half-open -> closed, and redirection resumes.
+	r.inj.Unwedge()
+	if err := r.sup.RunUntilHealthy(10); err != nil {
+		t.Fatal(err)
+	}
+	if r.sup.Degraded() || r.d.Layer.Degraded() {
+		t.Fatal("breaker still open after healthy probe")
+	}
+	if _, err := r.app.Open("after-breaker.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatalf("redirected open after breaker close: %v", err)
+	}
+	if r.sup.Stats().Recoveries == 0 {
+		t.Fatal("no recovery recorded after breaker close")
+	}
+}
+
+// TestProbabilisticChaosIsDeterministic: two runs with the same RNG seed
+// inject the same fault sequence — the harness's reproducibility claim.
+func TestProbabilisticChaosIsDeterministic(t *testing.T) {
+	run := func() (supervisor.InjectorStats, anception.LayerStats) {
+		r := bootSupervised(t, supervisor.Config{}, true)
+		r.inj.SetProbability(supervisor.FaultDrop, 0.3)
+		r.inj.SetProbability(supervisor.FaultCorrupt, 0.2)
+		for i := 0; i < 40; i++ {
+			fd, err := r.app.Open("chaos.txt", abi.OWrOnly|abi.OCreat, 0o600)
+			if err != nil {
+				continue
+			}
+			_, _ = r.app.Write(fd, []byte("x"))
+			_ = r.app.Close(fd)
+		}
+		return r.inj.Stats(), r.d.Layer.Stats()
+	}
+	i1, l1 := run()
+	i2, l2 := run()
+	if i1.RoundTrips != i2.RoundTrips {
+		t.Fatalf("round trips diverged: %d vs %d", i1.RoundTrips, i2.RoundTrips)
+	}
+	for _, k := range []supervisor.FaultKind{supervisor.FaultDrop, supervisor.FaultCorrupt} {
+		if i1.Injected[k] != i2.Injected[k] {
+			t.Fatalf("%v injections diverged: %d vs %d", k, i1.Injected[k], i2.Injected[k])
+		}
+	}
+	if i1.Injected[supervisor.FaultDrop] == 0 {
+		t.Fatal("probability mode injected nothing")
+	}
+	if l1.TimedOut != l2.TimedOut || l1.Redirected != l2.Redirected {
+		t.Fatalf("layer stats diverged: %+v vs %+v", l1, l2)
+	}
+}
+
+// TestDelayFaultBlowsDeadline: an injected delay larger than the call
+// deadline turns a completed call into ETIMEDOUT.
+func TestDelayFaultBlowsDeadline(t *testing.T) {
+	r := bootSupervised(t, supervisor.Config{}, true)
+	r.inj.InjectNext(supervisor.FaultDelay)
+	_, err := r.app.Open("slow.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if !errors.Is(err, abi.ETIMEDOUT) {
+		t.Fatalf("delayed call err = %v, want ETIMEDOUT", err)
+	}
+	if r.d.Layer.Stats().TimedOut != 1 {
+		t.Fatalf("TimedOut = %d, want 1", r.d.Layer.Stats().TimedOut)
+	}
+	// The next call is clean.
+	if _, err := r.app.Open("fast.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatal(err)
+	}
+}
