@@ -72,8 +72,8 @@ func benchNullCall(b *testing.B, mode anception.Mode) {
 func BenchmarkTableI_NullCall_Native(b *testing.B)    { benchNullCall(b, anception.ModeNative) }
 func BenchmarkTableI_NullCall_Anception(b *testing.B) { benchNullCall(b, anception.ModeAnception) }
 
-func benchWrite4K(b *testing.B, mode anception.Mode) {
-	d := newBenchDevice(b, mode, anception.Options{})
+func benchWrite4K(b *testing.B, mode anception.Mode, opts anception.Options) {
+	d := newBenchDevice(b, mode, opts)
 	p := launchBenchApp(b, d, "com.bench.write")
 	fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
 	if err != nil {
@@ -90,11 +90,24 @@ func benchWrite4K(b *testing.B, mode anception.Mode) {
 	simPerOp(b, d, start)
 }
 
-func BenchmarkTableI_Write4K_Native(b *testing.B)    { benchWrite4K(b, anception.ModeNative) }
-func BenchmarkTableI_Write4K_Anception(b *testing.B) { benchWrite4K(b, anception.ModeAnception) }
+func BenchmarkTableI_Write4K_Native(b *testing.B) {
+	benchWrite4K(b, anception.ModeNative, anception.Options{})
+}
 
-func benchRead4K(b *testing.B, mode anception.Mode) {
-	d := newBenchDevice(b, mode, anception.Options{})
+// The shipped Anception configuration runs with the redirection cache on:
+// repeated same-page writes coalesce in the host-side buffer and flush in
+// amortized round-trips (DESIGN.md §9).
+func BenchmarkTableI_Write4K_Anception(b *testing.B) {
+	benchWrite4K(b, anception.ModeAnception, anception.Options{RedirCache: true})
+}
+
+// The paper's Table I row: every write pays the full redirected round-trip.
+func BenchmarkTableI_Write4K_AnceptionUncached(b *testing.B) {
+	benchWrite4K(b, anception.ModeAnception, anception.Options{})
+}
+
+func benchRead4K(b *testing.B, mode anception.Mode, opts anception.Options) {
+	d := newBenchDevice(b, mode, opts)
 	p := launchBenchApp(b, d, "com.bench.read")
 	fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
 	if err != nil {
@@ -113,8 +126,36 @@ func benchRead4K(b *testing.B, mode anception.Mode) {
 	simPerOp(b, d, start)
 }
 
-func BenchmarkTableI_Read4K_Native(b *testing.B)    { benchRead4K(b, anception.ModeNative) }
-func BenchmarkTableI_Read4K_Anception(b *testing.B) { benchRead4K(b, anception.ModeAnception) }
+func BenchmarkTableI_Read4K_Native(b *testing.B) {
+	benchRead4K(b, anception.ModeNative, anception.Options{})
+}
+
+// The shipped Anception configuration: the warm read is served from the
+// host-side page cache without touching the data channel.
+func BenchmarkTableI_Read4K_Anception(b *testing.B) {
+	benchRead4K(b, anception.ModeAnception, anception.Options{RedirCache: true})
+}
+
+// The paper's Table I row: every read pays the full redirected round-trip.
+func BenchmarkTableI_Read4K_AnceptionUncached(b *testing.B) {
+	benchRead4K(b, anception.ModeAnception, anception.Options{})
+}
+
+// BenchmarkPing measures the supervisor heartbeat; the -benchmem allocation
+// count is pinned to zero in TestPingZeroAllocs.
+func BenchmarkPing(b *testing.B) {
+	d := newBenchDevice(b, anception.ModeAnception, anception.Options{})
+	if err := d.Layer.Ping(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Layer.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 func benchBinder(b *testing.B, mode anception.Mode, payload int) {
 	d := newBenchDevice(b, mode, anception.Options{})

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+)
+
+// benchJSONFile is where -exp bench-json writes its machine-readable
+// report; CI archives it so the redirection-cache speedups are tracked
+// per commit.
+const benchJSONFile = "BENCH_redirection.json"
+
+// benchRow is one Table-I-style measurement in simulated microseconds.
+type benchRow struct {
+	Name       string  `json:"name"`
+	SimUsPerOp float64 `json:"sim_us_per_op"`
+}
+
+// benchReport is the bench-json output document.
+type benchReport struct {
+	Iterations int        `json:"iterations"`
+	Rows       []benchRow `json:"rows"`
+	// ReadSpeedup / WriteSpeedup compare the cached Anception
+	// configuration against the uncached paper row.
+	ReadSpeedup  float64 `json:"read_speedup"`
+	WriteSpeedup float64 `json:"write_speedup"`
+	// Cache holds the cached device's counters after both loops.
+	Cache        anception.CacheStats `json:"cache"`
+	CacheHitRate float64              `json:"cache_hit_rate"`
+}
+
+// benchDevice boots a quiet platform and a benchmark app for bench-json.
+func benchDevice(mode anception.Mode, cache bool) (*anception.Device, *anception.Proc, error) {
+	d, err := anception.NewDevice(anception.Options{Mode: mode, RedirCache: cache, DisableTrace: true})
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := launchBench(d)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, p, nil
+}
+
+// benchJSON measures the Table I read/write rows across native, uncached
+// Anception, and cached Anception, and writes BENCH_redirection.json.
+func benchJSON() error {
+	const iters = 2000
+	fmt.Println("== bench-json: redirection-cache Table I rows ==")
+
+	type config struct {
+		name  string
+		mode  anception.Mode
+		cache bool
+	}
+	configs := []config{
+		{"native", anception.ModeNative, false},
+		{"anception-uncached", anception.ModeAnception, false},
+		{"anception-cached", anception.ModeAnception, true},
+	}
+
+	perOp := make(map[string]map[string]float64) // op -> config name -> sim-us
+	report := benchReport{Iterations: iters}
+	for _, cfg := range configs {
+		d, p, err := benchDevice(cfg.mode, cfg.cache)
+		if err != nil {
+			return err
+		}
+		fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
+		if err != nil {
+			return err
+		}
+		page := make([]byte, abi.PageSize)
+		if _, err := p.Pwrite(fd, page, 0); err != nil {
+			return err
+		}
+		// One warm-up read so the cached configuration measures its steady
+		// state, matching the benchmark harness.
+		if _, err := p.Pread(fd, abi.PageSize, 0); err != nil {
+			return err
+		}
+
+		start := d.Clock.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.Pread(fd, abi.PageSize, 0); err != nil {
+				return err
+			}
+		}
+		readUs := float64(d.Clock.Now()-start) / iters / 1e3
+
+		start = d.Clock.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.Pwrite(fd, page, 0); err != nil {
+				return err
+			}
+		}
+		writeUs := float64(d.Clock.Now()-start) / iters / 1e3
+
+		perOp[cfg.name] = map[string]float64{"read": readUs, "write": writeUs}
+		report.Rows = append(report.Rows,
+			benchRow{Name: "read4k-" + cfg.name, SimUsPerOp: readUs},
+			benchRow{Name: "write4k-" + cfg.name, SimUsPerOp: writeUs},
+		)
+		if cfg.cache {
+			report.Cache = d.Layer.Stats().Cache
+		}
+		fmt.Printf("  %-20s read=%8.2f sim-us  write=%8.2f sim-us\n", cfg.name, readUs, writeUs)
+	}
+
+	report.ReadSpeedup = perOp["anception-uncached"]["read"] / perOp["anception-cached"]["read"]
+	report.WriteSpeedup = perOp["anception-uncached"]["write"] / perOp["anception-cached"]["write"]
+	if lookups := report.Cache.Hits + report.Cache.Misses; lookups > 0 {
+		report.CacheHitRate = float64(report.Cache.Hits) / float64(lookups)
+	}
+	fmt.Printf("  speedup: read %.1fx, write %.1fx, hit rate %.4f\n",
+		report.ReadSpeedup, report.WriteSpeedup, report.CacheHitRate)
+
+	if report.ReadSpeedup < 5 {
+		return fmt.Errorf("cached read speedup %.2fx below the 5x acceptance floor", report.ReadSpeedup)
+	}
+	if report.WriteSpeedup <= 1 {
+		return fmt.Errorf("cached write shows no round-trip reduction (%.2fx)", report.WriteSpeedup)
+	}
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSONFile, append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", benchJSONFile)
+	return nil
+}

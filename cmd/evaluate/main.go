@@ -12,6 +12,7 @@
 //	evaluate -exp memory    CVM memory overhead (Section VI-C)
 //	evaluate -exp profile   ioctl profile of popular apps (Section VI-A)
 //	evaluate -exp recovery  supervised fault drills: per-class MTTR
+//	evaluate -exp bench-json  redirection-cache speedups -> BENCH_redirection.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, bench-json, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -40,17 +41,18 @@ func main() {
 
 func run(exp string) error {
 	experiments := map[string]func() error{
-		"table1":  table1,
-		"fig6":    fig6,
-		"fig7":    fig7,
-		"sqlite":  sqlite,
-		"study":   study,
-		"surface": surface,
-		"loc":     loc,
-		"memory":  memory,
-		"profile":  profile,
-		"session":  session,
-		"recovery": recovery,
+		"table1":     table1,
+		"fig6":       fig6,
+		"fig7":       fig7,
+		"sqlite":     sqlite,
+		"study":      study,
+		"surface":    surface,
+		"loc":        loc,
+		"memory":     memory,
+		"profile":    profile,
+		"session":    session,
+		"recovery":   recovery,
+		"bench-json": benchJSON,
 	}
 	if exp == "all" {
 		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery"} {

@@ -87,6 +87,21 @@ type Options struct {
 	// anception.DefaultCallDeadline).
 	CallDeadline time.Duration
 
+	// RedirCache enables the host-side redirection cache (DESIGN.md §9):
+	// per-descriptor page caching with read-ahead, write coalescing, and
+	// a path-attribute cache for idempotent calls. Off by default — the
+	// paper's Table I numbers are measured without it.
+	RedirCache bool
+	// ReadAheadPages is the pages fetched per read miss in one chunked
+	// round-trip (default anception.DefaultReadAheadPages).
+	ReadAheadPages int
+	// CacheBudgetBytes bounds clean cached page data, LRU-evicted
+	// (default anception.DefaultCacheBudgetBytes).
+	CacheBudgetBytes int64
+	// CacheFlushDelay is the sim-time write-back deadline for buffered
+	// writes (default anception.DefaultCacheFlushDelay).
+	CacheFlushDelay time.Duration
+
 	// Vulns selects the historical bugs present on the platform.
 	Vulns android.VulnProfile
 
@@ -286,6 +301,11 @@ func (d *Device) bootAnception() error {
 		Trace:        d.Trace,
 		KeepFSOnHost: d.Opts.KeepFSOnHost,
 		CallDeadline: d.Opts.CallDeadline,
+
+		RedirCache:       d.Opts.RedirCache,
+		ReadAheadPages:   d.Opts.ReadAheadPages,
+		CacheBudgetBytes: d.Opts.CacheBudgetBytes,
+		CacheFlushDelay:  d.Opts.CacheFlushDelay,
 	})
 	if err != nil {
 		return err
@@ -376,6 +396,18 @@ func (d *Device) RestartCVM() error {
 		d.Trace.Record(sim.EvLifecycle, "cvm restarted: fresh guest kernel, %d services", len(svcs.Names()))
 	}
 	return nil
+}
+
+// InvalidateRedirCache drops every redirection-cache entry, re-keying the
+// cache to the CVM's current boot generation. ReplaceGuest already does
+// this implicitly; the supervisor also calls it explicitly after each
+// successful restart so no stale page can survive into the new container
+// even if the restart path changes. No-op when the cache is disabled.
+func (d *Device) InvalidateRedirCache() {
+	if d.Layer == nil || d.CVM == nil {
+		return
+	}
+	d.Layer.invalidateRedirCache(d.CVM.Generation())
 }
 
 // Probe sends one supervisor heartbeat through the Anception layer's data

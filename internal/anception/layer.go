@@ -7,6 +7,7 @@ import (
 	"path"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"anception/internal/abi"
@@ -25,15 +26,14 @@ import (
 // mirrors split-class state onto the proxies.
 type Layer struct {
 	host      *kernel.Kernel
-	guest     *kernel.Kernel
 	cvm       *hypervisor.CVM
-	proxies   *proxy.Manager
-	transport marshal.Transport
 	engine    *redirect.Engine
 	clock     *sim.Clock
 	model     sim.LatencyModel
 	trace     *sim.Trace
 	execCache *proxy.ExecCache
+	// cache is the redirection cache (DESIGN.md §9); nil unless enabled.
+	cache *redirCache
 
 	keepFSOnHost bool
 	// deadline is the sim-clock budget of one redirected round-trip: a
@@ -41,15 +41,48 @@ type Layer struct {
 	// instead of blocking the app forever.
 	deadline time.Duration
 
-	mu     sync.Mutex
-	stats  LayerStats
-	tamper func([]byte) []byte
-	// degraded is the circuit-breaker fail-fast mode: forwarded calls
-	// return EAGAIN immediately; UI and host classes are untouched.
-	degraded bool
+	// state is the hot-path snapshot: Intercept/forward load it once with
+	// a single atomic read instead of taking a mutex per field. Writers
+	// (ReplaceGuest, SetTransport, SetDegraded, SetResultTampering)
+	// copy-on-write under mu, so readers always see a consistent tuple.
+	state atomic.Pointer[layerState]
+
+	counters layerCounters
+
+	// mu serializes state writers and guards mmapBindings; it is never
+	// taken on the forwarding hot path.
+	mu sync.Mutex
 	// mmapBindings tracks host mappings backed by CVM files, for msync
 	// write-back (Section III-D, Memory-mapped files).
 	mmapBindings map[int]map[uint64]mmapBinding
+}
+
+// layerState is the immutable hot-path snapshot; every mutation installs
+// a fresh copy.
+type layerState struct {
+	guest     *kernel.Kernel
+	proxies   *proxy.Manager
+	transport marshal.Transport
+	// degraded is the circuit-breaker fail-fast mode: forwarded calls
+	// return EAGAIN immediately; UI and host classes are untouched.
+	degraded bool
+	tamper   func([]byte) []byte
+}
+
+// layerCounters are the routing/recovery counters, updated lock-free on
+// the hot path and assembled into a LayerStats value by Stats().
+type layerCounters struct {
+	redirected    atomic.Int64
+	hostExecuted  atomic.Int64
+	split         atomic.Int64
+	blocked       atomic.Int64
+	binderBridged atomic.Int64
+	uiPassthrough atomic.Int64
+	appsKilled    atomic.Int64
+	restarts      atomic.Int64
+	timedOut      atomic.Int64
+	failedFast    atomic.Int64
+	hostDown      atomic.Int64
 }
 
 type mmapBinding struct {
@@ -57,7 +90,9 @@ type mmapBinding struct {
 	pages   int
 }
 
-// LayerStats counts routing outcomes and recovery events.
+// LayerStats counts routing outcomes and recovery events. It is a plain
+// value-copy-safe struct: Stats() assembles it from the layer's atomic
+// counters.
 type LayerStats struct {
 	Redirected    int
 	HostExecuted  int
@@ -74,6 +109,8 @@ type LayerStats struct {
 	FailedFast int
 	// HostDown counts calls refused because the container was dead.
 	HostDown int
+	// Cache holds the redirection-cache counters (zero when disabled).
+	Cache CacheStats
 }
 
 // DefaultCallDeadline bounds one redirected round-trip in sim time. It is
@@ -95,13 +132,21 @@ type LayerConfig struct {
 	KeepFSOnHost bool
 	// CallDeadline overrides DefaultCallDeadline (0 keeps the default).
 	CallDeadline time.Duration
+	// RedirCache enables the host-side redirection cache (DESIGN.md §9).
+	RedirCache bool
+	// ReadAheadPages is the pages fetched per read miss (0 = default 8).
+	ReadAheadPages int
+	// CacheBudgetBytes bounds clean cached pages (0 = default 4 MiB).
+	CacheBudgetBytes int64
+	// CacheFlushDelay is the write-back deadline (0 = default 5ms sim).
+	CacheFlushDelay time.Duration
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
 
 // NewLayer builds the Anception layer.
 func NewLayer(cfg LayerConfig) (*Layer, error) {
-	cache, err := proxy.NewExecCache(cfg.Host.FS())
+	execCache, err := proxy.NewExecCache(cfg.Host.FS())
 	if err != nil {
 		return nil, err
 	}
@@ -111,39 +156,57 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 	}
 	l := &Layer{
 		host:         cfg.Host,
-		guest:        cfg.Guest,
 		cvm:          cfg.CVM,
-		proxies:      cfg.Proxies,
-		transport:    cfg.Transport,
 		engine:       redirect.NewEngine(),
 		clock:        cfg.Clock,
 		model:        cfg.Model,
 		trace:        cfg.Trace,
-		execCache:    cache,
+		execCache:    execCache,
 		keepFSOnHost: cfg.KeepFSOnHost,
 		deadline:     deadline,
 		mmapBindings: make(map[int]map[uint64]mmapBinding),
 	}
-	if ls, ok := l.transport.(marshal.LivenessSetter); ok {
+	l.state.Store(&layerState{
+		guest:     cfg.Guest,
+		proxies:   cfg.Proxies,
+		transport: cfg.Transport,
+	})
+	if cfg.RedirCache {
+		gen := 1
+		if cfg.CVM != nil {
+			gen = cfg.CVM.Generation()
+		}
+		l.cache = newRedirCache(redirCacheConfig{
+			readAhead:  cfg.ReadAheadPages,
+			budget:     cfg.CacheBudgetBytes,
+			flushDelay: cfg.CacheFlushDelay,
+		}, gen)
+	}
+	if ls, ok := cfg.Transport.(marshal.LivenessSetter); ok {
 		ls.SetLiveness(l.guestAlive)
 	}
 	return l, nil
 }
 
-// guestKernel snapshots the current container kernel under the layer lock
-// so forwarding paths never race with ReplaceGuest.
-func (l *Layer) guestKernel() *kernel.Kernel {
+// currentState loads the hot-path snapshot.
+func (l *Layer) currentState() *layerState { return l.state.Load() }
+
+// mutateState installs a modified copy of the snapshot. Writers serialize
+// on mu; readers never block.
+func (l *Layer) mutateState(f func(*layerState)) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.guest
+	next := *l.state.Load()
+	f(&next)
+	l.state.Store(&next)
+	l.mu.Unlock()
 }
 
-// proxyMgr snapshots the current proxy manager under the layer lock.
-func (l *Layer) proxyMgr() *proxy.Manager {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.proxies
-}
+// guestKernel returns the current container kernel; the snapshot makes
+// forwarding paths immune to a concurrent ReplaceGuest.
+func (l *Layer) guestKernel() *kernel.Kernel { return l.currentState().guest }
+
+// proxyMgr returns the current proxy manager.
+func (l *Layer) proxyMgr() *proxy.Manager { return l.currentState().proxies }
 
 // guestAlive is the liveness probe wired into the transport: it always
 // reads the *current* guest, so it stays correct across CVM restarts.
@@ -153,27 +216,31 @@ func (l *Layer) guestAlive() bool {
 }
 
 // ReplaceGuest swaps in a freshly booted container kernel and proxy
-// manager after a CVM restart. Stale mmap bindings are dropped; stale
-// remote descriptors in host tasks surface as EBADF on next use.
+// manager after a CVM restart. Stale mmap bindings are dropped, the
+// redirection cache is invalidated wholesale (nothing cached against the
+// old boot generation may ever be served), and stale remote descriptors
+// in host tasks surface as EBADF on next use.
 func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
+	l.mutateState(func(s *layerState) {
+		s.guest = guest
+		s.proxies = proxies
+	})
 	l.mu.Lock()
-	l.guest = guest
-	l.proxies = proxies
 	l.mmapBindings = make(map[int]map[uint64]mmapBinding)
-	l.stats.Restarts++
-	n := l.stats.Restarts
 	l.mu.Unlock()
+	n := l.counters.restarts.Add(1)
+	gen := int(n) + 1
+	if l.cvm != nil {
+		gen = l.cvm.Generation()
+	}
+	l.invalidateRedirCache(gen)
 	if l.trace != nil {
 		l.trace.Record(sim.EvWatchdog, "guest replaced after CVM restart #%d", n)
 	}
 }
 
 // Transport returns the current data-channel transport.
-func (l *Layer) Transport() marshal.Transport {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.transport
-}
+func (l *Layer) Transport() marshal.Transport { return l.currentState().transport }
 
 // SetTransport swaps the data-channel transport — typically to wrap the
 // live one in a fault injector. Liveness wiring is re-applied so the new
@@ -182,19 +249,19 @@ func (l *Layer) SetTransport(tr marshal.Transport) {
 	if ls, ok := tr.(marshal.LivenessSetter); ok {
 		ls.SetLiveness(l.guestAlive)
 	}
-	l.mu.Lock()
-	l.transport = tr
-	l.mu.Unlock()
+	l.mutateState(func(s *layerState) { s.transport = tr })
 }
 
 // SetDegraded toggles the circuit-breaker fail-fast mode: while degraded,
 // redirected calls return EAGAIN immediately instead of touching the
-// container. Host-class and UI paths are unaffected.
+// container — and the redirection cache is never consulted. Host-class
+// and UI paths are unaffected.
 func (l *Layer) SetDegraded(on bool) {
-	l.mu.Lock()
-	changed := l.degraded != on
-	l.degraded = on
-	l.mu.Unlock()
+	changed := false
+	l.mutateState(func(s *layerState) {
+		changed = s.degraded != on
+		s.degraded = on
+	})
 	if changed && l.trace != nil {
 		if on {
 			l.trace.Record(sim.EvWatchdog, "circuit breaker open: redirected classes fail fast with EAGAIN")
@@ -205,14 +272,16 @@ func (l *Layer) SetDegraded(on bool) {
 }
 
 // Degraded reports whether fail-fast mode is active.
-func (l *Layer) Degraded() bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.degraded
-}
+func (l *Layer) Degraded() bool { return l.currentState().degraded }
 
 // Deadline returns the per-call sim-time budget.
 func (l *Layer) Deadline() time.Duration { return l.deadline }
+
+// heartbeatPayload is the fixed Ping echo body; a package-level value (and
+// a named handler below) keeps the steady-state heartbeat allocation-free.
+var heartbeatPayload = []byte("anception-heartbeat")
+
+func echoHeartbeat(req []byte) []byte { return req }
 
 // Ping sends a heartbeat over the data channel: an identity-echo
 // round-trip that exercises the transport, both world switches, and the
@@ -221,9 +290,8 @@ func (l *Layer) Deadline() time.Duration { return l.deadline }
 // a wedged or lossy one (ETIMEDOUT), and a corrupting one (EIO). Ping
 // deliberately ignores degraded mode so a half-open breaker can probe.
 func (l *Layer) Ping() error {
-	payload := []byte("anception-heartbeat")
 	start := l.clock.Now()
-	resp, err := l.Transport().RoundTrip(payload, func(req []byte) []byte { return req })
+	resp, err := l.currentState().transport.RoundTrip(heartbeatPayload, echoHeartbeat)
 	if err != nil {
 		if errors.Is(err, marshal.ErrHang) {
 			if elapsed := l.clock.Now() - start; elapsed < l.deadline {
@@ -236,7 +304,7 @@ func (l *Layer) Ping() error {
 	if elapsed := l.clock.Now() - start; elapsed > l.deadline {
 		return fmt.Errorf("heartbeat completed past %v deadline: %w", l.deadline, abi.ETIMEDOUT)
 	}
-	if !bytes.Equal(resp, payload) {
+	if !bytes.Equal(resp, heartbeatPayload) {
 		return fmt.Errorf("heartbeat echo corrupted: %w", abi.EIO)
 	}
 	return nil
@@ -247,22 +315,28 @@ func (l *Layer) Ping() error {
 // compromised CVM (Section VII): it can return arbitrary bad system-call
 // results but can never touch host memory directly. Pass nil to clear.
 func (l *Layer) SetResultTampering(f func([]byte) []byte) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	l.tamper = f
+	l.mutateState(func(s *layerState) { s.tamper = f })
 }
 
 // Stats returns a copy of the routing counters.
 func (l *Layer) Stats() LayerStats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
-}
-
-func (l *Layer) count(f func(*LayerStats)) {
-	l.mu.Lock()
-	f(&l.stats)
-	l.mu.Unlock()
+	s := LayerStats{
+		Redirected:    int(l.counters.redirected.Load()),
+		HostExecuted:  int(l.counters.hostExecuted.Load()),
+		Split:         int(l.counters.split.Load()),
+		Blocked:       int(l.counters.blocked.Load()),
+		BinderBridged: int(l.counters.binderBridged.Load()),
+		UIPassthrough: int(l.counters.uiPassthrough.Load()),
+		AppsKilled:    int(l.counters.appsKilled.Load()),
+		Restarts:      int(l.counters.restarts.Load()),
+		TimedOut:      int(l.counters.timedOut.Load()),
+		FailedFast:    int(l.counters.failedFast.Load()),
+		HostDown:      int(l.counters.hostDown.Load()),
+	}
+	if l.cache != nil {
+		s.Cache = l.cache.snapshot()
+	}
+	return s
 }
 
 // Intercept implements kernel.Interceptor. Returning handled=false lets
@@ -272,7 +346,7 @@ func (l *Layer) Intercept(k *kernel.Kernel, t *kernel.Task, args *kernel.Args) (
 	// up with UID 0 (e.g. via a zygote/adbd setuid failure) is killed on
 	// its first trap (Section III-C, footnote 3).
 	if t.Cred.UID == abi.UIDRoot {
-		l.count(func(s *LayerStats) { s.AppsKilled++ })
+		l.counters.appsKilled.Add(1)
 		if l.trace != nil {
 			l.trace.Record(sim.EvSecurity, "anception killed pid=%d: sandboxed task running as root", t.PID)
 		}
@@ -285,16 +359,16 @@ func (l *Layer) Intercept(k *kernel.Kernel, t *kernel.Task, args *kernel.Args) (
 	}
 	switch redirect.Classify(args.Nr) {
 	case redirect.ClassBlocked:
-		l.count(func(s *LayerStats) { s.Blocked++ })
+		l.counters.blocked.Add(1)
 		if l.trace != nil {
 			l.trace.Record(sim.EvSecurity, "anception blocked %s from pid=%d", args.Nr, t.PID)
 		}
 		return kernel.Result{Ret: -1, Err: abi.EPERM}, true
 	case redirect.ClassHost:
-		l.count(func(s *LayerStats) { s.HostExecuted++ })
+		l.counters.hostExecuted.Add(1)
 		return kernel.Result{}, false
 	case redirect.ClassSplit:
-		l.count(func(s *LayerStats) { s.Split++ })
+		l.counters.split.Add(1)
 		return l.handleSplit(t, args), true
 	}
 	return l.handleRedirectClass(t, args)
@@ -306,12 +380,16 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
 		p := l.absPath(t, args.Path)
 		if l.keepFSOnHost || l.engine.DecideOpen(p).Route == redirect.RouteHost {
-			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			l.counters.hostExecuted.Add(1)
 			return kernel.Result{}, false
 		}
 		fwd := *args
 		fwd.Path = p
-		return l.forwardWithFDResult(t, &fwd), true
+		res := l.forwardWithFDResult(t, &fwd)
+		if res.Ok() {
+			l.noteRemoteOpen(p, args.Flags)
+		}
+		return res, true
 
 	case abi.SysIoctl:
 		return l.handleIoctl(t, args)
@@ -324,10 +402,22 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		if e.Kind != kernel.FDRemote {
 			return kernel.Result{}, false
 		}
+		st := l.currentState()
+		var flushRes kernel.Result
+		var flushFailed bool
+		if !l.cacheBypassed(st) {
+			flushRes, flushFailed = l.flushFDFor(st, t, e)
+		}
 		fwd := *args
 		fwd.FD = e.GuestFD
-		res := l.forward(t, &fwd)
+		res := l.forwardOn(st, t, &fwd)
 		t.CloseFD(args.FD)
+		l.forgetFD(e)
+		if flushFailed {
+			// close reports the deferred write-back error, like a kernel
+			// flushing dirty pages at last close.
+			return flushRes, true
+		}
 		return res, true
 
 	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
@@ -339,12 +429,19 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		abi.SysGetsockname, abi.SysGetpeername:
 		e := t.FD(args.FD)
 		if e == nil || e.Kind != kernel.FDRemote {
-			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			l.counters.hostExecuted.Add(1)
 			return kernel.Result{}, false
+		}
+		st := l.currentState()
+		if !l.cacheBypassed(st) {
+			if res, handled := l.cachedFDCall(st, t, e, args); handled {
+				return res, true
+			}
 		}
 		fwd := *args
 		fwd.FD = e.GuestFD
-		res := l.forward(t, &fwd)
+		res := l.forwardOn(st, t, &fwd)
+		l.noteForwardedFDOp(e, args.Nr)
 		// Pointer translation writeback: copy returned data into the
 		// caller's buffer.
 		if res.Ok() && len(res.Data) > 0 && len(args.Buf) > 0 {
@@ -357,10 +454,18 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		if e == nil || e.Kind != kernel.FDRemote {
 			return kernel.Result{}, false
 		}
+		st := l.currentState()
+		if !l.cacheBypassed(st) {
+			// The duplicate shares the guest-side file; write back any
+			// buffered data so both views start coherent.
+			if res, failed := l.flushFDFor(st, t, e); failed {
+				return res, true
+			}
+		}
 		fwd := *args
 		fwd.Nr = abi.SysDup
 		fwd.FD = e.GuestFD
-		res := l.forward(t, &fwd)
+		res := l.forwardOn(st, t, &fwd)
 		if !res.Ok() {
 			return res, true
 		}
@@ -402,12 +507,20 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		abi.SysMknod:
 		p := l.absPath(t, args.Path)
 		if l.keepFSOnHost || redirect.DecideOpenPath(p) == redirect.RouteHost {
-			l.count(func(s *LayerStats) { s.HostExecuted++ })
+			l.counters.hostExecuted.Add(1)
 			return kernel.Result{}, false
 		}
 		fwd := *args
 		fwd.Path = p
-		return l.forward(t, &fwd), true
+		st := l.currentState()
+		if !l.cacheBypassed(st) {
+			if res, handled := l.cachedPathCall(st, t, &fwd, p); handled {
+				return res, true
+			}
+		}
+		res := l.forwardOn(st, t, &fwd)
+		l.notePathResult(&fwd, p, res)
+		return res, true
 
 	case abi.SysRename, abi.SysLink:
 		if l.keepFSOnHost {
@@ -416,7 +529,13 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		fwd := *args
 		fwd.Path = l.absPath(t, args.Path)
 		fwd.Path2 = l.absPath(t, args.Path2)
-		return l.forward(t, &fwd), true
+		st := l.currentState()
+		if !l.cacheBypassed(st) {
+			l.cachedPathCall(st, t, &fwd, fwd.Path)
+		}
+		res := l.forwardOn(st, t, &fwd)
+		l.notePathResult(&fwd, fwd.Path, res)
+		return res, true
 
 	case abi.SysSymlink:
 		// Path is the target (uninterpreted), Path2 the link location.
@@ -425,12 +544,15 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		}
 		fwd := *args
 		fwd.Path2 = l.absPath(t, args.Path2)
-		return l.forward(t, &fwd), true
+		st := l.currentState()
+		res := l.forwardOn(st, t, &fwd)
+		l.notePathResult(&fwd, fwd.Path2, res)
+		return res, true
 
 	case abi.SysShmget, abi.SysShmat, abi.SysShmdt, abi.SysShmctl:
 		// Shared segments are app memory: pages stay on the host
 		// (principle 3), exactly like the rest of an app's address space.
-		l.count(func(s *LayerStats) { s.HostExecuted++ })
+		l.counters.hostExecuted.Add(1)
 		return kernel.Result{}, false
 
 	case abi.SysSync, abi.SysMount:
@@ -459,13 +581,13 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 	if e.Kind == kernel.FDFile && e.File.IsDevice() && e.File.Device().DevName() == "binder" &&
 		args.Request == binder.IocWaitInputEvent {
 		// Listing 1's IOC_WAIT_INPUT_EVT: always a UI operation.
-		l.count(func(s *LayerStats) { s.UIPassthrough++ })
+		l.counters.uiPassthrough.Add(1)
 		return kernel.Result{}, false
 	}
 	if e.Kind == kernel.FDFile && e.File.IsDevice() && e.File.Device().DevName() == "binder" &&
 		args.Request == binder.IocTransact {
 		if l.host.Binder().IsUITransaction(args.Buf) {
-			l.count(func(s *LayerStats) { s.UIPassthrough++ })
+			l.counters.uiPassthrough.Add(1)
 			return kernel.Result{}, false // native-speed UI path
 		}
 		// Not a host UI service: if the target lives in the CVM, bridge
@@ -477,7 +599,7 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 		// Unknown service: let the host driver report the dead ref.
 		return kernel.Result{}, false
 	}
-	l.count(func(s *LayerStats) { s.HostExecuted++ })
+	l.counters.hostExecuted.Add(1)
 	return kernel.Result{}, false
 }
 
@@ -486,10 +608,10 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Transaction) kernel.Result {
 	g := l.guestKernel()
 	if g.Panicked() != "" {
-		l.count(func(s *LayerStats) { s.HostDown++ })
+		l.counters.hostDown.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("binder bridge: container down: %w", abi.EHOSTDOWN)}
 	}
-	l.count(func(s *LayerStats) { s.BinderBridged++ })
+	l.counters.binderBridged.Add(1)
 	l.clock.Advance(l.model.BinderTransaction +
 		l.model.BinderCVMPenalty +
 		time.Duration(len(args.Buf))*l.model.BinderCVMPerByte)
@@ -502,6 +624,11 @@ func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Trans
 	}
 	return kernel.Result{Data: out, Ret: int64(len(out))}
 }
+
+// sendfileBounceLimit bounds the staging buffer of a mixed-locality
+// sendfile: the copy loop runs in DefaultChunkSize multiples instead of
+// allocating args.Size bytes up front (a hostile app could pass 1 GiB).
+const sendfileBounceLimit = 16 * marshal.DefaultChunkSize
 
 // handleSendfile forwards sendfile when both descriptors live in the CVM;
 // the common exploit shape (socket + data file) always does.
@@ -520,50 +647,92 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 	if out.Kind != kernel.FDRemote && in.Kind != kernel.FDRemote {
 		return kernel.Result{}, false
 	}
-	// Mixed locality: stage through a bounce buffer.
-	buf := make([]byte, args.Size)
-	readArgs := kernel.Args{Nr: abi.SysRead, FD: args.FD2, Buf: buf}
-	var readRes kernel.Result
-	if in.Kind == kernel.FDRemote {
-		readArgs.FD = in.GuestFD
-		readRes = l.forward(t, &readArgs)
-	} else {
-		readRes = l.host.InvokeLocal(t, readArgs)
+	// Mixed locality: stage through a bounded bounce buffer, chunking the
+	// read/write loop so the allocation never exceeds sendfileBounceLimit
+	// no matter how large the requested Size is.
+	bufSize := args.Size
+	if bufSize > sendfileBounceLimit {
+		bufSize = sendfileBounceLimit
 	}
-	if !readRes.Ok() {
-		return readRes, true
+	if bufSize < 0 {
+		return kernel.Result{Ret: -1, Err: abi.EINVAL}, true
 	}
-	writeArgs := kernel.Args{Nr: abi.SysWrite, FD: args.FD, Buf: readRes.Data}
-	if out.Kind == kernel.FDRemote {
-		writeArgs.FD = out.GuestFD
-		return l.forward(t, &writeArgs), true
+	buf := make([]byte, bufSize)
+	var total int64
+	remaining := args.Size
+	for remaining > 0 {
+		n := remaining
+		if n > len(buf) {
+			n = len(buf)
+		}
+		readArgs := kernel.Args{Nr: abi.SysRead, FD: args.FD2, Buf: buf[:n]}
+		var readRes kernel.Result
+		if in.Kind == kernel.FDRemote {
+			readArgs.FD = in.GuestFD
+			readRes = l.forward(t, &readArgs)
+		} else {
+			readRes = l.host.InvokeLocal(t, readArgs)
+		}
+		if !readRes.Ok() {
+			if total > 0 {
+				return kernel.Result{Ret: total}, true
+			}
+			return readRes, true
+		}
+		if readRes.Ret == 0 {
+			break // source exhausted
+		}
+		chunk := readRes.Data
+		if len(chunk) == 0 {
+			chunk = buf[:readRes.Ret]
+		}
+		writeArgs := kernel.Args{Nr: abi.SysWrite, FD: args.FD, Buf: chunk}
+		var writeRes kernel.Result
+		if out.Kind == kernel.FDRemote {
+			writeArgs.FD = out.GuestFD
+			writeRes = l.forward(t, &writeArgs)
+		} else {
+			writeRes = l.host.InvokeLocal(t, writeArgs)
+		}
+		if !writeRes.Ok() {
+			if total > 0 {
+				return kernel.Result{Ret: total}, true
+			}
+			return writeRes, true
+		}
+		total += writeRes.Ret
+		remaining -= int(readRes.Ret)
+		if int(readRes.Ret) < n {
+			break // short read: end of source
+		}
 	}
-	return l.host.InvokeLocal(t, writeArgs), true
+	return kernel.Result{Ret: total}, true
 }
 
 // forward marshals one call, moves it over the transport, executes it in
-// the proxy's context inside the CVM, and unmarshals the result. Every
+// the proxy's context inside the CVM, and unmarshals the result.
+func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
+	return l.forwardOn(l.currentState(), t, args)
+}
+
+// forwardOn is forward against an already-loaded state snapshot: the hot
+// path loads the snapshot exactly once per intercepted call. Every
 // forwarded call runs under the layer's sim-clock deadline: a hung or
 // lossy transport surfaces as ETIMEDOUT at the deadline instead of
 // blocking the app forever, and a dead container as EHOSTDOWN.
-func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
-	if l.Degraded() {
-		l.count(func(s *LayerStats) { s.FailedFast++ })
+func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) kernel.Result {
+	if st.degraded {
+		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
 	}
-	// Snapshot guest-side references once: ReplaceGuest may swap them
-	// mid-flight, and this call must complete (or fail cleanly) against a
-	// consistent pair.
-	proxies := l.proxyMgr()
-	transport := l.Transport()
-	p, err := proxies.Ensure(t)
+	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {
-			l.count(func(s *LayerStats) { s.HostDown++ })
+			l.counters.hostDown.Add(1)
 		}
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("enroll proxy: %w", err)}
 	}
-	l.count(func(s *LayerStats) { s.Redirected++ })
+	l.counters.redirected.Add(1)
 	if l.trace != nil {
 		l.trace.Record(sim.EvRedirect, "redirect %s pid=%d -> proxy %d", args.Nr, t.PID, p.PID)
 	}
@@ -579,7 +748,7 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
 
 	start := l.clock.Now()
-	respBytes, terr := transport.RoundTrip(payload, func(req []byte) []byte {
+	respBytes, terr := st.transport.RoundTrip(payload, func(req []byte) []byte {
 		decoded, derr := marshal.DecodeArgs(req)
 		if derr != nil {
 			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
@@ -587,12 +756,9 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 		if isReadLike(decoded.Nr) && decoded.Buf == nil && decoded.Size > 0 {
 			decoded.Buf = make([]byte, decoded.Size)
 		}
-		resp := marshal.EncodeResult(proxies.Execute(p, *decoded))
-		l.mu.Lock()
-		tamper := l.tamper
-		l.mu.Unlock()
-		if tamper != nil {
-			resp = tamper(resp)
+		resp := marshal.EncodeResult(st.proxies.Execute(p, *decoded))
+		if st.tamper != nil {
+			resp = st.tamper(resp)
 		}
 		return resp
 	})
@@ -602,7 +768,7 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 	// An injected (or modeled) delay can push a completed call past its
 	// budget; the app sees ETIMEDOUT either way.
 	if l.clock.Now()-start > l.deadline {
-		l.count(func(s *LayerStats) { s.TimedOut++ })
+		l.counters.timedOut.Add(1)
 		if l.trace != nil {
 			l.trace.Record(sim.EvTimeout, "%s pid=%d completed past %v deadline", args.Nr, t.PID, l.deadline)
 		}
@@ -615,6 +781,64 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 	return res
 }
 
+// forwardBatch moves several calls to the guest in ONE transport
+// round-trip (the redirection cache's coalesced flush): the payload is a
+// batch frame, the proxy is dispatched once, and each call pays only its
+// own guest-side trap entry. Results come back positionally.
+func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
+	if st.degraded {
+		l.counters.failedFast.Add(1)
+		return nil, fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)
+	}
+	p, err := st.proxies.Ensure(t)
+	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.counters.hostDown.Add(1)
+		}
+		return nil, fmt.Errorf("enroll proxy: %w", err)
+	}
+	l.counters.redirected.Add(int64(len(calls)))
+	if l.trace != nil {
+		l.trace.Record(sim.EvRedirect, "redirect batch of %d calls pid=%d -> proxy %d", len(calls), t.PID, p.PID)
+	}
+	payload := marshal.EncodeArgsBatch(calls)
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	start := l.clock.Now()
+	respBytes, terr := st.transport.RoundTrip(payload, func(req []byte) []byte {
+		decoded, derr := marshal.DecodeArgsBatch(req)
+		if derr != nil {
+			return marshal.EncodeResultBatch([]kernel.Result{{Ret: -1, Err: abi.EINVAL}})
+		}
+		for _, d := range decoded {
+			if isReadLike(d.Nr) && d.Buf == nil && d.Size > 0 {
+				d.Buf = make([]byte, d.Size)
+			}
+		}
+		resp := marshal.EncodeResultBatch(st.proxies.ExecuteBatch(p, decoded))
+		if st.tamper != nil {
+			resp = st.tamper(resp)
+		}
+		return resp
+	})
+	if terr != nil {
+		fail := l.transportFailure(t, calls[0], start, terr)
+		return nil, fail.Err
+	}
+	if l.clock.Now()-start > l.deadline {
+		l.counters.timedOut.Add(1)
+		return nil, fmt.Errorf("batch exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT)
+	}
+	results, derr := marshal.DecodeResultBatch(respBytes)
+	if derr != nil {
+		return nil, derr
+	}
+	if len(results) != len(calls) {
+		return nil, fmt.Errorf("batch reply has %d results for %d calls: %w", len(results), len(calls), abi.EIO)
+	}
+	return results, nil
+}
+
 // transportFailure converts a transport error into the app-visible errno:
 // ErrHang charges the remaining deadline and becomes ETIMEDOUT; EHOSTDOWN
 // passes through (counted); anything else is reported as-is.
@@ -623,14 +847,14 @@ func (l *Layer) transportFailure(t *kernel.Task, args *kernel.Args, start time.D
 		if elapsed := l.clock.Now() - start; elapsed < l.deadline {
 			l.clock.Advance(l.deadline - elapsed)
 		}
-		l.count(func(s *LayerStats) { s.TimedOut++ })
+		l.counters.timedOut.Add(1)
 		if l.trace != nil {
 			l.trace.Record(sim.EvTimeout, "%s pid=%d abandoned at %v deadline", args.Nr, t.PID, l.deadline)
 		}
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel hung past %v deadline: %w", l.deadline, abi.ETIMEDOUT)}
 	}
 	if errors.Is(terr, abi.EHOSTDOWN) {
-		l.count(func(s *LayerStats) { s.HostDown++ })
+		l.counters.hostDown.Add(1)
 	}
 	return kernel.Result{Ret: -1, Err: fmt.Errorf("data channel: %w", terr)}
 }

@@ -106,7 +106,7 @@ func (l *Layer) handleCredChange(t *kernel.Task, args *kernel.Args) kernel.Resul
 	if newID == cur {
 		return kernel.Result{} // no-op re-assertion is fine
 	}
-	l.count(func(s *LayerStats) { s.AppsKilled++ })
+	l.counters.appsKilled.Add(1)
 	if l.trace != nil {
 		l.trace.Record(sim.EvSecurity,
 			"anception killed pid=%d: attempted UID/GID change %d -> %d", t.PID, cur, newID)
@@ -226,7 +226,11 @@ func (l *Layer) handleMsync(t *kernel.Task, args *kernel.Args) kernel.Result {
 	if err != nil {
 		return kernel.Result{Ret: -1, Err: err}
 	}
-	return l.forward(t, &kernel.Args{Nr: abi.SysPwrite64, FD: binding.guestFD, Buf: data, Off: 0})
+	res := l.forward(t, &kernel.Args{Nr: abi.SysPwrite64, FD: binding.guestFD, Buf: data, Off: 0})
+	// The write-back went around the redirection cache: any pages cached
+	// for descriptors on this guest file are stale now.
+	l.noteGuestFDWrite(binding.guestFD)
+	return res
 }
 
 func (l *Layer) forgetMmapBindings(pid int) {

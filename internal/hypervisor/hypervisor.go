@@ -152,6 +152,17 @@ func (c *CVM) ChannelPages() []kernel.FrameID {
 	return out
 }
 
+// ChannelPagesRO returns the channel frame slice without copying. The
+// slice is replaced wholesale by Relaunch and never mutated in place, so a
+// reader holding a stale slice sees a consistent (old-generation) channel,
+// never a torn one. Hot paths (the heartbeat, the redirection fast path)
+// use this to stay allocation-free; callers must not modify the slice.
+func (c *CVM) ChannelPagesRO() []kernel.FrameID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.channelPages
+}
+
 // ChannelRemapped reports whether the kmap setup completed.
 func (c *CVM) ChannelRemapped() bool {
 	c.mu.Lock()

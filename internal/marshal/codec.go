@@ -231,6 +231,83 @@ func DecodeArgs(b []byte) (*kernel.Args, error) {
 	return a, nil
 }
 
+// EncodeArgsBatch frames several calls into one channel payload so a
+// coalesced-write flush (or any multi-call exchange) costs a single
+// round-trip: a count followed by each call's EncodeArgs blob,
+// length-prefixed.
+func EncodeArgsBatch(calls []*kernel.Args) []byte {
+	var w writer
+	w.u32(int64(len(calls)))
+	for _, a := range calls {
+		blob := EncodeArgs(a)
+		w.u32(int64(len(blob)))
+		w.buf = append(w.buf, blob...)
+	}
+	return w.buf
+}
+
+// DecodeArgsBatch reverses EncodeArgsBatch.
+func DecodeArgsBatch(b []byte) ([]*kernel.Args, error) {
+	r := &reader{buf: b}
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	calls := make([]*kernel.Args, 0, n)
+	for i := 0; i < n; i++ {
+		blob := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		a, err := DecodeArgs(blob)
+		if err != nil {
+			return nil, err
+		}
+		calls = append(calls, a)
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("marshal: %d trailing bytes after args batch: %w", len(b)-r.pos, abi.EINVAL)
+	}
+	return calls, nil
+}
+
+// EncodeResultBatch frames the per-call results of a batched exchange.
+func EncodeResultBatch(results []kernel.Result) []byte {
+	var w writer
+	w.u32(int64(len(results)))
+	for _, res := range results {
+		blob := EncodeResult(res)
+		w.u32(int64(len(blob)))
+		w.buf = append(w.buf, blob...)
+	}
+	return w.buf
+}
+
+// DecodeResultBatch reverses EncodeResultBatch.
+func DecodeResultBatch(b []byte) ([]kernel.Result, error) {
+	r := &reader{buf: b}
+	n := r.u32()
+	if r.err != nil {
+		return nil, r.err
+	}
+	results := make([]kernel.Result, 0, n)
+	for i := 0; i < n; i++ {
+		blob := r.bytes()
+		if r.err != nil {
+			return nil, r.err
+		}
+		res, err := DecodeResult(blob)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	if r.pos != len(b) {
+		return nil, fmt.Errorf("marshal: %d trailing bytes after result batch: %w", len(b)-r.pos, abi.EINVAL)
+	}
+	return results, nil
+}
+
 // EncodeResult flattens a syscall result for the return trip.
 func EncodeResult(res kernel.Result) []byte {
 	var w writer

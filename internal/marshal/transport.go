@@ -105,7 +105,7 @@ func (p *PageChannel) RoundTrip(payload []byte, handler GuestHandler) ([]byte, e
 	if p.liveness != nil && !p.liveness() {
 		return nil, errGuestDown("page channel")
 	}
-	pages := p.cvm.ChannelPages()
+	pages := p.cvm.ChannelPagesRO()
 	if len(pages) == 0 {
 		return nil, abi.ENXIO
 	}

@@ -1,8 +1,10 @@
 package proxy
 
 import (
+	"container/list"
 	"fmt"
 	"path"
+	"sync"
 
 	"anception/internal/abi"
 	"anception/internal/vfs"
@@ -14,13 +16,28 @@ import (
 // protected host directory and execs from there. The cache directory is
 // owned by the system and not writable by apps, so an app cannot trick
 // the system into copying an executable to a restricted location.
+//
+// The cache is bounded: placing a binary beyond MaxExecCacheEntries evicts
+// the least-recently-placed one from the host filesystem, so a hostile app
+// spraying exec targets cannot grow the protected directory without limit.
 type ExecCache struct {
 	hostFS *vfs.FileSystem
 	root   string
+
+	// lru orders cached binaries, most recently placed/refreshed at the
+	// front; entries maps host path -> its lru element.
+	mu      sync.Mutex
+	lru     *list.List
+	entries map[string]*list.Element
+	max     int
 }
 
 // CacheRoot is the protected host directory holding copied-out binaries.
 const CacheRoot = "/anception/execcache"
+
+// MaxExecCacheEntries bounds the number of copied-out binaries kept on the
+// host before the oldest is evicted.
+const MaxExecCacheEntries = 64
 
 // NewExecCache creates the cache directory tree on the host filesystem.
 func NewExecCache(hostFS *vfs.FileSystem) (*ExecCache, error) {
@@ -28,13 +45,20 @@ func NewExecCache(hostFS *vfs.FileSystem) (*ExecCache, error) {
 	if err := hostFS.MkdirAll(system, CacheRoot, 0o711); err != nil {
 		return nil, fmt.Errorf("exec cache: %w", err)
 	}
-	return &ExecCache{hostFS: hostFS, root: CacheRoot}, nil
+	return &ExecCache{
+		hostFS:  hostFS,
+		root:    CacheRoot,
+		lru:     list.New(),
+		entries: make(map[string]*list.Element),
+		max:     MaxExecCacheEntries,
+	}, nil
 }
 
 // Place copies a user-generated binary (fetched from the CVM by the
 // caller) into the cache for the given app UID and returns the host path
 // to exec. The file is root-owned and world-executable but not writable
-// by the app.
+// by the app. Re-placing an existing path overwrites its contents and
+// refreshes its eviction rank.
 func (c *ExecCache) Place(uid int, guestPath string, contents []byte) (string, error) {
 	system := abi.Cred{UID: abi.UIDRoot}
 	dir := fmt.Sprintf("%s/%d", c.root, uid)
@@ -45,7 +69,37 @@ func (c *ExecCache) Place(uid int, guestPath string, contents []byte) (string, e
 	if err := c.hostFS.WriteFile(system, dst, contents, 0o755); err != nil {
 		return "", fmt.Errorf("exec cache place %q: %w", guestPath, err)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[dst]; ok {
+		c.lru.MoveToFront(e)
+	} else {
+		c.entries[dst] = c.lru.PushFront(dst)
+		for c.lru.Len() > c.max {
+			oldest := c.lru.Back()
+			victim := oldest.Value.(string)
+			c.lru.Remove(oldest)
+			delete(c.entries, victim)
+			// Best-effort: a binary already evicted by hand is fine.
+			_ = c.hostFS.Unlink(system, victim)
+		}
+	}
 	return dst, nil
+}
+
+// Contains reports whether a host path is currently cached.
+func (c *ExecCache) Contains(hostPath string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[hostPath]
+	return ok
+}
+
+// Len reports the number of cached binaries.
+func (c *ExecCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
 }
 
 // Root returns the cache root path.

@@ -1,0 +1,110 @@
+package proxy
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/vfs"
+)
+
+func newTestExecCache(t *testing.T) (*ExecCache, *vfs.FileSystem) {
+	t.Helper()
+	fs := vfs.New()
+	ec, err := NewExecCache(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ec, fs
+}
+
+var system = abi.Cred{UID: abi.UIDRoot}
+
+func TestExecCachePlaceAndContains(t *testing.T) {
+	ec, fs := newTestExecCache(t)
+	dst, err := ec.Place(1001, "/data/data/com.x/bin/tool", []byte("#!payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ec.Contains(dst) || ec.Len() != 1 {
+		t.Fatalf("placed binary not tracked: contains=%v len=%d", ec.Contains(dst), ec.Len())
+	}
+	got, err := fs.ReadFile(system, dst)
+	if err != nil || !bytes.Equal(got, []byte("#!payload")) {
+		t.Fatalf("cached binary content: %q err=%v", got, err)
+	}
+}
+
+func TestExecCacheEvictsOldestBeyondMax(t *testing.T) {
+	ec, fs := newTestExecCache(t)
+	first, err := ec.Place(1001, "/tmp/bin0", []byte("b0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= MaxExecCacheEntries; i++ {
+		if _, err := ec.Place(1001, fmt.Sprintf("/tmp/bin%d", i), []byte("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ec.Len() != MaxExecCacheEntries {
+		t.Fatalf("len = %d, want bounded at %d", ec.Len(), MaxExecCacheEntries)
+	}
+	if ec.Contains(first) {
+		t.Fatal("oldest entry must be evicted")
+	}
+	// Eviction removes the binary from the protected directory too.
+	if _, err := fs.ReadFile(system, first); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("evicted binary still on host fs: err=%v", err)
+	}
+}
+
+func TestExecCacheReplaceRefreshesRankAndContents(t *testing.T) {
+	ec, fs := newTestExecCache(t)
+	keep, err := ec.Place(1001, "/tmp/keep", []byte("v1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < MaxExecCacheEntries-1; i++ {
+		if _, err := ec.Place(1001, fmt.Sprintf("/tmp/f%d", i), []byte("f")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Re-place the oldest entry: its contents update and it moves to the
+	// front, so the next overflow evicts f0 instead.
+	if _, err := ec.Place(1001, "/tmp/keep", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if ec.Len() != MaxExecCacheEntries {
+		t.Fatalf("re-place must not grow the cache: len=%d", ec.Len())
+	}
+	if _, err := ec.Place(1001, "/tmp/overflow", []byte("o")); err != nil {
+		t.Fatal(err)
+	}
+	if !ec.Contains(keep) {
+		t.Fatal("refreshed entry must survive the next eviction")
+	}
+	got, err := fs.ReadFile(system, keep)
+	if err != nil || !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("re-place must overwrite contents: %q err=%v", got, err)
+	}
+}
+
+func TestExecCachePerUIDDirectories(t *testing.T) {
+	ec, _ := newTestExecCache(t)
+	a, err := ec.Place(1001, "/tmp/tool", []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ec.Place(1002, "/tmp/tool", []byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("same basename for different UIDs must not collide: %s", a)
+	}
+	if ec.Len() != 2 {
+		t.Fatalf("len = %d, want 2", ec.Len())
+	}
+}

@@ -108,6 +108,24 @@ func (m *Manager) Execute(proxy *kernel.Task, args kernel.Args) kernel.Result {
 	return m.guest.InvokeLocal(proxy, args)
 }
 
+// ExecuteBatch runs several forwarded calls in the proxy's context off a
+// single wakeup: the proxy is dispatched once for the whole batch (the
+// redirection cache's coalesced flush path), then each call pays only its
+// own guest-side trap entry.
+func (m *Manager) ExecuteBatch(proxy *kernel.Task, calls []*kernel.Args) []kernel.Result {
+	if m.naiveDispatch {
+		m.clock.Advance(m.model.ProxyDispatch + 4*m.model.GuestContextSwitch)
+	} else {
+		m.clock.Advance(m.model.ProxyDispatch)
+	}
+	results := make([]kernel.Result, len(calls))
+	for i, a := range calls {
+		m.clock.Advance(m.model.SyscallEntry)
+		results[i] = m.guest.InvokeLocal(proxy, *a)
+	}
+	return results
+}
+
 // MirrorFork creates the proxy for a freshly forked host child by forking
 // the parent's proxy, so the child's delegated descriptors exist in the
 // container exactly as the parent's did.

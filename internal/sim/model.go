@@ -87,6 +87,19 @@ type LatencyModel struct {
 	// calls are never redirected.
 	UIIoctl time.Duration
 
+	// CacheLookup is the fixed host-side cost of consulting the
+	// redirection cache (hash probe plus bookkeeping). Charged on every
+	// cache-served call, hit or buffered write.
+	CacheLookup time.Duration
+	// CacheHitPerPage is the per-page cost of serving a redirected read
+	// from host memory: a memcpy out of the cached page, far below the
+	// native storage-stack cost and orders below a container round trip.
+	CacheHitPerPage time.Duration
+	// CacheWriteBufferPerPage is the per-page cost of appending a
+	// redirected write to the host-side coalescing buffer; the container
+	// round trip is deferred to the next flush.
+	CacheWriteBufferPerPage time.Duration
+
 	// NetworkRTT is the simulated round-trip to a remote server (bank).
 	NetworkRTT time.Duration
 	// NetworkPerByte is the per-byte wire cost.
@@ -137,6 +150,10 @@ func DefaultLatencyModel() LatencyModel {
 		BinderCVMPerByte:  2340 * time.Nanosecond,   // 31.0 -> 31.3 ms for +128 B
 
 		UIIoctl: 95 * time.Microsecond,
+
+		CacheLookup:             250 * time.Nanosecond,
+		CacheHitPerPage:         1500 * time.Nanosecond,
+		CacheWriteBufferPerPage: 900 * time.Nanosecond,
 
 		NetworkRTT:     38 * time.Millisecond,
 		NetworkPerByte: 9 * time.Nanosecond,

@@ -26,6 +26,9 @@ const (
 	// EvWatchdog marks supervisor activity: heartbeat probes, detections,
 	// restarts, circuit-breaker transitions.
 	EvWatchdog
+	// EvCache marks redirection-cache activity: read-ahead fetches,
+	// coalesced-write flushes, and invalidations.
+	EvCache
 )
 
 // String returns the short label used in trace dumps.
@@ -51,6 +54,8 @@ func (k EventKind) String() string {
 		return "timeout"
 	case EvWatchdog:
 		return "watchdog"
+	case EvCache:
+		return "cache"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -22,6 +22,14 @@ type Target interface {
 	GuestServiceAlive(name string) bool
 }
 
+// CacheInvalidator is implemented by targets that keep a host-side
+// redirection cache. After every successful restart the supervisor tells
+// the target to drop it, so nothing cached against the old container boot
+// can ever be served against the new one.
+type CacheInvalidator interface {
+	InvalidateRedirCache()
+}
+
 // Config tunes the watchdog. Zero values take the documented defaults.
 type Config struct {
 	// Heartbeat is the sim-time probe cadence (default 50 ms).
@@ -214,6 +222,11 @@ func (s *Supervisor) Tick() bool {
 	// A successful relaunch rebuilt the data channel: clear any wedge.
 	if s.cfg.Channel != nil {
 		s.cfg.Channel.Unwedge()
+	}
+	// And invalidated any host-side redirection cache: stale pages from
+	// the previous container boot must never be served.
+	if inv, ok := s.target.(CacheInvalidator); ok {
+		inv.InvalidateRedirCache()
 	}
 	if trip {
 		s.target.SetDegraded(true)

@@ -1,0 +1,119 @@
+package supervisor_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// fakeTarget is a minimal supervisor target recording what the watchdog
+// asked of it.
+type fakeTarget struct {
+	healthy       bool
+	failRestart   bool
+	restarts      int
+	invalidations int
+}
+
+func (f *fakeTarget) Probe() error {
+	if f.healthy {
+		return nil
+	}
+	return errors.New("container down")
+}
+
+func (f *fakeTarget) RestartCVM() error {
+	if f.failRestart {
+		return errors.New("restart failed")
+	}
+	f.restarts++
+	f.healthy = true
+	return nil
+}
+
+func (f *fakeTarget) SetDegraded(bool)              {}
+func (f *fakeTarget) GuestServiceAlive(string) bool { return true }
+func (f *fakeTarget) InvalidateRedirCache()         { f.invalidations++ }
+
+// TestSupervisorInvalidatesCacheAfterRestart: a target exposing
+// InvalidateRedirCache gets it called exactly once per successful restart,
+// and never when the restart itself failed.
+func TestSupervisorInvalidatesCacheAfterRestart(t *testing.T) {
+	ft := &fakeTarget{healthy: false}
+	sup := supervisor.New(ft, sim.NewClock(), nil, supervisor.Config{})
+	if sup.Tick() != true {
+		t.Fatal("restart should have recovered the target within the tick")
+	}
+	if ft.restarts != 1 || ft.invalidations != 1 {
+		t.Fatalf("restarts=%d invalidations=%d, want 1/1", ft.restarts, ft.invalidations)
+	}
+
+	broken := &fakeTarget{healthy: false, failRestart: true}
+	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
+	sup2.Tick()
+	if broken.invalidations != 0 {
+		t.Fatalf("failed restart must not invalidate the cache: %d", broken.invalidations)
+	}
+}
+
+// TestSupervisedRestartDropsWarmCache is the end-to-end recovery drill for
+// the redirection cache: warm the page cache, panic the container, let the
+// watchdog restart it, and verify no stale page is served afterwards.
+func TestSupervisedRestartDropsWarmCache(t *testing.T) {
+	d, err := anception.NewDevice(anception.Options{Mode: anception.ModeAnception, RedirCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := supervisor.New(d, d.Clock, d.Trace, supervisor.Config{})
+	app, err := d.InstallApp(android.AppSpec{Package: "com.cache.drill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	data := []byte("pre-fault page")
+	fd, err := proc.Open("warm.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Pwrite(fd, data, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Fsync(fd); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := proc.Pread(fd, len(data), 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("warm read: %q, %v", got, err)
+	}
+
+	invBefore := d.Layer.Stats().Cache.Invalidations
+	d.InjectGuestPanic("cache drill")
+	if err := sup.RunUntilHealthy(50); err != nil {
+		t.Fatalf("watchdog never recovered: %v", err)
+	}
+	if d.Layer.Stats().Cache.Invalidations <= invBefore {
+		t.Fatal("supervised restart must invalidate the redirection cache")
+	}
+
+	// The stale descriptor must surface an error, never the cached page.
+	if got, err := proc.Pread(fd, len(data), 0); err == nil {
+		t.Fatalf("stale-fd read served %q after supervised restart", got)
+	}
+	// The durable (fsynced) content survives and is re-fetched fresh.
+	fd2, err := proc.Open("warm.dat", abi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := proc.Pread(fd2, len(data), 0); err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("post-recovery read: %q, %v", got, err)
+	}
+}
