@@ -21,6 +21,7 @@ import (
 	"anception/internal/anception"
 	"anception/internal/android"
 	"anception/internal/exploits"
+	"anception/internal/marshal"
 	"anception/internal/workloads"
 )
 
@@ -179,6 +180,59 @@ func BenchmarkTableI_Binder128_Native(b *testing.B)    { benchBinder(b, anceptio
 func BenchmarkTableI_Binder128_Anception(b *testing.B) { benchBinder(b, anception.ModeAnception, 128) }
 func BenchmarkTableI_Binder256_Native(b *testing.B)    { benchBinder(b, anception.ModeNative, 256) }
 func BenchmarkTableI_Binder256_Anception(b *testing.B) { benchBinder(b, anception.ModeAnception, 256) }
+
+// --- Async redirection ring (DESIGN.md §10) -------------------------------
+
+// benchRingWrite4K is benchWrite4K on a ring device, with the worker pool
+// shut down when the benchmark ends.
+func benchRingWrite4K(b *testing.B, opts anception.Options) {
+	d := newBenchDevice(b, anception.ModeAnception, opts)
+	defer d.Close()
+	p := launchBenchApp(b, d, "com.bench.ring")
+	fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	page := make([]byte, abi.PageSize)
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Pwrite(fd, page, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+	st := d.Layer.Stats().Ring
+	if st.Submitted > 0 {
+		b.ReportMetric(float64(st.Doorbells)/float64(st.Submitted), "doorbells/op")
+	}
+}
+
+// The synchronous baseline for the ring comparison is
+// BenchmarkTableI_Write4K_AnceptionUncached: same op, page channel.
+func BenchmarkRing_Write4K(b *testing.B) {
+	benchRingWrite4K(b, anception.Options{
+		RingDepth:   marshal.DefaultRingDepth,
+		RingWorkers: 4,
+	})
+}
+
+// BenchmarkRing_Ping measures the heartbeat through the async ring; the
+// allocation count is pinned to zero in TestRingPingZeroAllocs.
+func BenchmarkRing_Ping(b *testing.B) {
+	d := newBenchDevice(b, anception.ModeAnception, anception.Options{RingDepth: 8, RingWorkers: 1})
+	defer d.Close()
+	if err := d.Layer.Ping(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Layer.Ping(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
 
 // --- Figure 6: AnTuTu macrobenchmarks ------------------------------------
 

@@ -31,6 +31,10 @@ type benchReport struct {
 	// Cache holds the cached device's counters after both loops.
 	Cache        anception.CacheStats `json:"cache"`
 	CacheHitRate float64              `json:"cache_hit_rate"`
+	// Concurrency holds the sync-vs-ring multi-threaded throughput rows
+	// (-exp concurrency), so the async-ring win is tracked per commit
+	// alongside the cache speedups.
+	Concurrency []concRow `json:"concurrency"`
 }
 
 // benchDevice boots a quiet platform and a benchmark app for bench-json.
@@ -124,6 +128,19 @@ func benchJSON() error {
 	}
 	if report.WriteSpeedup <= 1 {
 		return fmt.Errorf("cached write shows no round-trip reduction (%.2fx)", report.WriteSpeedup)
+	}
+
+	concRows, err := concurrencyRows()
+	if err != nil {
+		return err
+	}
+	report.Concurrency = concRows
+	for _, r := range report.Concurrency {
+		fmt.Printf("  %2d threads: sync=%8.0f ring=%8.0f ops/sim-s (%.2fx, %.3f doorbells/op)\n",
+			r.Threads, r.SyncOpsPerSec, r.RingOpsPerSec, r.RingSpeedup, r.DoorbellsPerOp)
+	}
+	if err := concurrencyFloors(report.Concurrency); err != nil {
+		return err
 	}
 
 	blob, err := json.MarshalIndent(report, "", "  ")

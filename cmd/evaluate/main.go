@@ -12,7 +12,8 @@
 //	evaluate -exp memory    CVM memory overhead (Section VI-C)
 //	evaluate -exp profile   ioctl profile of popular apps (Section VI-A)
 //	evaluate -exp recovery  supervised fault drills: per-class MTTR
-//	evaluate -exp bench-json  redirection-cache speedups -> BENCH_redirection.json
+//	evaluate -exp concurrency  sync-vs-ring multi-threaded throughput
+//	evaluate -exp bench-json  redirection-cache speedups + concurrency rows -> BENCH_redirection.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -31,7 +32,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, bench-json, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -41,21 +42,22 @@ func main() {
 
 func run(exp string) error {
 	experiments := map[string]func() error{
-		"table1":     table1,
-		"fig6":       fig6,
-		"fig7":       fig7,
-		"sqlite":     sqlite,
-		"study":      study,
-		"surface":    surface,
-		"loc":        loc,
-		"memory":     memory,
-		"profile":    profile,
-		"session":    session,
-		"recovery":   recovery,
-		"bench-json": benchJSON,
+		"table1":      table1,
+		"fig6":        fig6,
+		"fig7":        fig7,
+		"sqlite":      sqlite,
+		"study":       study,
+		"surface":     surface,
+		"loc":         loc,
+		"memory":      memory,
+		"profile":     profile,
+		"session":     session,
+		"recovery":    recovery,
+		"concurrency": concurrency,
+		"bench-json":  benchJSON,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,153 @@
+package anception
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/marshal"
+	"anception/internal/sim"
+)
+
+// forwardRing is forwardOn over an asynchronous ring transport: the call
+// is submitted into an SQ slot (overlapping freely with submissions from
+// other goroutines), the submitter blocks only on its own slot's
+// completion, and deadline/degraded/host-down semantics match the
+// synchronous path slot-for-slot. Ordering: calls on the same guest
+// descriptor share a ring key, so the pool executes them FIFO.
+func (l *Layer) forwardRing(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, args *kernel.Args) kernel.Result {
+	if st.degraded {
+		l.counters.failedFast.Add(1)
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
+	}
+	p, err := st.proxies.Ensure(t)
+	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.counters.hostDown.Add(1)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("enroll proxy: %w", err)}
+	}
+	l.counters.redirected.Add(1)
+	if l.trace != nil {
+		l.trace.Record(sim.EvRedirect, "redirect %s pid=%d -> proxy %d (ring)", args.Nr, t.PID, p.PID)
+	}
+
+	enc := *args
+	if isReadLike(args.Nr) && enc.Buf != nil {
+		enc.Size = len(enc.Buf)
+		enc.Buf = nil
+	}
+	payload := marshal.EncodeArgs(&enc)
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	start := l.clock.Now()
+	pending, serr := ring.Submit(payload, ringKey(t, args), func(req []byte) []byte {
+		decoded, derr := marshal.DecodeArgs(req)
+		if derr != nil {
+			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
+		}
+		if isReadLike(decoded.Nr) && decoded.Buf == nil && decoded.Size > 0 {
+			decoded.Buf = make([]byte, decoded.Size)
+		}
+		resp := marshal.EncodeResult(st.proxies.ExecuteDrained(p, *decoded))
+		if st.tamper != nil {
+			resp = st.tamper(resp)
+		}
+		return resp
+	})
+	if serr != nil {
+		return l.transportFailure(t, args, start, serr)
+	}
+	respBytes, werr := pending.Wait()
+	if werr != nil {
+		return l.transportFailure(t, args, start, werr)
+	}
+	if l.clock.Now()-start > l.deadline {
+		l.counters.timedOut.Add(1)
+		if l.trace != nil {
+			l.trace.Record(sim.EvTimeout, "%s pid=%d completed past %v deadline", args.Nr, t.PID, l.deadline)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("call exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT)}
+	}
+	res, derr := marshal.DecodeResult(respBytes)
+	if derr != nil {
+		return kernel.Result{Ret: -1, Err: derr}
+	}
+	return res
+}
+
+// forwardBatchRing moves a coalesced batch through one ring slot: the
+// whole batch shares a key (its descriptor), so it stays ordered against
+// the descriptor's single-call traffic.
+func (l *Layer) forwardBatchRing(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
+	if st.degraded {
+		l.counters.failedFast.Add(1)
+		return nil, fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)
+	}
+	p, err := st.proxies.Ensure(t)
+	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.counters.hostDown.Add(1)
+		}
+		return nil, fmt.Errorf("enroll proxy: %w", err)
+	}
+	l.counters.redirected.Add(int64(len(calls)))
+	if l.trace != nil {
+		l.trace.Record(sim.EvRedirect, "redirect batch of %d calls pid=%d -> proxy %d (ring)", len(calls), t.PID, p.PID)
+	}
+	payload := marshal.EncodeArgsBatch(calls)
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	start := l.clock.Now()
+	pending, serr := ring.Submit(payload, ringKey(t, calls[0]), func(req []byte) []byte {
+		decoded, derr := marshal.DecodeArgsBatch(req)
+		if derr != nil {
+			return marshal.EncodeResultBatch([]kernel.Result{{Ret: -1, Err: abi.EINVAL}})
+		}
+		for _, d := range decoded {
+			if isReadLike(d.Nr) && d.Buf == nil && d.Size > 0 {
+				d.Buf = make([]byte, d.Size)
+			}
+		}
+		// Per-call errors travel home positionally inside the encoded
+		// result vector; the aggregate error is for direct Manager users.
+		batch, _ := st.proxies.ExecuteBatchDrained(p, decoded)
+		resp := marshal.EncodeResultBatch(batch)
+		if st.tamper != nil {
+			resp = st.tamper(resp)
+		}
+		return resp
+	})
+	if serr != nil {
+		fail := l.transportFailure(t, calls[0], start, serr)
+		return nil, fail.Err
+	}
+	respBytes, werr := pending.Wait()
+	if werr != nil {
+		fail := l.transportFailure(t, calls[0], start, werr)
+		return nil, fail.Err
+	}
+	if l.clock.Now()-start > l.deadline {
+		l.counters.timedOut.Add(1)
+		return nil, fmt.Errorf("batch exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT)
+	}
+	results, derr := marshal.DecodeResultBatch(respBytes)
+	if derr != nil {
+		return nil, derr
+	}
+	if len(results) != len(calls) {
+		return nil, fmt.Errorf("batch reply has %d results for %d calls: %w", len(results), len(calls), abi.EIO)
+	}
+	return results, nil
+}
+
+// ringKey picks the FIFO-ordering key: the guest descriptor when the
+// call has one (per-FD ordering), else the caller's PID.
+func ringKey(t *kernel.Task, args *kernel.Args) int64 {
+	if args.FD > 0 {
+		return int64(args.FD)
+	}
+	return int64(t.PID)
+}

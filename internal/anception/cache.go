@@ -637,24 +637,33 @@ func (l *Layer) flushLocked(st *layerState, t *kernel.Task, fc *fdCache) (kernel
 		}
 	}
 	c.stats.Flushes++
+	// Fold each extent that DID land into the clean page cache (full
+	// pages installed, partial edges patching resident pages) even when a
+	// later call in the batch failed: the container applied those writes,
+	// so dropping them here would let subsequent cached reads serve stale
+	// pre-flush data. The first failure is still reported to the caller.
+	var failRes kernel.Result
+	failed := false
 	for i, res := range results {
 		if !res.Ok() {
-			return res, true
+			if !failed {
+				failRes, failed = res, true
+			}
+			continue
 		}
 		end := extents[i].off + int64(len(extents[i].data))
 		if fc.sizeValid && end > fc.size {
 			fc.size = end
 		}
-	}
-	// Fold the flushed bytes into clean pages so subsequent reads still
-	// hit: full pages are installed, partial edges patch resident pages.
-	for _, ext := range extents {
-		l.foldExtentLocked(fc, ext)
+		l.foldExtentLocked(fc, extents[i])
 	}
 	c.purgeAttrLocked(fc.path)
 	if l.trace != nil {
 		l.trace.Record(sim.EvCache, "flush: wrote %d coalesced extents (%d bytes) to guest fd %d",
 			len(extents), extentBytes(extents), fc.guestFD)
+	}
+	if failed {
+		return failRes, true
 	}
 	return kernel.Result{}, false
 }

@@ -102,6 +102,18 @@ type Options struct {
 	// writes (default anception.DefaultCacheFlushDelay).
 	CacheFlushDelay time.Duration
 
+	// RingDepth > 0 replaces the synchronous page channel with the
+	// asynchronous redirection ring: that many SQ/CQ slots in the
+	// remapped channel pages, coalesced doorbell interrupts, and a guest
+	// proxy worker pool draining submissions concurrently. Off by
+	// default — the paper's Table I single-call rows are measured on the
+	// synchronous channel.
+	RingDepth int
+	// RingWorkers is the proxy worker pool size when the ring is active
+	// (default proxy.DefaultPoolWorkers). Entries sharing a descriptor
+	// stay FIFO; distinct descriptors execute concurrently.
+	RingWorkers int
+
 	// Vulns selects the historical bugs present on the platform.
 	Vulns android.VulnProfile
 
@@ -146,6 +158,11 @@ type Device struct {
 
 	Proxies *proxy.Manager
 	Layer   *Layer
+
+	// ring/ringPool are set when Options.RingDepth > 0: the async
+	// transport and the guest-side worker pool draining it.
+	ring     *marshal.RingChannel
+	ringPool *proxy.Pool
 
 	PM *android.PackageManager
 
@@ -284,9 +301,16 @@ func (d *Device) bootAnception() error {
 	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
 
 	var transport marshal.Transport
-	if d.Opts.SocketTransport {
+	switch {
+	case d.Opts.RingDepth > 0:
+		ring := marshal.NewRingChannel(cvm, d.Clock, d.Model, d.Trace, d.Opts.RingDepth, d.Opts.ChunkSize)
+		d.ring = ring
+		d.ringPool = proxy.NewPool(ring, d.Opts.RingWorkers, d.Clock, d.Model)
+		d.ringPool.Start()
+		transport = ring
+	case d.Opts.SocketTransport:
 		transport = marshal.NewSocketChannel(cvm, d.Clock, d.Model)
-	} else {
+	default:
 		transport = marshal.NewPageChannel(cvm, d.Clock, d.Model, d.Opts.ChunkSize)
 	}
 
@@ -396,6 +420,30 @@ func (d *Device) RestartCVM() error {
 		d.Trace.Record(sim.EvLifecycle, "cvm restarted: fresh guest kernel, %d services", len(svcs.Names()))
 	}
 	return nil
+}
+
+// DrainRing re-arms the async redirection ring to the CVM's current boot
+// generation: every slot still in flight against an older boot completes
+// with EHOSTDOWN instead of leaking. ReplaceGuest already does this
+// implicitly on restart; the supervisor also calls it explicitly (via the
+// RingDrainer hook) after each successful restart, mirroring
+// InvalidateRedirCache. No-op on the synchronous channel.
+func (d *Device) DrainRing() {
+	if d.ring == nil || d.CVM == nil {
+		return
+	}
+	d.ring.Rearm(d.CVM.Generation())
+}
+
+// Close shuts down the device's background machinery — today the async
+// ring's worker pool. Queued submissions drain before the workers exit;
+// devices on the synchronous channel need no Close.
+func (d *Device) Close() {
+	if d.ring == nil {
+		return
+	}
+	d.ring.Close()
+	d.ringPool.Wait()
 }
 
 // InvalidateRedirCache drops every redirection-cache entry, re-keying the

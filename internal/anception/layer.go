@@ -111,6 +111,10 @@ type LayerStats struct {
 	HostDown int
 	// Cache holds the redirection-cache counters (zero when disabled).
 	Cache CacheStats
+	// Ring holds the async ring-transport counters — depth, doorbell
+	// coalescing ratio, reaps, re-arms — zero when the synchronous page
+	// channel is active (Options.RingDepth == 0).
+	Ring marshal.RingStats
 }
 
 // DefaultCallDeadline bounds one redirected round-trip in sim time. It is
@@ -234,6 +238,12 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 		gen = l.cvm.Generation()
 	}
 	l.invalidateRedirCache(gen)
+	// Re-key the ring to the new boot generation: slots submitted against
+	// the old container complete with EHOSTDOWN instead of leaking (or
+	// executing against the fresh guest).
+	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
+		ring.Rearm(gen)
+	}
 	if l.trace != nil {
 		l.trace.Record(sim.EvWatchdog, "guest replaced after CVM restart #%d", n)
 	}
@@ -335,6 +345,9 @@ func (l *Layer) Stats() LayerStats {
 	}
 	if l.cache != nil {
 		s.Cache = l.cache.snapshot()
+	}
+	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
+		s.Ring = ring.RingStats()
 	}
 	return s
 }
@@ -721,6 +734,9 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 // lossy transport surfaces as ETIMEDOUT at the deadline instead of
 // blocking the app forever, and a dead container as EHOSTDOWN.
 func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) kernel.Result {
+	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
+		return l.forwardRing(st, ring, t, args)
+	}
 	if st.degraded {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
@@ -786,6 +802,9 @@ func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) ker
 // batch frame, the proxy is dispatched once, and each call pays only its
 // own guest-side trap entry. Results come back positionally.
 func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
+	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
+		return l.forwardBatchRing(st, ring, t, calls)
+	}
 	if st.degraded {
 		l.counters.failedFast.Add(1)
 		return nil, fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)
@@ -815,7 +834,10 @@ func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Arg
 				d.Buf = make([]byte, d.Size)
 			}
 		}
-		resp := marshal.EncodeResultBatch(st.proxies.ExecuteBatch(p, decoded))
+		// Per-call errors ride home positionally inside the encoded
+		// result vector; the aggregate error serves direct Manager users.
+		batch, _ := st.proxies.ExecuteBatch(p, decoded)
+		resp := marshal.EncodeResultBatch(batch)
 		if st.tamper != nil {
 			resp = st.tamper(resp)
 		}

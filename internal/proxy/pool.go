@@ -1,0 +1,157 @@
+package proxy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"anception/internal/marshal"
+	"anception/internal/sim"
+)
+
+// DefaultPoolWorkers is the per-app proxy worker count when the caller
+// passes 0.
+const DefaultPoolWorkers = 4
+
+// Pool is the guest half of the asynchronous ring: N proxy workers
+// draining the submission queue concurrently, the multi-slot replacement
+// for the one-call-at-a-time Execute path. A single dispatcher pops the
+// SQ in submission order and shards slots to workers by key, so entries
+// sharing a key (the layer keys by file descriptor) retain FIFO order
+// while different descriptors overlap freely. Credential/cwd/umask
+// mirroring is untouched: every slot's handler executes in the proxy the
+// Manager enrolled for its host task, the workers only schedule.
+//
+// Cost model: each worker charges one ProxyDispatch when it wakes, then
+// drains every slot already queued to it without re-charging — the guest
+// half of doorbell coalescing (the host half charges one WorldSwitch per
+// doorbell instead of per call). Drained calls pay only their guest trap
+// entry, via Manager.ExecuteDrained.
+type Pool struct {
+	ring    *marshal.RingChannel
+	clock   *sim.Clock
+	model   sim.LatencyModel
+	workers int
+	queues  []chan *marshal.Pending
+	wg      sync.WaitGroup
+
+	// wakeups counts idle->busy transitions (ProxyDispatch charges);
+	// drained counts slots served without a fresh wakeup.
+	wakeups atomic.Int64
+	drained atomic.Int64
+}
+
+// PoolStats snapshots the pool's scheduling counters.
+type PoolStats struct {
+	Workers int
+	// Wakeups is how many times a worker went idle->busy (one
+	// ProxyDispatch each); Drained is how many slots rode an existing
+	// wakeup. Wakeups+Drained equals the slots the pool served.
+	Wakeups int
+	Drained int
+}
+
+// NewPool builds a worker pool over a ring channel. workers <= 0 uses
+// DefaultPoolWorkers.
+func NewPool(ring *marshal.RingChannel, workers int, clock *sim.Clock, model sim.LatencyModel) *Pool {
+	if workers <= 0 {
+		workers = DefaultPoolWorkers
+	}
+	p := &Pool{
+		ring:    ring,
+		clock:   clock,
+		model:   model,
+		workers: workers,
+		queues:  make([]chan *marshal.Pending, workers),
+	}
+	for i := range p.queues {
+		// Each shard can hold the whole ring, so the dispatcher never
+		// blocks behind one slow key.
+		p.queues[i] = make(chan *marshal.Pending, ring.Depth())
+	}
+	return p
+}
+
+// Start launches the dispatcher and workers.
+func (p *Pool) Start() {
+	p.wg.Add(1 + p.workers)
+	for _, q := range p.queues {
+		go p.worker(q)
+	}
+	go p.dispatch()
+}
+
+// Wait blocks until the dispatcher and all workers exit (after the ring
+// is closed and its queue drained).
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stats snapshots the scheduling counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Workers: p.workers,
+		Wakeups: int(p.wakeups.Load()),
+		Drained: int(p.drained.Load()),
+	}
+}
+
+// dispatch pops the SQ in submission order and shards by key; the single
+// popper plus per-worker FIFO queues give the per-key ordering guarantee.
+func (p *Pool) dispatch() {
+	defer func() {
+		for _, q := range p.queues {
+			close(q)
+		}
+		p.wg.Done()
+	}()
+	for {
+		s, ok := p.ring.NextSubmission()
+		if !ok {
+			return
+		}
+		p.queues[shard(s.Key(), p.workers)] <- s
+	}
+}
+
+// worker drains one shard: a ProxyDispatch per wakeup, then every slot
+// already queued rides that wakeup.
+func (p *Pool) worker(q chan *marshal.Pending) {
+	defer p.wg.Done()
+	for {
+		s, ok := <-q
+		if !ok {
+			return
+		}
+		p.clock.Advance(p.model.ProxyDispatch)
+		p.wakeups.Add(1)
+		for busy := true; busy; {
+			p.serve(s)
+			select {
+			case next, ok := <-q:
+				if !ok {
+					return
+				}
+				s = next
+				p.drained.Add(1)
+			default:
+				busy = false
+			}
+		}
+	}
+}
+
+// serve executes one slot: fail fast on stale generation or a dead guest
+// (the slot still completes — restarts must not leak submissions), else
+// run the handler and post the reply.
+func (p *Pool) serve(s *marshal.Pending) {
+	if p.ring.FailFastIfUnservable(s) {
+		return
+	}
+	p.ring.Complete(s, s.Handler()(s.Payload()))
+}
+
+// shard maps a FIFO key to a worker queue.
+func shard(key int64, workers int) int {
+	if key < 0 {
+		key = -key
+	}
+	return int(key % int64(workers))
+}

@@ -111,19 +111,47 @@ func (m *Manager) Execute(proxy *kernel.Task, args kernel.Args) kernel.Result {
 // ExecuteBatch runs several forwarded calls in the proxy's context off a
 // single wakeup: the proxy is dispatched once for the whole batch (the
 // redirection cache's coalesced flush path), then each call pays only its
-// own guest-side trap entry.
-func (m *Manager) ExecuteBatch(proxy *kernel.Task, calls []*kernel.Args) []kernel.Result {
+// own guest-side trap entry. The result slice is always fully populated,
+// one entry per call; the error additionally identifies the first call
+// that failed, so batch callers cannot mistake a mid-batch failure for
+// success by looking only at the slice length.
+func (m *Manager) ExecuteBatch(proxy *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
 	if m.naiveDispatch {
 		m.clock.Advance(m.model.ProxyDispatch + 4*m.model.GuestContextSwitch)
 	} else {
 		m.clock.Advance(m.model.ProxyDispatch)
 	}
+	return m.runCalls(proxy, calls)
+}
+
+// ExecuteDrained runs one forwarded call whose proxy dispatch was already
+// paid: the ring worker pool charges one ProxyDispatch per wakeup and then
+// drains every queued submission, so each drained call costs only its
+// guest-side trap entry (the guest half of doorbell coalescing).
+func (m *Manager) ExecuteDrained(proxy *kernel.Task, args kernel.Args) kernel.Result {
+	m.clock.Advance(m.model.SyscallEntry)
+	return m.guest.InvokeLocal(proxy, args)
+}
+
+// ExecuteBatchDrained is ExecuteBatch without the dispatch charge, for
+// batches arriving through the ring (the pool already paid the wakeup).
+func (m *Manager) ExecuteBatchDrained(proxy *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
+	return m.runCalls(proxy, calls)
+}
+
+// runCalls executes a call vector, charging per-call trap entries and
+// attributing the first failure to its position in the batch.
+func (m *Manager) runCalls(proxy *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
 	results := make([]kernel.Result, len(calls))
+	var firstErr error
 	for i, a := range calls {
 		m.clock.Advance(m.model.SyscallEntry)
 		results[i] = m.guest.InvokeLocal(proxy, *a)
+		if !results[i].Ok() && firstErr == nil {
+			firstErr = fmt.Errorf("batch call %d (%s): %w", i, a.Nr, results[i].Err)
+		}
 	}
-	return results
+	return results, firstErr
 }
 
 // MirrorFork creates the proxy for a freshly forked host child by forking

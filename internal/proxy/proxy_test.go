@@ -2,6 +2,7 @@ package proxy
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"anception/internal/abi"
@@ -288,5 +289,49 @@ func TestExecCachePlacement(t *testing.T) {
 	// Apps cannot list or write the cache root.
 	if err := fs.CheckAccess(appCred, CacheRoot, abi.AccessWrite); !errors.Is(err, abi.EACCES) {
 		t.Fatalf("cache root write: %v, want EACCES", err)
+	}
+}
+
+// TestExecuteBatchReportsMidBatchFailure: a failing call in the middle of
+// a batch must surface in the aggregate error (naming its position) while
+// the result slice still carries every call's individual outcome —
+// callers must not infer success from the slice length alone.
+func TestExecuteBatchReportsMidBatchFailure(t *testing.T) {
+	g, _ := newGuestKernel(t)
+	m := NewManager(g, g.Clock(), g.Model(), nil)
+	host := newHostTask(t)
+	p, err := m.Ensure(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	calls := []*kernel.Args{
+		{Nr: abi.SysGetuid},
+		{Nr: abi.SysPwrite64, FD: 99, Buf: []byte("x")}, // unopened fd
+		{Nr: abi.SysGetuid},
+	}
+	results, batchErr := m.ExecuteBatch(p, calls)
+	if len(results) != len(calls) {
+		t.Fatalf("got %d results for %d calls", len(results), len(calls))
+	}
+	if !results[0].Ok() || !results[2].Ok() {
+		t.Fatalf("calls around the failure did not run: %+v", results)
+	}
+	if !errors.Is(results[1].Err, abi.EBADF) {
+		t.Fatalf("failing call result: %v, want EBADF", results[1].Err)
+	}
+	if batchErr == nil {
+		t.Fatal("mid-batch failure not reported in the aggregate error")
+	}
+	if !errors.Is(batchErr, abi.EBADF) {
+		t.Fatalf("aggregate error %v does not wrap the errno", batchErr)
+	}
+	if !strings.Contains(batchErr.Error(), "call 1") {
+		t.Fatalf("aggregate error %q does not identify the failing position", batchErr)
+	}
+
+	// An all-green batch reports no error.
+	if _, err := m.ExecuteBatch(p, []*kernel.Args{{Nr: abi.SysGetuid}}); err != nil {
+		t.Fatalf("clean batch reported %v", err)
 	}
 }

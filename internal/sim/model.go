@@ -100,6 +100,20 @@ type LatencyModel struct {
 	// round trip is deferred to the next flush.
 	CacheWriteBufferPerPage time.Duration
 
+	// RingSlotOverhead is the fixed host-side cost of claiming one
+	// submission-ring slot and publishing its descriptor (sequence
+	// bookkeeping plus the SQ tail store). The async ring charges this
+	// per *slot* while the two WorldSwitch costs of the synchronous path
+	// are charged per *doorbell*: one injected interrupt covers every
+	// slot submitted since the last reap, which is where the
+	// multi-threaded throughput win comes from.
+	RingSlotOverhead time.Duration
+	// RingCompletionPost is the guest-side cost of posting one completion
+	// into the CQ (slot writeback plus the CQ head store). Like
+	// RingSlotOverhead it is per-slot; the Hypercall that reaps the CQ is
+	// charged once per batch of completions.
+	RingCompletionPost time.Duration
+
 	// NetworkRTT is the simulated round-trip to a remote server (bank).
 	NetworkRTT time.Duration
 	// NetworkPerByte is the per-byte wire cost.
@@ -154,6 +168,9 @@ func DefaultLatencyModel() LatencyModel {
 		CacheLookup:             250 * time.Nanosecond,
 		CacheHitPerPage:         1500 * time.Nanosecond,
 		CacheWriteBufferPerPage: 900 * time.Nanosecond,
+
+		RingSlotOverhead:   900 * time.Nanosecond,
+		RingCompletionPost: 600 * time.Nanosecond,
 
 		NetworkRTT:     38 * time.Millisecond,
 		NetworkPerByte: 9 * time.Nanosecond,

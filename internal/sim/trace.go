@@ -29,6 +29,10 @@ const (
 	// EvCache marks redirection-cache activity: read-ahead fetches,
 	// coalesced-write flushes, and invalidations.
 	EvCache
+	// EvRing marks async ring-transport activity: doorbell injections
+	// (one interrupt covering every slot submitted since the last reap),
+	// completion reaps, and boot-generation re-arms after a CVM restart.
+	EvRing
 )
 
 // String returns the short label used in trace dumps.
@@ -56,6 +60,8 @@ func (k EventKind) String() string {
 		return "watchdog"
 	case EvCache:
 		return "cache"
+	case EvRing:
+		return "ring"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

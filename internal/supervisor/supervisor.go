@@ -30,6 +30,15 @@ type CacheInvalidator interface {
 	InvalidateRedirCache()
 }
 
+// RingDrainer is implemented by targets with an asynchronous redirection
+// ring. After every successful restart the supervisor re-arms the ring to
+// the new boot generation so slots still in flight against the old
+// container fail fast with EHOSTDOWN instead of leaking (or replaying
+// into the fresh guest).
+type RingDrainer interface {
+	DrainRing()
+}
+
 // Config tunes the watchdog. Zero values take the documented defaults.
 type Config struct {
 	// Heartbeat is the sim-time probe cadence (default 50 ms).
@@ -227,6 +236,11 @@ func (s *Supervisor) Tick() bool {
 	// the previous container boot must never be served.
 	if inv, ok := s.target.(CacheInvalidator); ok {
 		inv.InvalidateRedirCache()
+	}
+	// Likewise the async ring: re-arm it to the new boot generation so
+	// in-flight slots from the old container complete with EHOSTDOWN.
+	if rd, ok := s.target.(RingDrainer); ok {
+		rd.DrainRing()
 	}
 	if trip {
 		s.target.SetDegraded(true)

@@ -1,0 +1,97 @@
+package supervisor_test
+
+import (
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// ringTarget is fakeTarget plus the RingDrainer surface.
+type ringTarget struct {
+	fakeTarget
+	drains int
+}
+
+func (r *ringTarget) DrainRing() { r.drains++ }
+
+// TestSupervisorDrainsRingAfterRestart: a target exposing DrainRing gets it
+// called exactly once per successful restart — and never when the restart
+// itself failed — mirroring the cache-invalidation hook.
+func TestSupervisorDrainsRingAfterRestart(t *testing.T) {
+	rt := &ringTarget{fakeTarget: fakeTarget{healthy: false}}
+	sup := supervisor.New(rt, sim.NewClock(), nil, supervisor.Config{})
+	if sup.Tick() != true {
+		t.Fatal("restart should have recovered the target within the tick")
+	}
+	if rt.restarts != 1 || rt.drains != 1 {
+		t.Fatalf("restarts=%d drains=%d, want 1/1", rt.restarts, rt.drains)
+	}
+
+	broken := &ringTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
+	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
+	sup2.Tick()
+	if broken.drains != 0 {
+		t.Fatalf("failed restart must not drain the ring: %d", broken.drains)
+	}
+}
+
+// TestSupervisedRestartRearmsRing is the end-to-end drill on a ring device:
+// panic the container, let the watchdog recover it, and verify the ring was
+// re-armed to the new boot generation and serves fresh traffic.
+func TestSupervisedRestartRearmsRing(t *testing.T) {
+	d, err := anception.NewDevice(anception.Options{
+		Mode:        anception.ModeAnception,
+		RingDepth:   16,
+		RingWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	sup := supervisor.New(d, d.Clock, d.Trace, supervisor.Config{})
+	app, err := d.InstallApp(android.AppSpec{Package: "com.ring.drill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fd, err := proc.Open("pre.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Write(fd, []byte("before panic")); err != nil {
+		t.Fatal(err)
+	}
+
+	rearmsBefore := d.Layer.Stats().Ring.Rearms
+	d.InjectGuestPanic("ring drill")
+	if err := sup.RunUntilHealthy(50); err != nil {
+		t.Fatalf("watchdog never recovered: %v", err)
+	}
+	if got := d.Layer.Stats().Ring.Rearms; got <= rearmsBefore {
+		t.Fatalf("Rearms = %d after supervised restart, want > %d", got, rearmsBefore)
+	}
+
+	// Fresh traffic flows through the re-armed ring.
+	fd2, err := proc.Open("post.txt", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Write(fd2, []byte("after recovery")); err != nil {
+		t.Fatal(err)
+	}
+	if err := proc.Close(fd2); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Layer.Stats().Ring
+	if st.Submitted != st.Completed+st.Failed {
+		t.Fatalf("ring accounting %+v after supervised restart", st)
+	}
+}
