@@ -234,6 +234,148 @@ func BenchmarkRing_Ping(b *testing.B) {
 	}
 }
 
+// --- Zero-copy grants (DESIGN.md §11) -------------------------------------
+
+// grantRingOpts is the shipped bulk configuration: grants over the async
+// ring, one SQPOLL-style worker, and a lazy reap cadence (descriptor-only
+// slots tolerate it). The hour deadline is the usual fault-detector
+// setting for shared-clock measurement.
+func grantRingOpts() anception.Options {
+	return anception.Options{
+		GrantThreshold: 4096,
+		RingDepth:      marshal.DefaultRingDepth,
+		RingWorkers:    1,
+		RingReapBatch:  marshal.DefaultRingDepth,
+		CallDeadline:   time.Hour,
+	}
+}
+
+// benchBulkRead64K measures uncached 64 KiB preads into a reused buffer
+// (reuse is what a real grant path pins for).
+func benchBulkRead64K(b *testing.B, opts anception.Options) {
+	d := newBenchDevice(b, anception.ModeAnception, opts)
+	defer d.Close()
+	p := launchBenchApp(b, d, "com.bench.grant")
+	fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	if _, err := p.Pwrite(fd, buf, 0); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.PreadInto(fd, buf, 0); err != nil { // warm the path
+		b.Fatal(err)
+	}
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PreadInto(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+	if g := d.GrantStats(); g.Calls > 0 {
+		b.ReportMetric(float64(g.Bytes)/float64(g.Calls), "granted-B/op")
+	}
+}
+
+// The copy-path baseline for the grant comparison: same op, chunked
+// channel.
+func BenchmarkGrant_Read64K_Copy(b *testing.B) {
+	benchBulkRead64K(b, anception.Options{CallDeadline: time.Hour})
+}
+
+// Grants on the synchronous channel: the payload moves by reference, the
+// call still pays both world switches.
+func BenchmarkGrant_Read64K(b *testing.B) {
+	benchBulkRead64K(b, anception.Options{GrantThreshold: 4096, CallDeadline: time.Hour})
+}
+
+// Grants over the async ring: descriptor-only slots ride the inline SQE
+// area and the doorbell/dispatch amortization does the rest.
+func BenchmarkGrant_Ring_Read64K(b *testing.B) {
+	benchBulkRead64K(b, grantRingOpts())
+}
+
+// BenchmarkGrant_Writev64K: a 16-segment vectored write granted as one
+// batch — one map charge and one shootdown for the whole iovec.
+func BenchmarkGrant_Writev64K(b *testing.B) {
+	d := newBenchDevice(b, anception.ModeAnception, anception.Options{
+		GrantThreshold: 4096, CallDeadline: time.Hour,
+	})
+	defer d.Close()
+	p := launchBenchApp(b, d, "com.bench.grantv")
+	fd, err := p.Open("bench.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	iov := make([][]byte, 16)
+	for i := range iov {
+		iov[i] = make([]byte, 4<<10)
+	}
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Pwritev(fd, iov, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+	if g := d.GrantStats(); g.Calls > 0 {
+		b.ReportMetric(float64(g.Table.Entries)/float64(g.Calls), "grant-entries/op")
+	}
+}
+
+// TestGrantReadFloor pins the headline number of the zero-copy path: 64
+// KiB uncached reads over grants+ring must be at least 5x faster than the
+// copy path. Simulated time is deterministic, so this is a model
+// regression guard, not a flaky timing test.
+func TestGrantReadFloor(t *testing.T) {
+	const iters = 100
+	measure := func(opts anception.Options) float64 {
+		opts.Mode = anception.ModeAnception
+		opts.DisableTrace = true
+		d, err := anception.NewDevice(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		app, err := d.InstallApp(android.AppSpec{Package: "com.bench.floor"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Launch(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := p.Open("bench.dat", abi.ORdWr|abi.OCreat, 0o600)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 64<<10)
+		if _, err := p.Pwrite(fd, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.PreadInto(fd, buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		start := d.Clock.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.PreadInto(fd, buf, 0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(d.Clock.Now()-start) / iters
+	}
+	copyUs := measure(anception.Options{CallDeadline: time.Hour})
+	grantUs := measure(grantRingOpts())
+	if speedup := copyUs / grantUs; speedup < 5 {
+		t.Fatalf("grant+ring 64K read speedup %.2fx below the 5x floor (copy %.1f, grant %.1f sim-ns/op)",
+			speedup, copyUs, grantUs)
+	}
+}
+
 // --- Figure 6: AnTuTu macrobenchmarks ------------------------------------
 
 func benchWorkload(b *testing.B, mode anception.Mode, w workloads.Workload) {

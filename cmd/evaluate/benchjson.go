@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"anception/internal/abi"
 	"anception/internal/anception"
@@ -35,6 +33,11 @@ type benchReport struct {
 	// (-exp concurrency), so the async-ring win is tracked per commit
 	// alongside the cache speedups.
 	Concurrency []concRow `json:"concurrency"`
+	// Zerocopy holds the copy/grant/grant+ring transfer-size sweep
+	// (-exp zerocopy). bench-json preserves it on rewrite, and the
+	// zerocopy experiment preserves every other section, so the two
+	// experiments merge into one document.
+	Zerocopy []zcRow `json:"zerocopy,omitempty"`
 }
 
 // benchDevice boots a quiet platform and a benchmark app for bench-json.
@@ -143,11 +146,10 @@ func benchJSON() error {
 		return err
 	}
 
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
+	if prev, ok := loadBenchReport(); ok {
+		report.Zerocopy = prev.Zerocopy
 	}
-	if err := os.WriteFile(benchJSONFile, append(blob, '\n'), 0o644); err != nil {
+	if err := writeBenchReport(&report); err != nil {
 		return err
 	}
 	fmt.Printf("  wrote %s\n", benchJSONFile)

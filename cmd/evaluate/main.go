@@ -14,6 +14,7 @@
 //	evaluate -exp recovery  supervised fault drills: per-class MTTR
 //	evaluate -exp concurrency  sync-vs-ring multi-threaded throughput
 //	evaluate -exp bench-json  redirection-cache speedups + concurrency rows -> BENCH_redirection.json
+//	evaluate -exp zerocopy  copy vs grant vs grant+ring transfer sweep -> BENCH_redirection.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -32,7 +33,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -55,9 +56,10 @@ func run(exp string) error {
 		"recovery":    recovery,
 		"concurrency": concurrency,
 		"bench-json":  benchJSON,
+		"zerocopy":    zerocopy,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -73,6 +73,8 @@ const (
 	SysFchdir       SyscallNr = 133
 	SysGetdents     SyscallNr = 141
 	SysMsync        SyscallNr = 144
+	SysReadv        SyscallNr = 145
+	SysWritev       SyscallNr = 146
 	SysNanosleep    SyscallNr = 162
 	SysMremap       SyscallNr = 163
 	SysSetresuid    SyscallNr = 164
@@ -111,6 +113,8 @@ const (
 	SysShmctl        SyscallNr = 308
 	SysOpenat        SyscallNr = 322
 	SysMkdirat       SyscallNr = 323
+	SysPreadv        SyscallNr = 361
+	SysPwritev       SyscallNr = 362
 	SysPerfEventOpen SyscallNr = 364
 )
 
@@ -136,6 +140,8 @@ var sysNames = map[SyscallNr]string{
 	SysInitModule: "init_module", SysDeleteModule: "delete_module",
 	SysFchdir: "fchdir", SysGetdents: "getdents", SysMsync: "msync",
 	SysNanosleep: "nanosleep", SysMremap: "mremap",
+	SysReadv: "readv", SysWritev: "writev", SysPreadv: "preadv",
+	SysPwritev: "pwritev",
 	SysSetresuid: "setresuid", SysPoll: "poll", SysPread64: "pread64",
 	SysPwrite64: "pwrite64", SysChown: "chown", SysGetcwd: "getcwd",
 	SysSendfile: "sendfile", SysVfork: "vfork", SysMmap2: "mmap2",

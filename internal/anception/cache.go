@@ -359,6 +359,14 @@ func (l *Layer) cachedPread(st *layerState, t *kernel.Task, e *kernel.FDEntry, a
 	if n == 0 || args.Off < 0 {
 		return kernel.Result{}, false
 	}
+	// Coherence with the zero-copy path: a read overlapping an in-flight
+	// granted write must never be served from cached (pre-write) pages.
+	// Bypass the cache and forward — per-descriptor FIFO ordering on the
+	// transport puts the read behind the write.
+	if l.grants != nil && l.grants.overlapsLiveWrite(e.GuestFD, args.Off, int64(n)) {
+		l.counters.grantCacheBypass.Add(1)
+		return kernel.Result{}, false
+	}
 	c := l.cache
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -113,6 +113,19 @@ type Options struct {
 	// (default proxy.DefaultPoolWorkers). Entries sharing a descriptor
 	// stay FIFO; distinct descriptors execute concurrently.
 	RingWorkers int
+	// RingReapBatch overrides the ring's CQ reap threshold (default
+	// marshal.RingReapBatch). Deep pipelined workloads raise it to
+	// amortize completion interrupts across more slots.
+	RingReapBatch int
+
+	// GrantThreshold > 0 enables the zero-copy grant path (DESIGN.md
+	// §11): bulk I/O calls moving at least this many bytes pin the app
+	// buffer's pages into a hypervisor grant table mapped into guest
+	// space and ship a fixed-size scatter-gather descriptor over the
+	// channel instead of chunked copies. Smaller calls keep the copy
+	// path, whose fixed costs undercut a grant map + TLB shootdown. Off
+	// by default — the paper's Table I rows are measured without it.
+	GrantThreshold int
 
 	// Vulns selects the historical bugs present on the platform.
 	Vulns android.VulnProfile
@@ -163,6 +176,10 @@ type Device struct {
 	// transport and the guest-side worker pool draining it.
 	ring     *marshal.RingChannel
 	ringPool *proxy.Pool
+
+	// grants is set when Options.GrantThreshold > 0: the zero-copy
+	// grant table shared by the layer and the guest side.
+	grants *hypervisor.GrantTable
 
 	PM *android.PackageManager
 
@@ -304,6 +321,9 @@ func (d *Device) bootAnception() error {
 	switch {
 	case d.Opts.RingDepth > 0:
 		ring := marshal.NewRingChannel(cvm, d.Clock, d.Model, d.Trace, d.Opts.RingDepth, d.Opts.ChunkSize)
+		if d.Opts.RingReapBatch > 0 {
+			ring.SetReapBatch(d.Opts.RingReapBatch)
+		}
 		d.ring = ring
 		d.ringPool = proxy.NewPool(ring, d.Opts.RingWorkers, d.Clock, d.Model)
 		d.ringPool.Start()
@@ -312,6 +332,10 @@ func (d *Device) bootAnception() error {
 		transport = marshal.NewSocketChannel(cvm, d.Clock, d.Model)
 	default:
 		transport = marshal.NewPageChannel(cvm, d.Clock, d.Model, d.Opts.ChunkSize)
+	}
+
+	if d.Opts.GrantThreshold > 0 {
+		d.grants = hypervisor.NewGrantTable(cvm)
 	}
 
 	layer, err := NewLayer(LayerConfig{
@@ -330,6 +354,9 @@ func (d *Device) bootAnception() error {
 		ReadAheadPages:   d.Opts.ReadAheadPages,
 		CacheBudgetBytes: d.Opts.CacheBudgetBytes,
 		CacheFlushDelay:  d.Opts.CacheFlushDelay,
+
+		GrantTable:     d.grants,
+		GrantThreshold: d.Opts.GrantThreshold,
 	})
 	if err != nil {
 		return err
@@ -433,6 +460,34 @@ func (d *Device) DrainRing() {
 		return
 	}
 	d.ring.Rearm(d.CVM.Generation())
+}
+
+// RevokeGrants drops every outstanding zero-copy grant and clears the
+// layer's live-extent registry. ReplaceGuest already does this on
+// restart; the supervisor also calls it explicitly (via the GrantRevoker
+// hook) after each successful restart, mirroring DrainRing and
+// InvalidateRedirCache. No-op when the grant path is disabled.
+func (d *Device) RevokeGrants() {
+	if d.Layer == nil {
+		return
+	}
+	d.Layer.RevokeGrants()
+}
+
+// Grants returns the device's grant table (nil when the grant path is
+// disabled). Exposed for tests and tooling that strand grants across a
+// restart to probe the generation-tag machinery.
+func (d *Device) Grants() *hypervisor.GrantTable {
+	return d.grants
+}
+
+// GrantStats snapshots the zero-copy grant counters (zero value when
+// Options.GrantThreshold == 0).
+func (d *Device) GrantStats() GrantPathStats {
+	if d.Layer == nil {
+		return GrantPathStats{}
+	}
+	return d.Layer.GrantStats()
 }
 
 // Close shuts down the device's background machinery — today the async

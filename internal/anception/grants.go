@@ -1,0 +1,338 @@
+package anception
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/hypervisor"
+	"anception/internal/kernel"
+	"anception/internal/marshal"
+	"anception/internal/sim"
+)
+
+// This file implements the layer side of the zero-copy grant path
+// (DESIGN.md §11): bulk redirected I/O ships a scatter-gather descriptor
+// naming pinned host pages (hypervisor.GrantTable extents mapped into
+// guest space) instead of chunk-copying the payload through the data
+// channel. The cutover is by size — calls moving at least
+// Options.GrantThreshold bytes take the grant path; smaller calls keep
+// the copy path, whose fixed costs are cheaper than a map+shootdown pair.
+
+// GrantPathStats counts zero-copy activity, surfaced via
+// LayerStats.Grants.
+type GrantPathStats struct {
+	// Calls counts redirected calls that took the grant path.
+	Calls int
+	// Bytes is the payload moved by reference instead of through
+	// chunked channel copies.
+	Bytes int64
+	// CacheBypasses counts cached reads routed around a live write
+	// grant (coherence rule: the cache never serves a page overlapping
+	// an in-flight granted write).
+	CacheBypasses int
+	// Table holds the hypervisor grant-table counters (maps, revokes,
+	// restart sweeps, stale rejections).
+	Table hypervisor.GrantStats
+}
+
+// layerGrants is the layer's grant-path state: the table handle, the
+// size cutover, and the registry of in-flight write-grant extents the
+// redirection cache must route around.
+type layerGrants struct {
+	table     *hypervisor.GrantTable
+	threshold int
+
+	mu   sync.Mutex
+	seq  int64
+	live map[int64]grantExtent
+}
+
+// grantExtent is one in-flight granted write: the guest descriptor and
+// the file byte range it targets. off < 0 means the offset is unknown
+// (a plain write at the file cursor) and the extent overlaps everything
+// on the descriptor.
+type grantExtent struct {
+	guestFD int
+	off     int64
+	end     int64
+}
+
+func newLayerGrants(table *hypervisor.GrantTable, threshold int) *layerGrants {
+	return &layerGrants{
+		table:     table,
+		threshold: threshold,
+		live:      make(map[int64]grantExtent),
+	}
+}
+
+// registerWrite records an in-flight granted write so concurrent cached
+// reads bypass any overlapping pages until it completes.
+func (g *layerGrants) registerWrite(guestFD int, off, n int64) int64 {
+	ext := grantExtent{guestFD: guestFD, off: off, end: off + n}
+	g.mu.Lock()
+	g.seq++
+	id := g.seq
+	g.live[id] = ext
+	g.mu.Unlock()
+	return id
+}
+
+// unregister drops a completed write grant from the live registry.
+func (g *layerGrants) unregister(id int64) {
+	g.mu.Lock()
+	delete(g.live, id)
+	g.mu.Unlock()
+}
+
+// overlapsLiveWrite reports whether [off, off+n) on a guest descriptor
+// overlaps any in-flight granted write.
+func (g *layerGrants) overlapsLiveWrite(guestFD int, off, n int64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, ext := range g.live {
+		if ext.guestFD != guestFD {
+			continue
+		}
+		if ext.off < 0 || (off < ext.end && off+n > ext.off) {
+			return true
+		}
+	}
+	return false
+}
+
+// clearLive empties the registry (CVM restart: the grants backing these
+// extents were revoked wholesale).
+func (g *layerGrants) clearLive() {
+	g.mu.Lock()
+	g.live = make(map[int64]grantExtent)
+	g.mu.Unlock()
+}
+
+// grantEligible reports whether a call should take the zero-copy path:
+// grants enabled, a bulk I/O call, and at least threshold bytes moving.
+func (l *Layer) grantEligible(args *kernel.Args) bool {
+	if l.grants == nil {
+		return false
+	}
+	switch args.Nr {
+	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64:
+		return len(args.Buf) >= l.grants.threshold
+	case abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev:
+		return grantIovTotal(args.Iov) >= l.grants.threshold
+	default:
+		return false
+	}
+}
+
+func grantIovTotal(iov [][]byte) int {
+	n := 0
+	for _, seg := range iov {
+		n += len(seg)
+	}
+	return n
+}
+
+// grantPayloadLen returns the byte count a grant-eligible call moves.
+func grantPayloadLen(args *kernel.Args) int64 {
+	if len(args.Iov) > 0 {
+		return int64(grantIovTotal(args.Iov))
+	}
+	return int64(len(args.Buf))
+}
+
+// RevokeGrants drops every outstanding grant and clears the live-extent
+// registry. Called on CVM restart (ReplaceGuest and the supervisor's
+// GrantRevoker hook): the guest mappings died with the old container and
+// stale refs must fail EHOSTDOWN, never touch reused host pages.
+func (l *Layer) RevokeGrants() {
+	if l.grants == nil {
+		return
+	}
+	l.grants.table.RevokeAll()
+	l.grants.clearLive()
+}
+
+// GrantStats snapshots the grant-path counters (zero value when the
+// grant path is disabled).
+func (l *Layer) GrantStats() GrantPathStats {
+	if l.grants == nil {
+		return GrantPathStats{}
+	}
+	return GrantPathStats{
+		Calls:         int(l.counters.grantCalls.Load()),
+		Bytes:         l.counters.grantBytes.Load(),
+		CacheBypasses: int(l.counters.grantCacheBypass.Load()),
+		Table:         l.grants.table.Stats(),
+	}
+}
+
+// forwardGrantFD is the grant path's descriptor-call entry: it keeps the
+// redirection cache coherent around the granted extents, then forwards.
+// Coherence rules:
+//   - buffered (dirty) data for the descriptor is flushed first, so the
+//     guest is authoritative before the granted call reads or writes;
+//   - a granted write registers its extent while in flight, so a
+//     concurrent cached read overlapping it bypasses the cache;
+//   - after a granted write lands, the descriptor's clean pages are
+//     dropped — the file changed beneath them.
+func (l *Layer) forwardGrantFD(st *layerState, t *kernel.Task, e *kernel.FDEntry, args *kernel.Args) kernel.Result {
+	if !l.cacheBypassed(st) {
+		if res, failed := l.flushFDFor(st, t, e); failed {
+			return res
+		}
+	}
+	writeStyle := !isReadLike(args.Nr)
+	var liveID int64
+	if writeStyle {
+		off := args.Off
+		if args.Nr == abi.SysWrite || args.Nr == abi.SysWritev {
+			off = -1 // cursor write: offset unknown, overlap everything
+		}
+		liveID = l.grants.registerWrite(e.GuestFD, off, grantPayloadLen(args))
+	}
+	fwd := *args
+	fwd.FD = e.GuestFD
+	res := l.forwardGrant(st, t, &fwd)
+	if writeStyle {
+		l.grants.unregister(liveID)
+		if res.Ok() {
+			l.noteGuestFDWrite(e.GuestFD)
+		}
+	}
+	return res
+}
+
+// forwardGrant moves one bulk call over the transport by reference: the
+// call's buffers are pinned and mapped into the guest as one batched
+// grant, a fixed-size scatter-gather descriptor travels the channel in
+// place of the payload, the guest resolves the extents back to the
+// pinned host pages and executes against them directly, and the reply
+// carries only the return count. The grant is revoked (one batched TLB
+// shootdown) when the call completes, success or not.
+func (l *Layer) forwardGrant(st *layerState, t *kernel.Task, args *kernel.Args) kernel.Result {
+	if st.degraded {
+		l.counters.failedFast.Add(1)
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
+	}
+	p, err := st.proxies.Ensure(t)
+	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.counters.hostDown.Add(1)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("enroll proxy: %w", err)}
+	}
+
+	bufs := args.Iov
+	vectored := len(bufs) > 0
+	if !vectored {
+		bufs = [][]byte{args.Buf}
+	}
+	// Read-style calls grant writable extents: the guest fills the pinned
+	// app pages in place, which is the whole point — the data never
+	// traverses the copy channel in either direction.
+	writable := isReadLike(args.Nr)
+	table := l.grants.table
+	refs := table.GrantBatch(bufs, writable)
+	defer table.RevokeBatch(refs)
+
+	total := 0
+	entries := make([]marshal.SGEntry, len(refs))
+	for i, ref := range refs {
+		entries[i] = marshal.SGEntry{ID: ref.ID, Gen: ref.Gen, Len: ref.Len}
+		total += int(ref.Len)
+	}
+	desc := &marshal.SGDescriptor{Writable: writable, Entries: entries}
+
+	l.counters.redirected.Add(1)
+	l.counters.grantCalls.Add(1)
+	l.counters.grantBytes.Add(int64(total))
+	if l.trace != nil {
+		l.trace.Record(sim.EvGrant, "grant-call %s pid=%d: %d extent(s), %d bytes by reference", args.Nr, t.PID, len(entries), total)
+	}
+
+	// The args travel with the bulk payload stripped; the extents move by
+	// reference in the descriptor, so the frame stays size-independent.
+	enc := *args
+	enc.Buf = nil
+	enc.Iov = nil
+	enc.Size = total
+	payload := marshal.EncodeGrantCall(desc, marshal.EncodeArgs(&enc))
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	ring, async := st.transport.(marshal.AsyncTransport)
+	handler := func(req []byte) []byte {
+		gd, argsPayload, derr := marshal.DecodeGrantCall(req)
+		if derr != nil {
+			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
+		}
+		decoded, derr := marshal.DecodeArgs(argsPayload)
+		if derr != nil {
+			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
+		}
+		resolved := make([][]byte, len(gd.Entries))
+		for i, ent := range gd.Entries {
+			b, rerr := table.Resolve(hypervisor.GrantRef{ID: ent.ID, Gen: ent.Gen, Len: ent.Len})
+			if rerr != nil {
+				// Stale generation surfaces as EHOSTDOWN, revoked-in-
+				// flight as ENXIO; both travel home as matchable errnos.
+				return marshal.EncodeResult(kernel.Result{Ret: -1, Err: rerr})
+			}
+			if int(ent.Off)+int(ent.Len) > len(b) {
+				return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
+			}
+			resolved[i] = b[ent.Off : ent.Off+ent.Len]
+		}
+		if len(decoded.Iov) > 0 || decoded.Nr == abi.SysReadv || decoded.Nr == abi.SysWritev ||
+			decoded.Nr == abi.SysPreadv || decoded.Nr == abi.SysPwritev {
+			decoded.Iov = resolved
+		} else {
+			decoded.Buf = resolved[0]
+			decoded.Size = len(resolved[0])
+		}
+		var res kernel.Result
+		if async {
+			res = st.proxies.ExecuteDrained(p, *decoded)
+		} else {
+			res = st.proxies.Execute(p, *decoded)
+		}
+		// Zero-copy: a read-style call's bytes already landed in the
+		// granted (pinned app) pages; the reply carries only the count.
+		res.Data = nil
+		resp := marshal.EncodeResult(res)
+		if st.tamper != nil {
+			resp = st.tamper(resp)
+		}
+		return resp
+	}
+
+	start := l.clock.Now()
+	var respBytes []byte
+	var terr error
+	if async {
+		pending, serr := ring.Submit(payload, ringKey(t, args), handler)
+		if serr != nil {
+			return l.transportFailure(t, args, start, serr)
+		}
+		respBytes, terr = pending.Wait()
+	} else {
+		respBytes, terr = st.transport.RoundTrip(payload, handler)
+	}
+	if terr != nil {
+		return l.transportFailure(t, args, start, terr)
+	}
+	if l.clock.Now()-start > l.deadline {
+		l.counters.timedOut.Add(1)
+		if l.trace != nil {
+			l.trace.Record(sim.EvTimeout, "%s pid=%d completed past %v deadline", args.Nr, t.PID, l.deadline)
+		}
+		return kernel.Result{Ret: -1, Err: fmt.Errorf("call exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT)}
+	}
+	res, derr := marshal.DecodeResult(respBytes)
+	if derr != nil {
+		return kernel.Result{Ret: -1, Err: derr}
+	}
+	return res
+}

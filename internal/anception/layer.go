@@ -34,6 +34,9 @@ type Layer struct {
 	execCache *proxy.ExecCache
 	// cache is the redirection cache (DESIGN.md §9); nil unless enabled.
 	cache *redirCache
+	// grants is the zero-copy grant path (DESIGN.md §11); nil unless
+	// Options.GrantThreshold > 0.
+	grants *layerGrants
 
 	keepFSOnHost bool
 	// deadline is the sim-clock budget of one redirected round-trip: a
@@ -83,6 +86,10 @@ type layerCounters struct {
 	timedOut      atomic.Int64
 	failedFast    atomic.Int64
 	hostDown      atomic.Int64
+
+	grantCalls       atomic.Int64
+	grantBytes       atomic.Int64
+	grantCacheBypass atomic.Int64
 }
 
 type mmapBinding struct {
@@ -115,6 +122,9 @@ type LayerStats struct {
 	// coalescing ratio, reaps, re-arms — zero when the synchronous page
 	// channel is active (Options.RingDepth == 0).
 	Ring marshal.RingStats
+	// Grants holds the zero-copy grant-path counters (zero when
+	// Options.GrantThreshold == 0).
+	Grants GrantPathStats
 }
 
 // DefaultCallDeadline bounds one redirected round-trip in sim time. It is
@@ -144,6 +154,12 @@ type LayerConfig struct {
 	CacheBudgetBytes int64
 	// CacheFlushDelay is the write-back deadline (0 = default 5ms sim).
 	CacheFlushDelay time.Duration
+	// GrantTable and GrantThreshold enable the zero-copy grant path:
+	// bulk I/O calls moving at least GrantThreshold bytes ship
+	// scatter-gather descriptors over granted extents instead of chunked
+	// copies. Both must be set; the path is off otherwise.
+	GrantTable     *hypervisor.GrantTable
+	GrantThreshold int
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -185,6 +201,9 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 			budget:     cfg.CacheBudgetBytes,
 			flushDelay: cfg.CacheFlushDelay,
 		}, gen)
+	}
+	if cfg.GrantTable != nil && cfg.GrantThreshold > 0 {
+		l.grants = newLayerGrants(cfg.GrantTable, cfg.GrantThreshold)
 	}
 	if ls, ok := cfg.Transport.(marshal.LivenessSetter); ok {
 		ls.SetLiveness(l.guestAlive)
@@ -244,6 +263,10 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
 		ring.Rearm(gen)
 	}
+	// Revoke every zero-copy grant: the guest mappings died with the old
+	// container, and refs tagged with its boot generation must fail
+	// EHOSTDOWN instead of touching host pages the app may have reused.
+	l.RevokeGrants()
 	if l.trace != nil {
 		l.trace.Record(sim.EvWatchdog, "guest replaced after CVM restart #%d", n)
 	}
@@ -349,6 +372,7 @@ func (l *Layer) Stats() LayerStats {
 	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
 		s.Ring = ring.RingStats()
 	}
+	s.Grants = l.GrantStats()
 	return s
 }
 
@@ -434,6 +458,7 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		return res, true
 
 	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
+		abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev,
 		abi.SysLseek, abi.SysFstat, abi.SysFtruncate, abi.SysFchmod,
 		abi.SysFchown, abi.SysFsync, abi.SysFchdir,
 		abi.SysBind, abi.SysConnect, abi.SysListen,
@@ -446,6 +471,10 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 			return kernel.Result{}, false
 		}
 		st := l.currentState()
+		// Zero-copy cutover: bulk calls ship grants instead of copies.
+		if l.grantEligible(args) {
+			return l.forwardGrantFD(st, t, e, args), true
+		}
 		if !l.cacheBypassed(st) {
 			if res, handled := l.cachedFDCall(st, t, e, args); handled {
 				return res, true
@@ -456,9 +485,13 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		res := l.forwardOn(st, t, &fwd)
 		l.noteForwardedFDOp(e, args.Nr)
 		// Pointer translation writeback: copy returned data into the
-		// caller's buffer.
-		if res.Ok() && len(res.Data) > 0 && len(args.Buf) > 0 {
-			copy(args.Buf, res.Data)
+		// caller's buffer(s) — scattered across the vector for readv.
+		if res.Ok() && len(res.Data) > 0 {
+			if len(args.Iov) > 0 {
+				scatterIntoIov(args.Iov, res.Data)
+			} else if len(args.Buf) > 0 {
+				copy(args.Buf, res.Data)
+			}
 		}
 		return res, true
 
@@ -662,7 +695,11 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 	}
 	// Mixed locality: stage through a bounded bounce buffer, chunking the
 	// read/write loop so the allocation never exceeds sendfileBounceLimit
-	// no matter how large the requested Size is.
+	// no matter how large the requested Size is. When the grant path is
+	// enabled, the remote legs grant the staging buffer instead of
+	// chunk-copying it through the channel: the guest reads/fills the
+	// pinned pages in place and each leg's channel cost stops scaling
+	// with the chunk size.
 	bufSize := args.Size
 	if bufSize > sendfileBounceLimit {
 		bufSize = sendfileBounceLimit
@@ -670,6 +707,7 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 	if bufSize < 0 {
 		return kernel.Result{Ret: -1, Err: abi.EINVAL}, true
 	}
+	st := l.currentState()
 	buf := make([]byte, bufSize)
 	var total int64
 	remaining := args.Size
@@ -682,7 +720,11 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 		var readRes kernel.Result
 		if in.Kind == kernel.FDRemote {
 			readArgs.FD = in.GuestFD
-			readRes = l.forward(t, &readArgs)
+			if l.grantEligible(&readArgs) {
+				readRes = l.forwardGrant(st, t, &readArgs)
+			} else {
+				readRes = l.forwardOn(st, t, &readArgs)
+			}
 		} else {
 			readRes = l.host.InvokeLocal(t, readArgs)
 		}
@@ -703,7 +745,14 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 		var writeRes kernel.Result
 		if out.Kind == kernel.FDRemote {
 			writeArgs.FD = out.GuestFD
-			writeRes = l.forward(t, &writeArgs)
+			if l.grantEligible(&writeArgs) {
+				writeRes = l.forwardGrant(st, t, &writeArgs)
+				if writeRes.Ok() {
+					l.noteGuestFDWrite(out.GuestFD)
+				}
+			} else {
+				writeRes = l.forwardOn(st, t, &writeArgs)
+			}
 		} else {
 			writeRes = l.host.InvokeLocal(t, writeArgs)
 		}
@@ -896,13 +945,26 @@ func (l *Layer) forwardWithFDResult(t *kernel.Task, args *kernel.Args) kernel.Re
 	return kernel.Result{Ret: int64(hostFD), FD: hostFD, Data: res.Data}
 }
 
-// isReadLike reports calls whose Buf argument is output-only.
+// isReadLike reports calls whose buffer argument is output-only.
 func isReadLike(nr abi.SyscallNr) bool {
 	switch nr {
-	case abi.SysRead, abi.SysPread64, abi.SysRecv, abi.SysRecvfrom:
+	case abi.SysRead, abi.SysPread64, abi.SysRecv, abi.SysRecvfrom,
+		abi.SysReadv, abi.SysPreadv:
 		return true
 	default:
 		return false
+	}
+}
+
+// scatterIntoIov distributes a flattened read reply back across the
+// caller's vector segments, in order.
+func scatterIntoIov(iov [][]byte, data []byte) {
+	for _, seg := range iov {
+		if len(data) == 0 {
+			return
+		}
+		n := copy(seg, data)
+		data = data[n:]
 	}
 }
 

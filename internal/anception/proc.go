@@ -151,6 +151,40 @@ func (p *Proc) Pwrite(fd int, data []byte, off int64) (int, error) {
 	return int(res.Ret), res.Err
 }
 
+// PreadInto reads at an explicit offset into a caller-owned buffer —
+// the zero-copy grant path pins exactly these pages, and benchmarks
+// reuse one buffer across iterations.
+func (p *Proc) PreadInto(fd int, buf []byte, off int64) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysPread64, FD: fd, Buf: buf, Off: off})
+	return int(res.Ret), res.Err
+}
+
+// Readv reads into a vector of caller-owned segments (scatter read),
+// returning the total bytes filled.
+func (p *Proc) Readv(fd int, iov [][]byte) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysReadv, FD: fd, Iov: iov})
+	return int(res.Ret), res.Err
+}
+
+// Writev writes a vector of segments (gather write), returning the
+// total bytes written.
+func (p *Proc) Writev(fd int, iov [][]byte) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysWritev, FD: fd, Iov: iov})
+	return int(res.Ret), res.Err
+}
+
+// Preadv is Readv at an explicit offset.
+func (p *Proc) Preadv(fd int, iov [][]byte, off int64) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysPreadv, FD: fd, Iov: iov, Off: off})
+	return int(res.Ret), res.Err
+}
+
+// Pwritev is Writev at an explicit offset.
+func (p *Proc) Pwritev(fd int, iov [][]byte, off int64) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysPwritev, FD: fd, Iov: iov, Off: off})
+	return int(res.Ret), res.Err
+}
+
 // Lseek repositions the file offset.
 func (p *Proc) Lseek(fd int, off int64, whence int) (int64, error) {
 	res := p.invoke(kernel.Args{Nr: abi.SysLseek, FD: fd, Off: off, Whence: whence})

@@ -1,0 +1,178 @@
+package hypervisor
+
+import (
+	"fmt"
+	"sync"
+
+	"anception/internal/abi"
+	"anception/internal/sim"
+)
+
+// GrantRef names one granted extent. It is small enough to travel in a
+// scatter-gather descriptor through the data channel: the guest side
+// resolves it back to the pinned host pages instead of receiving the
+// bytes through chunked copies. Gen is the container boot generation the
+// grant was issued against; a restart strands every outstanding ref at
+// the old generation, and Resolve fails them with EHOSTDOWN rather than
+// letting a completion touch pages the host may have reused.
+type GrantRef struct {
+	ID  uint32
+	Gen uint32
+	Len uint32
+}
+
+// GrantStats counts grant-table activity.
+type GrantStats struct {
+	// Maps counts batched map operations (one GrantMapCost each);
+	// Entries counts the extents those batches installed.
+	Maps    int
+	Entries int
+	// Revokes counts batched revoke operations (one TLB shootdown each).
+	Revokes int
+	// RevokedByRestart counts entries dropped by RevokeAll sweeps.
+	RevokedByRestart int
+	// StaleRejected counts Resolve calls that named a grant from an
+	// earlier boot generation.
+	StaleRejected int
+	// Active is the number of currently live entries.
+	Active int
+	// BytesGranted is the cumulative payload size mapped through the
+	// table (bytes that did NOT traverse the copy channel).
+	BytesGranted int64
+}
+
+type grantEntry struct {
+	buf      []byte
+	writable bool
+	gen      int
+}
+
+// GrantTable is the page-flipping side channel of the data path (the
+// Xen-style grant mechanism the tech report points at): the host pins an
+// app buffer's pages and maps them into guest address space, so a bulk
+// redirected call moves a fixed-size descriptor through the channel
+// instead of paying CopyToGuestPerByte twice. Mapping charges one
+// GrantMapCost per batch (grant-table writes plus a batched guest PTE
+// install); revoking charges one GrantUnmapTLBShootdown per batch (PTE
+// teardown plus the IPI broadcast). Entries are tagged with the CVM boot
+// generation: a restart revokes everything, and any straggler ref from
+// the old generation fails EHOSTDOWN at Resolve.
+type GrantTable struct {
+	cvm *CVM
+
+	mu    sync.Mutex
+	slots map[uint32]*grantEntry
+	next  uint32
+	stats GrantStats
+}
+
+// NewGrantTable builds an empty grant table bound to a launched CVM. The
+// table shares the CVM's clock, model, and trace.
+func NewGrantTable(cvm *CVM) *GrantTable {
+	return &GrantTable{cvm: cvm, slots: make(map[uint32]*grantEntry)}
+}
+
+// GrantBatch pins each buffer and maps it into the guest as one batched
+// update: a single GrantMapCost covers the whole scatter-gather list,
+// which is why vectored calls are the natural consumers of grants. The
+// writable flag marks read-style calls (the guest fills the buffer);
+// write-style calls grant read-only. The returned refs are tagged with
+// the current boot generation.
+func (g *GrantTable) GrantBatch(bufs [][]byte, writable bool) []GrantRef {
+	gen := g.cvm.Generation()
+	g.cvm.clock.Advance(g.cvm.model.GrantMapCost)
+	refs := make([]GrantRef, len(bufs))
+	g.mu.Lock()
+	g.stats.Maps++
+	for i, buf := range bufs {
+		g.next++
+		id := g.next
+		g.slots[id] = &grantEntry{buf: buf, writable: writable, gen: gen}
+		refs[i] = GrantRef{ID: id, Gen: uint32(gen), Len: uint32(len(buf))}
+		g.stats.Entries++
+		g.stats.BytesGranted += int64(len(buf))
+	}
+	g.stats.Active = len(g.slots)
+	g.mu.Unlock()
+	if g.cvm.trace != nil {
+		g.cvm.trace.Record(sim.EvGrant, "map: %d extent(s) granted (gen %d, writable=%v)", len(bufs), gen, writable)
+	}
+	return refs
+}
+
+// Resolve returns the pinned host bytes behind a ref, from the guest
+// side of a redirected call. A ref from an earlier boot generation fails
+// with EHOSTDOWN — the container it was granted to no longer exists and
+// the host may have reused the pages — and an unknown current-generation
+// id fails with ENXIO (revoked while the call was in flight).
+func (g *GrantTable) Resolve(ref GrantRef) ([]byte, error) {
+	cur := g.cvm.Generation()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if int(ref.Gen) < cur {
+		g.stats.StaleRejected++
+		if g.cvm.trace != nil {
+			g.cvm.trace.Record(sim.EvGrant, "stale: grant %d from boot generation %d rejected (current %d)", ref.ID, ref.Gen, cur)
+		}
+		return nil, fmt.Errorf("grant %d from boot generation %d (current %d): %w", ref.ID, ref.Gen, cur, abi.EHOSTDOWN)
+	}
+	e, ok := g.slots[ref.ID]
+	if !ok || e.gen != int(ref.Gen) {
+		return nil, fmt.Errorf("grant %d not mapped: %w", ref.ID, abi.ENXIO)
+	}
+	return e.buf, nil
+}
+
+// RevokeBatch unmaps a batch of grants: one GrantUnmapTLBShootdown
+// covers the whole list (a single IPI broadcast flushes every extent).
+// Unknown ids are ignored — a restart's RevokeAll may have raced ahead.
+func (g *GrantTable) RevokeBatch(refs []GrantRef) {
+	g.cvm.clock.Advance(g.cvm.model.GrantUnmapTLBShootdown)
+	g.mu.Lock()
+	g.stats.Revokes++
+	for _, ref := range refs {
+		if e, ok := g.slots[ref.ID]; ok && e.gen == int(ref.Gen) {
+			delete(g.slots, ref.ID)
+		}
+	}
+	g.stats.Active = len(g.slots)
+	g.mu.Unlock()
+	if g.cvm.trace != nil {
+		g.cvm.trace.Record(sim.EvGrant, "revoke: %d extent(s), TLB shootdown broadcast", len(refs))
+	}
+}
+
+// RevokeAll drops every grant, returning how many were live. Called on
+// CVM restart: the guest address space holding the mappings is gone, so
+// a single shootdown (flush-all) closes the old generation. Refs still
+// in flight fail EHOSTDOWN at Resolve via their generation tag.
+func (g *GrantTable) RevokeAll() int {
+	g.cvm.clock.Advance(g.cvm.model.GrantUnmapTLBShootdown)
+	g.mu.Lock()
+	n := len(g.slots)
+	if n > 0 {
+		g.slots = make(map[uint32]*grantEntry)
+	}
+	g.stats.Revokes++
+	g.stats.RevokedByRestart += n
+	g.stats.Active = 0
+	g.mu.Unlock()
+	if g.cvm.trace != nil {
+		g.cvm.trace.Record(sim.EvGrant, "revoke-all: %d live grant(s) swept (boot generation %d)", n, g.cvm.Generation())
+	}
+	return n
+}
+
+// Active reports the number of live entries.
+func (g *GrantTable) Active() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.slots)
+}
+
+// Stats snapshots the counters.
+func (g *GrantTable) Stats() GrantStats {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.stats
+}

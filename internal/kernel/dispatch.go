@@ -30,6 +30,14 @@ type Args struct {
 	Buf  []byte
 	Size int
 
+	// Iov is the scatter-gather vector of the vectored I/O calls
+	// (readv/writev/preadv/pwritev): data segments to gather on the write
+	// side, scratch segments whose lengths bound the fill on the read
+	// side. The segments are independent buffers; a vectored call charges
+	// the storage stack once for the total, which is the point of
+	// batching over issuing one call per segment.
+	Iov [][]byte
+
 	Off    int64
 	Whence int
 
@@ -157,6 +165,10 @@ func (k *Kernel) dispatchLocal(t *Task, args Args) Result {
 		return k.sysPread(t, args)
 	case abi.SysPwrite64:
 		return k.sysPwrite(t, args)
+	case abi.SysReadv, abi.SysPreadv:
+		return k.sysReadv(t, args)
+	case abi.SysWritev, abi.SysPwritev:
+		return k.sysWritev(t, args)
 	case abi.SysLseek:
 		return k.sysLseek(t, args)
 	case abi.SysStat:

@@ -163,6 +163,145 @@ func (k *Kernel) sysPwrite(t *Task, args Args) Result {
 	return Result{Ret: int64(n)}
 }
 
+// iovTotal sums the segment lengths of a scatter-gather vector.
+func iovTotal(iov [][]byte) int {
+	n := 0
+	for _, seg := range iov {
+		n += len(seg)
+	}
+	return n
+}
+
+// sysReadv serves readv and preadv: fill each segment in order, stopping
+// at the first short read. The storage stack is charged once for the
+// whole vector — one call's worth of page traversal instead of one per
+// segment, which is what vectoring buys over a loop of read calls.
+func (k *Kernel) sysReadv(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	if len(args.Iov) == 0 {
+		return k.errResult(abi.EINVAL)
+	}
+	positioned := args.Nr == abi.SysPreadv
+	if positioned && e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	switch e.Kind {
+	case FDFile:
+		if !e.File.IsDevice() {
+			k.chargeIO(iovTotal(args.Iov), k.model.StorageReadPerPage)
+		}
+		total := 0
+		filled := make([]byte, 0, iovTotal(args.Iov))
+		for _, seg := range args.Iov {
+			var n int
+			var err error
+			if positioned {
+				n, err = e.File.ReadAt(seg, args.Off+int64(total))
+			} else {
+				n, err = e.File.Read(seg)
+			}
+			total += n
+			filled = append(filled, seg[:n]...)
+			if err != nil || n < len(seg) {
+				// EOF mid-vector is a short count, not an error, once
+				// anything was read.
+				if err != nil && total == n {
+					return k.errResult(err)
+				}
+				break
+			}
+		}
+		return Result{Ret: int64(total), Data: filled}
+	case FDPipeRead, FDSocket:
+		total := 0
+		filled := make([]byte, 0, iovTotal(args.Iov))
+		for _, seg := range args.Iov {
+			var n int
+			var err error
+			if e.Kind == FDPipeRead {
+				n, err = e.Pipe.Read(seg)
+			} else {
+				n, err = e.Sock.Recv(seg)
+			}
+			total += n
+			filled = append(filled, seg[:n]...)
+			if err != nil || n < len(seg) {
+				if err != nil && total == n {
+					return k.errResult(err)
+				}
+				break
+			}
+		}
+		return Result{Ret: int64(total), Data: filled}
+	default:
+		return k.errResult(abi.EBADF)
+	}
+}
+
+// sysWritev serves writev and pwritev: gather the segments in order. Like
+// sysReadv, the vector pays one storage charge for its total length.
+func (k *Kernel) sysWritev(t *Task, args Args) Result {
+	e := t.FD(args.FD)
+	if e == nil {
+		return k.errResult(abi.EBADF)
+	}
+	if len(args.Iov) == 0 {
+		return k.errResult(abi.EINVAL)
+	}
+	positioned := args.Nr == abi.SysPwritev
+	if positioned && e.Kind != FDFile {
+		return k.errResult(abi.EBADF)
+	}
+	switch e.Kind {
+	case FDFile:
+		if !e.File.IsDevice() {
+			k.chargeIO(iovTotal(args.Iov), k.model.StorageWritePerPage)
+		}
+		total := 0
+		for _, seg := range args.Iov {
+			var n int
+			var err error
+			if positioned {
+				n, err = e.File.WriteAt(seg, args.Off+int64(total))
+			} else {
+				n, err = e.File.Write(seg)
+			}
+			total += n
+			if err != nil {
+				if total == n {
+					return k.errResult(err)
+				}
+				break
+			}
+		}
+		return Result{Ret: int64(total)}
+	case FDPipeWrite, FDSocket:
+		total := 0
+		for _, seg := range args.Iov {
+			var n int
+			var err error
+			if e.Kind == FDPipeWrite {
+				n, err = e.Pipe.Write(seg)
+			} else {
+				n, err = e.Sock.Send(seg)
+			}
+			total += n
+			if err != nil {
+				if total == n {
+					return k.errResult(err)
+				}
+				break
+			}
+		}
+		return Result{Ret: int64(total)}
+	default:
+		return k.errResult(abi.EBADF)
+	}
+}
+
 func (k *Kernel) sysLseek(t *Task, args Args) Result {
 	e := t.FD(args.FD)
 	if e == nil || e.Kind != FDFile {

@@ -1,0 +1,135 @@
+package kernel
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+)
+
+// Coverage for the vectored I/O surface: readv/writev/preadv/pwritev.
+
+func openVecFile(t *testing.T, k *Kernel, task *Task, path string) int {
+	t.Helper()
+	res := k.Invoke(task, Args{Nr: abi.SysOpen, Path: path, Flags: abi.ORdWr | abi.OCreat, Mode: 0o600})
+	if !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	return res.FD
+}
+
+func TestWritevReadvGatherScatter(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	fd := openVecFile(t, k, task, "/data/vec")
+
+	res := k.Invoke(task, Args{Nr: abi.SysWritev, FD: fd,
+		Iov: [][]byte{[]byte("alpha-"), []byte("beta-"), []byte("gamma")}})
+	if !res.Ok() || res.Ret != 16 {
+		t.Fatalf("writev: ret=%d err=%v", res.Ret, res.Err)
+	}
+
+	// The cursor advanced past the gathered vector; rewind and scatter it
+	// back out across unequal segments.
+	if res := k.Invoke(task, Args{Nr: abi.SysLseek, FD: fd, Off: 0, Whence: abi.SeekSet}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	res = k.Invoke(task, Args{Nr: abi.SysReadv, FD: fd,
+		Iov: [][]byte{make([]byte, 2), make([]byte, 9), make([]byte, 5)}})
+	if !res.Ok() || res.Ret != 16 {
+		t.Fatalf("readv: ret=%d err=%v", res.Ret, res.Err)
+	}
+	if !bytes.Equal(res.Data, []byte("alpha-beta-gamma")) {
+		t.Fatalf("readv data = %q", res.Data)
+	}
+}
+
+func TestPreadvPwritevArePositioned(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	fd := openVecFile(t, k, task, "/data/pvec")
+
+	if res := k.Invoke(task, Args{Nr: abi.SysWrite, FD: fd, Buf: make([]byte, 32)}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	// Segments land contiguously starting at the explicit offset.
+	res := k.Invoke(task, Args{Nr: abi.SysPwritev, FD: fd, Off: 8,
+		Iov: [][]byte{[]byte("AB"), []byte("CD")}})
+	if !res.Ok() || res.Ret != 4 {
+		t.Fatalf("pwritev: ret=%d err=%v", res.Ret, res.Err)
+	}
+	res = k.Invoke(task, Args{Nr: abi.SysPreadv, FD: fd, Off: 8,
+		Iov: [][]byte{make([]byte, 3), make([]byte, 1)}})
+	if !res.Ok() || res.Ret != 4 || !bytes.Equal(res.Data, []byte("ABCD")) {
+		t.Fatalf("preadv: ret=%d data=%q err=%v", res.Ret, res.Data, res.Err)
+	}
+
+	// Positioned vectored I/O must not move the cursor (it was at 32).
+	res = k.Invoke(task, Args{Nr: abi.SysLseek, FD: fd, Off: 0, Whence: abi.SeekCur})
+	if !res.Ok() || res.Ret != 32 {
+		t.Fatalf("cursor after preadv/pwritev: %d", res.Ret)
+	}
+}
+
+func TestReadvShortAtEOF(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	fd := openVecFile(t, k, task, "/data/short")
+	if res := k.Invoke(task, Args{Nr: abi.SysPwrite64, FD: fd, Buf: []byte("12345"), Off: 0}); !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	// 5 bytes available, 8 requested across two segments: short count,
+	// not an error.
+	res := k.Invoke(task, Args{Nr: abi.SysPreadv, FD: fd, Off: 0,
+		Iov: [][]byte{make([]byte, 4), make([]byte, 4)}})
+	if !res.Ok() || res.Ret != 5 || !bytes.Equal(res.Data, []byte("12345")) {
+		t.Fatalf("short preadv: ret=%d data=%q err=%v", res.Ret, res.Data, res.Err)
+	}
+}
+
+func TestVectoredInvalidCases(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	fd := openVecFile(t, k, task, "/data/inv")
+
+	// Empty vectors are EINVAL on all four calls.
+	for _, nr := range []abi.SyscallNr{abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev} {
+		if res := k.Invoke(task, Args{Nr: nr, FD: fd}); !errors.Is(res.Err, abi.EINVAL) {
+			t.Fatalf("nr %d with empty iov: %v", nr, res.Err)
+		}
+	}
+	// Unknown descriptors are EBADF.
+	iov := [][]byte{make([]byte, 4)}
+	if res := k.Invoke(task, Args{Nr: abi.SysReadv, FD: 99, Iov: iov}); !errors.Is(res.Err, abi.EBADF) {
+		t.Fatalf("readv bad fd: %v", res.Err)
+	}
+	if res := k.Invoke(task, Args{Nr: abi.SysWritev, FD: 99, Iov: iov}); !errors.Is(res.Err, abi.EBADF) {
+		t.Fatalf("writev bad fd: %v", res.Err)
+	}
+}
+
+func TestVectoredOnPipe(t *testing.T) {
+	k := newTestKernel(t)
+	task := k.Spawn(abi.Cred{UID: abi.UIDRoot}, "init")
+	res := k.Invoke(task, Args{Nr: abi.SysPipe})
+	if !res.Ok() {
+		t.Fatal(res.Err)
+	}
+	rfd, wfd := int(res.Ret), res.FD
+
+	if res := k.Invoke(task, Args{Nr: abi.SysWritev, FD: wfd,
+		Iov: [][]byte{[]byte("pi"), []byte("pe")}}); !res.Ok() || res.Ret != 4 {
+		t.Fatalf("writev on pipe: ret=%d err=%v", res.Ret, res.Err)
+	}
+	got := k.Invoke(task, Args{Nr: abi.SysReadv, FD: rfd,
+		Iov: [][]byte{make([]byte, 4)}})
+	if !got.Ok() || !bytes.Equal(got.Data, []byte("pipe")) {
+		t.Fatalf("readv on pipe: data=%q err=%v", got.Data, got.Err)
+	}
+	// Positioned variants require a regular file.
+	if res := k.Invoke(task, Args{Nr: abi.SysPreadv, FD: rfd,
+		Iov: [][]byte{make([]byte, 4)}}); !errors.Is(res.Err, abi.EBADF) {
+		t.Fatalf("preadv on pipe: %v", res.Err)
+	}
+}

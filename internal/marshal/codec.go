@@ -50,6 +50,14 @@ const (
 	tagResFD
 	tagErrno
 	tagErrText
+
+	// Vectored I/O segments. Write-style vectors (writev/pwritev) inline
+	// each segment's bytes under tagIov; read-style vectors
+	// (readv/preadv) ship only the segment lengths under tagIovSpan —
+	// the guest allocates scratch of that shape and the filled bytes
+	// come back in the result's tagData.
+	tagIov
+	tagIovSpan
 )
 
 type writer struct{ buf []byte }
@@ -162,6 +170,15 @@ func EncodeArgs(a *kernel.Args) []byte {
 	for _, s := range a.Argv {
 		w.fieldBytes(tagArgv, []byte(s))
 	}
+	readStyle := a.Nr == abi.SysReadv || a.Nr == abi.SysPreadv
+	for _, seg := range a.Iov {
+		if readStyle {
+			w.u8(tagIovSpan)
+			w.u64(uint64(len(seg)))
+		} else {
+			w.fieldBytes(tagIov, seg)
+		}
+	}
 	return w.buf
 }
 
@@ -221,6 +238,19 @@ func DecodeArgs(b []byte) (*kernel.Args, error) {
 			a.Tag = string(r.bytes())
 		case tagArgv:
 			a.Argv = append(a.Argv, string(r.bytes()))
+		case tagIov:
+			a.Iov = append(a.Iov, r.bytes())
+		case tagIovSpan:
+			// Scratch allocation is bounded so a hostile span cannot
+			// force a giant allocation during decode (16 MiB is far
+			// beyond any vector the kernel accepts).
+			n := int(r.u64())
+			if r.err == nil && (n < 0 || n > 1<<24) {
+				return nil, fmt.Errorf("marshal: bad iov span %d: %w", n, abi.EINVAL)
+			}
+			if r.err == nil {
+				a.Iov = append(a.Iov, make([]byte, n))
+			}
 		default:
 			return nil, fmt.Errorf("marshal: unknown args tag %d: %w", tag, abi.EINVAL)
 		}

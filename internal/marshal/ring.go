@@ -84,9 +84,12 @@ type Pending struct {
 	key     int64
 	payload []byte
 	handler GuestHandler
-	resp    []byte
-	err     error
-	done    chan struct{}
+	// inline marks a grant-call frame that fit the slot's fixed
+	// descriptor area; its reply rides the CQ entry the same way.
+	inline bool
+	resp   []byte
+	err    error
+	done   chan struct{}
 }
 
 // Key returns the FIFO-ordering key the submitter chose.
@@ -104,6 +107,7 @@ func (p *Pending) Wait() ([]byte, error) {
 	<-p.done
 	resp, err := p.resp, p.err
 	p.payload, p.handler, p.resp, p.err = nil, nil, nil, nil
+	p.inline = false
 	p.state.Store(slotFree)
 	p.ring.free <- p
 	return resp, err
@@ -176,6 +180,14 @@ const RingReapBatch = 8
 // submission landing inside the window needs no doorbell.
 const RingPollIdle = time.Millisecond
 
+// RingInlineBytes is the fixed descriptor area of one SQ/CQ entry (like
+// an io_uring SQE). A grant-call frame that fits is published as part of
+// the slot write itself — RingSlotOverhead on submit, RingCompletionPost
+// on completion — instead of traversing the chunked channel: the whole
+// point of a scatter-gather descriptor is that it is small enough not to
+// pay per-chunk costs.
+const RingInlineBytes = 160
+
 // NewRingChannel builds the async ring over a launched CVM's channel
 // frames. depth <= 0 uses DefaultRingDepth; chunkSize <= 0 uses the
 // 4096-byte default.
@@ -217,6 +229,24 @@ func (r *RingChannel) Name() string { return "async-ring" }
 // Depth returns the configured slot count.
 func (r *RingChannel) Depth() int { return r.depth }
 
+// SetReapBatch overrides how many completions the guest poller posts
+// before reaping the CQ with one hypercall. Descriptor-only traffic
+// (zero-copy grant calls) tolerates a far lazier reap cadence than
+// payload-bearing slots, so bulk configurations raise this toward the
+// ring depth. n <= 0 restores the default; values above the depth clamp
+// to it. Call before the ring is shared across goroutines.
+func (r *RingChannel) SetReapBatch(n int) {
+	if n <= 0 {
+		n = RingReapBatch
+	}
+	if n > r.depth {
+		n = r.depth
+	}
+	r.bellMu.Lock()
+	r.reapBatch = n
+	r.bellMu.Unlock()
+}
+
 // SetLiveness implements LivenessSetter. Wired once at layer
 // construction, before the ring is shared across goroutines.
 func (r *RingChannel) SetLiveness(probe func() bool) { r.liveness = probe }
@@ -254,13 +284,18 @@ func (r *RingChannel) Submit(payload []byte, key int64, handler GuestHandler) (*
 	}
 	s.payload, s.handler, s.key = payload, handler, key
 	s.gen = int(r.gen.Load())
+	s.inline = IsGrantCall(payload) && len(payload) <= RingInlineBytes
 	s.state.Store(slotQueued)
 	r.submitted.Add(1)
 
 	// The request bytes really traverse the slot's guest-visible frames,
 	// charged per chunk like the synchronous channel — but with the slot
 	// bookkeeping (RingSlotOverhead) in place of a per-call WorldSwitch.
-	r.chargeChunks(len(payload), r.model.CopyToGuestPerByte)
+	// A grant-call descriptor small enough for the slot's fixed SQE area
+	// is covered by the slot write itself and skips the chunk charge.
+	if !s.inline {
+		r.chargeChunks(len(payload), r.model.CopyToGuestPerByte)
+	}
 	r.clock.Advance(r.model.RingSlotOverhead)
 	if err := r.copySlotFrames(s.idx, payload); err != nil {
 		// Slot never reached the SQ; recycle it directly.
@@ -365,8 +400,12 @@ func (r *RingChannel) completeWith(s *Pending, resp []byte, err error) {
 		return
 	}
 	if err == nil {
-		// The reply traverses the slot frames back to the host.
-		r.chargeChunks(len(resp), r.model.CopyFromGuestPerByte)
+		// The reply traverses the slot frames back to the host; a reply
+		// that fits an inline slot's CQ descriptor area rides the
+		// completion post itself.
+		if !s.inline || len(resp) > RingInlineBytes {
+			r.chargeChunks(len(resp), r.model.CopyFromGuestPerByte)
+		}
 		r.clock.Advance(r.model.RingCompletionPost)
 		_ = r.copySlotFrames(s.idx, resp)
 		r.completed.Add(1)

@@ -1,0 +1,133 @@
+package marshal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+)
+
+func TestSGRoundTrip(t *testing.T) {
+	in := &SGDescriptor{
+		Writable: true,
+		Entries: []SGEntry{
+			{ID: 1, Gen: 1, Off: 0, Len: 4096},
+			{ID: 9, Gen: 3, Off: 512, Len: 65536},
+		},
+	}
+	out, err := DecodeSG(EncodeSG(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Writable != in.Writable || len(out.Entries) != len(in.Entries) {
+		t.Fatalf("round trip: %+v", out)
+	}
+	for i := range in.Entries {
+		if out.Entries[i] != in.Entries[i] {
+			t.Fatalf("entry %d: %+v != %+v", i, out.Entries[i], in.Entries[i])
+		}
+	}
+	if got, want := out.TotalLen(), 4096+65536; got != want {
+		t.Fatalf("TotalLen = %d, want %d", got, want)
+	}
+}
+
+func TestSGEmptyDescriptor(t *testing.T) {
+	out, err := DecodeSG(EncodeSG(&SGDescriptor{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Writable || len(out.Entries) != 0 || out.TotalLen() != 0 {
+		t.Fatalf("empty descriptor decoded as %+v", out)
+	}
+}
+
+func TestDecodeSGRejectsHostileInput(t *testing.T) {
+	valid := EncodeSG(&SGDescriptor{Entries: []SGEntry{{ID: 1, Gen: 1, Len: 8}}})
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad flag":         append([]byte{7}, valid[1:]...),
+		"truncated entry":  valid[:len(valid)-3],
+		"trailing bytes":   append(append([]byte{}, valid...), 0xCC),
+		"count over cap":   {0, 2, 0xFF, 0xFF, 0xFF, 0x7F},
+		"count past bytes": {0, 2, 5, 0, 0, 0},
+	}
+	for name, b := range cases {
+		if _, err := DecodeSG(b); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestGrantCallFrameRoundTrip(t *testing.T) {
+	desc := &SGDescriptor{Writable: true, Entries: []SGEntry{{ID: 2, Gen: 1, Len: 16384}}}
+	args := EncodeArgs(&kernel.Args{Nr: abi.SysPread64, FD: 5, Size: 16384, Off: 4096})
+	frame := EncodeGrantCall(desc, args)
+
+	if !IsGrantCall(frame) {
+		t.Fatal("frame not recognized as grant call")
+	}
+	if IsGrantCall(args) {
+		t.Fatal("plain args payload misread as grant call")
+	}
+
+	gotDesc, gotArgs, err := DecodeGrantCall(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotDesc.Writable || len(gotDesc.Entries) != 1 || gotDesc.Entries[0] != desc.Entries[0] {
+		t.Fatalf("descriptor: %+v", gotDesc)
+	}
+	if !bytes.Equal(gotArgs, args) {
+		t.Fatal("args payload corrupted by framing")
+	}
+	decoded, err := DecodeArgs(gotArgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Nr != abi.SysPread64 || decoded.FD != 5 || decoded.Size != 16384 {
+		t.Fatalf("args: %+v", decoded)
+	}
+}
+
+func TestDecodeGrantCallRejectsTruncation(t *testing.T) {
+	frame := EncodeGrantCall(&SGDescriptor{Entries: []SGEntry{{ID: 1, Gen: 1, Len: 4}}}, nil)
+	for cut := 1; cut < len(frame); cut++ {
+		if _, _, err := DecodeGrantCall(frame[:cut]); err == nil {
+			t.Fatalf("frame truncated to %d bytes decoded without error", cut)
+		}
+	}
+	if _, _, err := DecodeGrantCall([]byte("not a grant")); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("non-grant payload: %v", err)
+	}
+}
+
+// FuzzDecodeSG: the grant-call decoders face bytes a compromised
+// container chose; nothing they are handed may panic or over-allocate.
+func FuzzDecodeSG(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSG(&SGDescriptor{Writable: true, Entries: []SGEntry{{ID: 1, Gen: 1, Off: 0, Len: 4096}}}))
+	f.Add(EncodeGrantCall(
+		&SGDescriptor{Entries: []SGEntry{{ID: 3, Gen: 2, Len: 512}}},
+		EncodeArgs(&kernel.Args{Nr: abi.SysPwrite64, FD: 3, Size: 512}),
+	))
+	f.Add([]byte{grantCallMagic})
+	f.Add([]byte{grantCallMagic, 2, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{0, 2, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if d, err := DecodeSG(data); err == nil && d == nil {
+			t.Fatal("nil descriptor without error")
+		}
+		if IsGrantCall(data) {
+			d, rest, err := DecodeGrantCall(data)
+			if err == nil {
+				if d == nil {
+					t.Fatal("nil descriptor without error")
+				}
+				_, _ = DecodeArgs(rest)
+			}
+		}
+	})
+}

@@ -21,11 +21,13 @@ const DefaultPoolWorkers = 4
 // mirroring is untouched: every slot's handler executes in the proxy the
 // Manager enrolled for its host task, the workers only schedule.
 //
-// Cost model: each worker charges one ProxyDispatch when it wakes, then
-// drains every slot already queued to it without re-charging — the guest
-// half of doorbell coalescing (the host half charges one WorldSwitch per
-// doorbell instead of per call). Drained calls pay only their guest trap
-// entry, via Manager.ExecuteDrained.
+// Cost model: a worker charges one ProxyDispatch when a slot arrives
+// after its poller has sat idle past RingPollIdle of sim time; slots
+// arriving inside that window ride the live poller for free — the guest
+// half of doorbell coalescing, mirroring the armed-doorbell window the
+// host half uses (one WorldSwitch per doorbell instead of per call).
+// Drained calls pay only their guest trap entry, via
+// Manager.ExecuteDrained.
 type Pool struct {
 	ring    *marshal.RingChannel
 	clock   *sim.Clock
@@ -34,8 +36,8 @@ type Pool struct {
 	queues  []chan *marshal.Pending
 	wg      sync.WaitGroup
 
-	// wakeups counts idle->busy transitions (ProxyDispatch charges);
-	// drained counts slots served without a fresh wakeup.
+	// wakeups counts cold starts after a RingPollIdle gap (ProxyDispatch
+	// charges); drained counts slots served by a still-hot poller.
 	wakeups atomic.Int64
 	drained atomic.Int64
 }
@@ -43,9 +45,10 @@ type Pool struct {
 // PoolStats snapshots the pool's scheduling counters.
 type PoolStats struct {
 	Workers int
-	// Wakeups is how many times a worker went idle->busy (one
-	// ProxyDispatch each); Drained is how many slots rode an existing
-	// wakeup. Wakeups+Drained equals the slots the pool served.
+	// Wakeups is how many times a worker restarted a cold poller (one
+	// ProxyDispatch each); Drained is how many slots rode a poller still
+	// inside its RingPollIdle window. Wakeups+Drained equals the slots
+	// the pool served.
 	Wakeups int
 	Drained int
 }
@@ -111,30 +114,30 @@ func (p *Pool) dispatch() {
 	}
 }
 
-// worker drains one shard: a ProxyDispatch per wakeup, then every slot
-// already queued rides that wakeup.
+// worker drains one shard. The dispatch charge follows the poller's
+// sim-time activity window, not goroutine scheduling: a slot arriving
+// while the poller is still hot (within RingPollIdle of its last serve)
+// rides the existing dispatch, exactly as ringDoorbell treats an armed
+// poller on the host side. Charging per channel-receive instead would
+// make the modeled cost depend on wall-clock races between submitters
+// and workers.
 func (p *Pool) worker(q chan *marshal.Pending) {
 	defer p.wg.Done()
+	// Start beyond the poll window so the first slot pays its dispatch.
+	lastActive := -marshal.RingPollIdle - 1
 	for {
 		s, ok := <-q
 		if !ok {
 			return
 		}
-		p.clock.Advance(p.model.ProxyDispatch)
-		p.wakeups.Add(1)
-		for busy := true; busy; {
-			p.serve(s)
-			select {
-			case next, ok := <-q:
-				if !ok {
-					return
-				}
-				s = next
-				p.drained.Add(1)
-			default:
-				busy = false
-			}
+		if now := p.clock.Now(); now-lastActive > marshal.RingPollIdle {
+			p.clock.Advance(p.model.ProxyDispatch)
+			p.wakeups.Add(1)
+		} else {
+			p.drained.Add(1)
 		}
+		p.serve(s)
+		lastActive = p.clock.Now()
 	}
 }
 

@@ -114,6 +114,20 @@ type LatencyModel struct {
 	// charged once per batch of completions.
 	RingCompletionPost time.Duration
 
+	// GrantMapCost is the fixed cost of one grant-map operation: writing
+	// the grant-table entries for an extent and installing the guest-side
+	// PTEs as one batched hypervisor update. It is charged per map *call*,
+	// not per page — the whole scatter-gather list of a redirected call is
+	// installed in a single batch, which is what makes page flipping win
+	// over per-byte copying for bulk transfers while losing to the copy
+	// path below the threshold.
+	GrantMapCost time.Duration
+	// GrantUnmapTLBShootdown is the fixed cost of revoking a grant batch:
+	// tearing down the guest PTEs plus the TLB-shootdown IPI broadcast
+	// that makes the revocation globally visible. One broadcast flushes
+	// the whole extent, so this too is per revoke call, not per page.
+	GrantUnmapTLBShootdown time.Duration
+
 	// NetworkRTT is the simulated round-trip to a remote server (bank).
 	NetworkRTT time.Duration
 	// NetworkPerByte is the per-byte wire cost.
@@ -171,6 +185,9 @@ func DefaultLatencyModel() LatencyModel {
 
 		RingSlotOverhead:   900 * time.Nanosecond,
 		RingCompletionPost: 600 * time.Nanosecond,
+
+		GrantMapCost:           13100 * time.Nanosecond,
+		GrantUnmapTLBShootdown: 6400 * time.Nanosecond,
 
 		NetworkRTT:     38 * time.Millisecond,
 		NetworkPerByte: 9 * time.Nanosecond,

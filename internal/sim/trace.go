@@ -33,6 +33,10 @@ const (
 	// (one interrupt covering every slot submitted since the last reap),
 	// completion reaps, and boot-generation re-arms after a CVM restart.
 	EvRing
+	// EvGrant marks zero-copy grant-table activity: extent maps, revokes
+	// (TLB shootdowns), restart-time revoke-all sweeps, and stale-grant
+	// rejections.
+	EvGrant
 )
 
 // String returns the short label used in trace dumps.
@@ -62,6 +66,8 @@ func (k EventKind) String() string {
 		return "cache"
 	case EvRing:
 		return "ring"
+	case EvGrant:
+		return "grant"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

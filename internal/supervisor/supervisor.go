@@ -39,6 +39,15 @@ type RingDrainer interface {
 	DrainRing()
 }
 
+// GrantRevoker is implemented by targets with a zero-copy grant table.
+// After every successful restart the supervisor revokes every
+// outstanding grant: the guest mappings died with the old container, and
+// any straggler reference tagged with the old boot generation must fail
+// EHOSTDOWN rather than touch host pages the app may have reused.
+type GrantRevoker interface {
+	RevokeGrants()
+}
+
 // Config tunes the watchdog. Zero values take the documented defaults.
 type Config struct {
 	// Heartbeat is the sim-time probe cadence (default 50 ms).
@@ -241,6 +250,11 @@ func (s *Supervisor) Tick() bool {
 	// in-flight slots from the old container complete with EHOSTDOWN.
 	if rd, ok := s.target.(RingDrainer); ok {
 		rd.DrainRing()
+	}
+	// And the grant table: the old generation's page-flipping mappings
+	// are gone with the container; revoke them so stale refs fail fast.
+	if gr, ok := s.target.(GrantRevoker); ok {
+		gr.RevokeGrants()
 	}
 	if trip {
 		s.target.SetDegraded(true)
