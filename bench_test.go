@@ -181,6 +181,116 @@ func BenchmarkTableI_Binder128_Anception(b *testing.B) { benchBinder(b, anceptio
 func BenchmarkTableI_Binder256_Native(b *testing.B)    { benchBinder(b, anception.ModeNative, 256) }
 func BenchmarkTableI_Binder256_Anception(b *testing.B) { benchBinder(b, anception.ModeAnception, 256) }
 
+// --- Binder bridge fast path (DESIGN.md §12) ------------------------------
+
+// benchBinderOpts measures steady-state bridged binder transactions under
+// one fast-path configuration: one warm-up call pays proxy enrollment and
+// any one-time session setup, then every measured call is steady state.
+func benchBinderOpts(b *testing.B, opts anception.Options) {
+	d := newBenchDevice(b, anception.ModeAnception, opts)
+	defer d.Close()
+	p := launchBenchApp(b, d, "com.bench.binderfast")
+	fd, err := p.OpenBinder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 128)
+	if _, err := p.BinderCall(fd, "location", android.CodeGetLocation, payload); err != nil {
+		b.Fatal(err)
+	}
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.BinderCall(fd, "location", android.CodeGetLocation, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+	st := d.BinderStats()
+	if st.Submitted > 0 {
+		b.ReportMetric(float64(st.ReplyHits)/float64(st.Submitted+st.ReplyHits), "reply-hits/op")
+	}
+}
+
+// The synchronous baseline: the paper's uncached +19 ms bridge.
+func BenchmarkBinder_Sync(b *testing.B) {
+	benchBinderOpts(b, anception.Options{CallDeadline: time.Hour})
+}
+
+// Persistent sessions: pinned guest handle, BinderSessionPerTxn per call.
+func BenchmarkBinder_Session(b *testing.B) {
+	benchBinderOpts(b, anception.Options{BinderSessions: true, CallDeadline: time.Hour})
+}
+
+// Sessions over the async ring: coalesced doorbells take the world-switch
+// pair off the fixed cost.
+func BenchmarkBinder_SessionRing(b *testing.B) {
+	benchBinderOpts(b, anception.Options{
+		BinderSessions: true,
+		RingDepth:      marshal.DefaultRingDepth,
+		RingWorkers:    1,
+		RingReapBatch:  marshal.DefaultRingDepth,
+		CallDeadline:   time.Hour,
+	})
+}
+
+// Idempotent reply cache on top: repeated read-only transactions are
+// served host-side without a CVM transaction at all.
+func BenchmarkBinder_ReplyCache(b *testing.B) {
+	benchBinderOpts(b, anception.Options{
+		BinderSessions: true, BinderReplyCache: true, CallDeadline: time.Hour,
+	})
+}
+
+// TestBinderSessionFloor pins the headline number of the binder fast path:
+// a sessioned transaction must carry at least 5x less fixed latency
+// (overhead over the native transaction) than the synchronous 18.7 ms-
+// penalty bridge. Simulated time is deterministic — a model regression
+// guard, not a flaky timing test.
+func TestBinderSessionFloor(t *testing.T) {
+	const iters = 50
+	measure := func(mode anception.Mode, opts anception.Options) float64 {
+		opts.Mode = mode
+		opts.DisableTrace = true
+		d, err := anception.NewDevice(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		app, err := d.InstallApp(android.AppSpec{Package: "com.bench.binderfloor"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := d.Launch(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd, err := p.OpenBinder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := make([]byte, 128)
+		if _, err := p.BinderCall(fd, "location", android.CodeGetLocation, payload); err != nil {
+			t.Fatal(err)
+		}
+		start := d.Clock.Now()
+		for i := 0; i < iters; i++ {
+			if _, err := p.BinderCall(fd, "location", android.CodeGetLocation, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return float64(d.Clock.Now()-start) / iters
+	}
+	native := measure(anception.ModeNative, anception.Options{})
+	syncUs := measure(anception.ModeAnception, anception.Options{CallDeadline: time.Hour})
+	sessUs := measure(anception.ModeAnception, anception.Options{BinderSessions: true, CallDeadline: time.Hour})
+	syncOver, sessOver := syncUs-native, sessUs-native
+	if speedup := syncOver / sessOver; speedup < 5 {
+		t.Fatalf("session fixed latency only %.2fx below the sync bridge (floor: 5x; sync %.0f, session %.0f sim-ns over native)",
+			speedup, syncOver, sessOver)
+	}
+}
+
 // --- Async redirection ring (DESIGN.md §10) -------------------------------
 
 // benchRingWrite4K is benchWrite4K on a ring device, with the worker pool

@@ -38,6 +38,9 @@ type benchReport struct {
 	// zerocopy experiment preserves every other section, so the two
 	// experiments merge into one document.
 	Zerocopy []zcRow `json:"zerocopy,omitempty"`
+	// Binder holds the sync/session/pipelined/cached bridge sweep
+	// (-exp binder), merged the same way.
+	Binder []binderRow `json:"binder,omitempty"`
 }
 
 // benchDevice boots a quiet platform and a benchmark app for bench-json.
@@ -148,6 +151,7 @@ func benchJSON() error {
 
 	if prev, ok := loadBenchReport(); ok {
 		report.Zerocopy = prev.Zerocopy
+		report.Binder = prev.Binder
 	}
 	if err := writeBenchReport(&report); err != nil {
 		return err

@@ -11,10 +11,12 @@
 //	evaluate -exp loc       deprivileged lines of code (Section V-D)
 //	evaluate -exp memory    CVM memory overhead (Section VI-C)
 //	evaluate -exp profile   ioctl profile of popular apps (Section VI-A)
+//	evaluate -exp session   real-application session and launch latency
 //	evaluate -exp recovery  supervised fault drills: per-class MTTR
 //	evaluate -exp concurrency  sync-vs-ring multi-threaded throughput
 //	evaluate -exp bench-json  redirection-cache speedups + concurrency rows -> BENCH_redirection.json
 //	evaluate -exp zerocopy  copy vs grant vs grant+ring transfer sweep -> BENCH_redirection.json
+//	evaluate -exp binder    sync vs session vs pipelined vs cached binder bridge sweep -> BENCH_redirection.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -57,9 +59,10 @@ func run(exp string) error {
 		"concurrency": concurrency,
 		"bench-json":  benchJSON,
 		"zerocopy":    zerocopy,
+		"binder":      binderExp,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

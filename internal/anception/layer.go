@@ -37,6 +37,9 @@ type Layer struct {
 	// grants is the zero-copy grant path (DESIGN.md §11); nil unless
 	// Options.GrantThreshold > 0.
 	grants *layerGrants
+	// binder is the binder bridge fast path (DESIGN.md §12); nil unless
+	// Options.BinderSessions or BinderReplyCache is set.
+	binder *binderFastPath
 
 	keepFSOnHost bool
 	// deadline is the sim-clock budget of one redirected round-trip: a
@@ -125,6 +128,10 @@ type LayerStats struct {
 	// Grants holds the zero-copy grant-path counters (zero when
 	// Options.GrantThreshold == 0).
 	Grants GrantPathStats
+	// Binder holds the binder fast-path counters — sessions, pipelined
+	// transactions, reply-cache hits, restart drains — zero when both
+	// Options.BinderSessions and BinderReplyCache are off.
+	Binder BinderStats
 }
 
 // DefaultCallDeadline bounds one redirected round-trip in sim time. It is
@@ -160,6 +167,13 @@ type LayerConfig struct {
 	// copies. Both must be set; the path is off otherwise.
 	GrantTable     *hypervisor.GrantTable
 	GrantThreshold int
+	// BinderSessions enables persistent binder sessions to CVM services
+	// (DESIGN.md §12): first transaction pays a one-time setup, later
+	// ones skip the guest lookup and cold wakeup.
+	BinderSessions bool
+	// BinderReplyCache enables the idempotent binder reply cache for
+	// codes declared read-only at Register.
+	BinderReplyCache bool
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -204,6 +218,13 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 	}
 	if cfg.GrantTable != nil && cfg.GrantThreshold > 0 {
 		l.grants = newLayerGrants(cfg.GrantTable, cfg.GrantThreshold)
+	}
+	if cfg.BinderSessions || cfg.BinderReplyCache {
+		gen := 1
+		if cfg.CVM != nil {
+			gen = cfg.CVM.Generation()
+		}
+		l.binder = newBinderFastPath(cfg.BinderSessions, cfg.BinderReplyCache, gen)
 	}
 	if ls, ok := cfg.Transport.(marshal.LivenessSetter); ok {
 		ls.SetLiveness(l.guestAlive)
@@ -257,6 +278,9 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 		gen = l.cvm.Generation()
 	}
 	l.invalidateRedirCache(gen)
+	// Roll the binder fast path: pinned session handles and cached
+	// replies died with the old container.
+	l.drainBinder(gen)
 	// Re-key the ring to the new boot generation: slots submitted against
 	// the old container complete with EHOSTDOWN instead of leaking (or
 	// executing against the fresh guest).
@@ -373,6 +397,7 @@ func (l *Layer) Stats() LayerStats {
 		s.Ring = ring.RingStats()
 	}
 	s.Grants = l.GrantStats()
+	s.Binder = l.BinderStats()
 	return s
 }
 
@@ -632,43 +657,30 @@ func (l *Layer) handleIoctl(t *kernel.Task, args *kernel.Args) (kernel.Result, b
 	}
 	if e.Kind == kernel.FDFile && e.File.IsDevice() && e.File.Device().DevName() == "binder" &&
 		args.Request == binder.IocTransact {
-		if l.host.Binder().IsUITransaction(args.Buf) {
+		// Decode exactly once; routing (UI test, guest lookup) and the
+		// bridge both work from this Transaction. The guest dispatches
+		// via TransactDecoded, so the bytes are never re-parsed.
+		txn, err := binder.DecodeTransaction(args.Buf)
+		if err != nil {
+			// Malformed frame: let the host driver report EINVAL.
+			return kernel.Result{}, false
+		}
+		if svc := l.host.Binder().Lookup(txn.Service); svc != nil && svc.UI {
 			l.counters.uiPassthrough.Add(1)
 			return kernel.Result{}, false // native-speed UI path
 		}
 		// Not a host UI service: if the target lives in the CVM, bridge
-		// the transaction across the boundary (the +19 ms path).
-		txn, err := binder.DecodeTransaction(args.Buf)
-		if g := l.guestKernel(); err == nil && g.Panicked() == "" && g.Binder().Lookup(txn.Service) != nil {
-			return l.bridgeBinder(t, args, txn), true
+		// the transaction across the boundary (the +19 ms path, or the
+		// session fast path when enabled).
+		st := l.currentState()
+		if g := st.guest; g.Panicked() == "" && g.Binder().Lookup(txn.Service) != nil {
+			return l.bridgeBinder(st, t, args, txn), true
 		}
 		// Unknown service: let the host driver report the dead ref.
 		return kernel.Result{}, false
 	}
 	l.counters.hostExecuted.Add(1)
 	return kernel.Result{}, false
-}
-
-// bridgeBinder relays a binder transaction to a service delegated to the
-// container.
-func (l *Layer) bridgeBinder(t *kernel.Task, args *kernel.Args, txn binder.Transaction) kernel.Result {
-	g := l.guestKernel()
-	if g.Panicked() != "" {
-		l.counters.hostDown.Add(1)
-		return kernel.Result{Ret: -1, Err: fmt.Errorf("binder bridge: container down: %w", abi.EHOSTDOWN)}
-	}
-	l.counters.binderBridged.Add(1)
-	l.clock.Advance(l.model.BinderTransaction +
-		l.model.BinderCVMPenalty +
-		time.Duration(len(args.Buf))*l.model.BinderCVMPerByte)
-	if l.trace != nil {
-		l.trace.Record(sim.EvBinder, "bridged binder txn %q from pid=%d to CVM", txn.Service, t.PID)
-	}
-	out, err := g.Binder().Transact(t.Cred, args.Buf)
-	if err != nil {
-		return kernel.Result{Ret: -1, Err: err}
-	}
-	return kernel.Result{Data: out, Ret: int64(len(out))}
 }
 
 // sendfileBounceLimit bounds the staging buffer of a mixed-locality

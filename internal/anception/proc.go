@@ -380,6 +380,15 @@ func (p *Proc) BinderCall(fd int, service string, code uint32, payload []byte) (
 	return res.Data, nil
 }
 
+// BinderCallAsync performs one asynchronous (TF_ONE_WAY) transaction: the
+// service runs the request but no reply is delivered, and on a pipelined
+// bridge the caller does not wait for the CVM at all.
+func (p *Proc) BinderCallAsync(fd int, service string, code uint32, payload []byte) error {
+	arg := binder.EncodeTransaction(binder.Transaction{Service: service, Code: code, Payload: payload, Oneway: true})
+	res := p.invoke(kernel.Args{Nr: abi.SysIoctl, FD: fd, Request: binder.IocTransact, Buf: arg})
+	return res.Err
+}
+
 // WaitInput blocks for the next UI input event routed to this app.
 func (p *Proc) WaitInput(binderFD int) ([]byte, error) {
 	return p.BinderCall(binderFD, "window", android.CodeWaitInput, nil)

@@ -248,15 +248,18 @@ func Boot(k *kernel.Kernel, cfg BootConfig) (*Services, error) {
 			s.Vold = NewVold(k, task, s.Logd, cfg.Vulns.GingerBreakVold, cfg.Vulns.ZergRushVold)
 			k.Net().RegisterNetlink(NetlinkVoldProto, s.Vold.HandleNetlink, cfg.Vulns.GingerBreakVold)
 		case "location":
+			// CodeGetLocation is declared read-only: a fix request has no
+			// side effects, so the bridge's reply cache may serve it.
 			if err := k.Binder().Register("location", false, func(from abi.Cred, code uint32, data []byte) ([]byte, error) {
 				return []byte("fix:42.2808,-83.7430"), nil
-			}); err != nil {
+			}, CodeGetLocation); err != nil {
 				return nil, err
 			}
 		case "system_server":
+			// Package metadata queries are idempotent (read-only).
 			if err := k.Binder().Register("package", false, func(from abi.Cred, code uint32, data []byte) ([]byte, error) {
 				return []byte("pkg-ok"), nil
-			}); err != nil {
+			}, CodeQuery); err != nil {
 				return nil, err
 			}
 		case "mediaserver":

@@ -37,31 +37,55 @@ type Service struct {
 	Name    string
 	UI      bool // part of the UI/Input stack (host-resident under Anception)
 	Handler Handler
+	// readOnly marks transaction codes declared idempotent at Register:
+	// their replies depend only on (code, payload) and may be cached by
+	// the bridge's reply cache. Any code outside this set is treated as
+	// mutating and invalidates cached replies for the service.
+	readOnly map[uint32]bool
 }
+
+// ReadOnlyCode reports whether code was declared read-only at Register.
+func (s *Service) ReadOnlyCode(code uint32) bool { return s.readOnly[code] }
 
 // Driver is the binder kernel driver of one kernel instance.
 type Driver struct {
 	mu       sync.Mutex
 	services map[string]*Service
-
-	txnCount   int
-	uiTxnCount int
+	// sessions maps pinned handles to services: a session skips the name
+	// lookup on every transaction after OpenSession resolved it once.
+	sessions  map[uint32]*Service
+	nextSess  uint32
+	txnCount  int
+	uiTxn     int
+	onewayTxn int
 }
 
 // NewDriver returns an empty binder driver.
 func NewDriver() *Driver {
-	return &Driver{services: make(map[string]*Service)}
+	return &Driver{
+		services: make(map[string]*Service),
+		sessions: make(map[uint32]*Service),
+	}
 }
 
 // Register adds a service to the context manager. Registering a name twice
 // is a programming error in platform assembly and is reported as EEXIST.
-func (d *Driver) Register(name string, ui bool, h Handler) error {
+// Optional trailing codes declare idempotent (read-only) transaction codes
+// whose replies the bridge may cache.
+func (d *Driver) Register(name string, ui bool, h Handler, readOnlyCodes ...uint32) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if _, ok := d.services[name]; ok {
 		return fmt.Errorf("binder: service %q: %w", name, abi.EEXIST)
 	}
-	d.services[name] = &Service{Name: name, UI: ui, Handler: h}
+	svc := &Service{Name: name, UI: ui, Handler: h}
+	if len(readOnlyCodes) > 0 {
+		svc.readOnly = make(map[uint32]bool, len(readOnlyCodes))
+		for _, c := range readOnlyCodes {
+			svc.readOnly[c] = true
+		}
+	}
+	d.services[name] = svc
 	return nil
 }
 
@@ -70,6 +94,13 @@ func (d *Driver) Lookup(name string) *Service {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.services[name]
+}
+
+// IsReadOnly reports whether (service, code) was declared idempotent at
+// Register; unknown services are never read-only.
+func (d *Driver) IsReadOnly(service string, code uint32) bool {
+	svc := d.Lookup(service)
+	return svc != nil && svc.ReadOnlyCode(code)
 }
 
 // Services lists registered service names (for the CLI and tests).
@@ -83,16 +114,51 @@ func (d *Driver) Services() []string {
 	return out
 }
 
-// IsUITransaction reports whether the encoded transaction targets a
-// UI/Input service. The redirection logic calls this to let UI ioctls pass
-// through to the host (Section III-B, principle 2).
-func (d *Driver) IsUITransaction(arg []byte) bool {
-	txn, err := DecodeTransaction(arg)
-	if err != nil {
-		return false
+// OpenSession resolves a service name once and pins the handle: every
+// later TransactSession on the returned id dispatches without a name
+// lookup. Unknown services fail with ENOENT. Sessions die with the driver
+// (i.e. with the kernel instance) — a CVM restart invalidates them all.
+func (d *Driver) OpenSession(name string) (uint32, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	svc := d.services[name]
+	if svc == nil {
+		return 0, fmt.Errorf("binder: no service %q: %w", name, abi.ENOENT)
 	}
-	svc := d.Lookup(txn.Service)
-	return svc != nil && svc.UI
+	d.nextSess++
+	id := d.nextSess
+	d.sessions[id] = svc
+	return id, nil
+}
+
+// CloseSession drops a pinned handle; unknown ids are ignored.
+func (d *Driver) CloseSession(id uint32) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.sessions, id)
+}
+
+// SessionCount reports live pinned handles (tests and the CLI).
+func (d *Driver) SessionCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.sessions)
+}
+
+// TransactSession dispatches on a pinned handle: no name lookup, straight
+// to the resolved service. A stale or never-opened id fails with ENOENT,
+// mirroring a dead binder ref.
+func (d *Driver) TransactSession(from abi.Cred, id uint32, code uint32, payload []byte, oneway bool) ([]byte, error) {
+	if len(payload) > MaxTransaction {
+		return nil, fmt.Errorf("binder: transaction %d bytes exceeds buffer: %w", len(payload), abi.E2BIG)
+	}
+	d.mu.Lock()
+	svc := d.sessions[id]
+	d.mu.Unlock()
+	if svc == nil {
+		return nil, fmt.Errorf("binder: no session %d: %w", id, abi.ENOENT)
+	}
+	return d.dispatch(svc, from, code, payload, oneway)
 }
 
 // MaxTransaction is the binder transaction buffer limit (1 MB on Android;
@@ -110,24 +176,68 @@ func (d *Driver) Transact(from abi.Cred, arg []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	return d.TransactDecoded(from, txn)
+}
+
+// TransactDecoded dispatches an already-decoded transaction. The Anception
+// layer decodes each bridged transaction exactly once (for routing) and
+// enters here, instead of paying a second decode inside Transact; the
+// byte-level Transact remains the ioctl surface.
+func (d *Driver) TransactDecoded(from abi.Cred, txn Transaction) ([]byte, error) {
+	if len(txn.Payload)+len(txn.Service) > MaxTransaction {
+		return nil, fmt.Errorf("binder: transaction %d bytes exceeds buffer: %w", len(txn.Payload), abi.E2BIG)
+	}
 	svc := d.Lookup(txn.Service)
 	if svc == nil {
 		return nil, fmt.Errorf("binder: no service %q: %w", txn.Service, abi.ENOENT)
 	}
+	return d.dispatch(svc, from, txn.Code, txn.Payload, txn.Oneway)
+}
+
+// dispatch counts and runs one transaction. Oneway transactions run the
+// handler but discard its reply (and its error — there is nobody to
+// deliver either to), like TF_ONE_WAY.
+func (d *Driver) dispatch(svc *Service, from abi.Cred, code uint32, payload []byte, oneway bool) ([]byte, error) {
 	d.mu.Lock()
 	d.txnCount++
 	if svc.UI {
-		d.uiTxnCount++
+		d.uiTxn++
+	}
+	if oneway {
+		d.onewayTxn++
 	}
 	d.mu.Unlock()
-	return svc.Handler(from, txn.Code, txn.Payload)
+	if oneway {
+		_, _ = svc.Handler(from, code, payload)
+		return nil, nil
+	}
+	return svc.Handler(from, code, payload)
+}
+
+// IsUITransaction reports whether the encoded transaction targets a
+// UI/Input service. The redirection logic calls this to let UI ioctls pass
+// through to the host (Section III-B, principle 2).
+func (d *Driver) IsUITransaction(arg []byte) bool {
+	txn, err := DecodeTransaction(arg)
+	if err != nil {
+		return false
+	}
+	svc := d.Lookup(txn.Service)
+	return svc != nil && svc.UI
 }
 
 // Stats reports total and UI transaction counts since boot.
 func (d *Driver) Stats() (total, ui int) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return d.txnCount, d.uiTxnCount
+	return d.txnCount, d.uiTxn
+}
+
+// OnewayCount reports oneway transactions dispatched since boot.
+func (d *Driver) OnewayCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.onewayTxn
 }
 
 // Transaction is one decoded binder call.
@@ -135,22 +245,48 @@ type Transaction struct {
 	Service string
 	Code    uint32
 	Payload []byte
+	// Oneway marks an asynchronous (TF_ONE_WAY) transaction: dispatched
+	// without a reply; the caller does not block on the service.
+	Oneway bool
 }
 
+// Frame magics. The flat v1 transaction format starts with a u16 name
+// length; a real name length of 0xFEFF (65279 bytes) never occurs in
+// platform traffic, so the 0xFF 0xFE prefix is free to key the extended
+// encodings introduced for the bridge fast path.
+var (
+	onewayMagic  = [4]byte{0xFF, 0xFE, 'O', '1'}
+	sessionMagic = [4]byte{0xFF, 0xFE, 'S', '1'}
+)
+
 // EncodeTransaction marshals a transaction into the flat ioctl argument
-// format: u16 name length, name bytes, u32 code, payload.
+// format: u16 name length, name bytes, u32 code, payload. Oneway
+// transactions are prefixed with the oneway frame magic; the synchronous
+// encoding is byte-identical to the original flat format.
 func EncodeTransaction(t Transaction) []byte {
-	buf := make([]byte, 2+len(t.Service)+4+len(t.Payload))
-	binary.LittleEndian.PutUint16(buf, uint16(len(t.Service)))
-	copy(buf[2:], t.Service)
-	binary.LittleEndian.PutUint32(buf[2+len(t.Service):], t.Code)
-	copy(buf[2+len(t.Service)+4:], t.Payload)
+	n := 2 + len(t.Service) + 4 + len(t.Payload)
+	var buf []byte
+	if t.Oneway {
+		buf = make([]byte, 4+n)
+		copy(buf, onewayMagic[:])
+		buf = buf[:4]
+	} else {
+		buf = make([]byte, 0, n)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Service)))
+	buf = append(buf, t.Service...)
+	buf = binary.LittleEndian.AppendUint32(buf, t.Code)
+	buf = append(buf, t.Payload...)
 	return buf
 }
 
-// DecodeTransaction unmarshals the flat format produced by
-// EncodeTransaction.
+// DecodeTransaction unmarshals the formats produced by EncodeTransaction.
 func DecodeTransaction(b []byte) (Transaction, error) {
+	oneway := false
+	if len(b) >= 4 && [4]byte(b[:4]) == onewayMagic {
+		oneway = true
+		b = b[4:]
+	}
 	if len(b) < 2 {
 		return Transaction{}, fmt.Errorf("binder: short transaction (%d bytes): %w", len(b), abi.EINVAL)
 	}
@@ -161,5 +297,54 @@ func DecodeTransaction(b []byte) (Transaction, error) {
 	name := string(b[2 : 2+nameLen])
 	code := binary.LittleEndian.Uint32(b[2+nameLen:])
 	payload := b[2+nameLen+4:]
-	return Transaction{Service: name, Code: code, Payload: append([]byte(nil), payload...)}, nil
+	return Transaction{Service: name, Code: code, Payload: append([]byte(nil), payload...), Oneway: oneway}, nil
+}
+
+// SessionFrame is one transaction addressed by pinned handle instead of
+// service name — what the bridge ships over the async ring once a session
+// is established, so the guest side dispatches without a lookup.
+type SessionFrame struct {
+	Session uint32
+	Code    uint32
+	Payload []byte
+	Oneway  bool
+}
+
+// EncodeSessionFrame marshals a session-addressed transaction: the session
+// magic, u32 session id, u32 code, u8 flags (bit0 = oneway), payload.
+func EncodeSessionFrame(f SessionFrame) []byte {
+	buf := make([]byte, 0, 4+4+4+1+len(f.Payload))
+	buf = append(buf, sessionMagic[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Session)
+	buf = binary.LittleEndian.AppendUint32(buf, f.Code)
+	var flags uint8
+	if f.Oneway {
+		flags |= 1
+	}
+	buf = append(buf, flags)
+	buf = append(buf, f.Payload...)
+	return buf
+}
+
+// IsSessionFrame reports whether b carries the session frame magic.
+func IsSessionFrame(b []byte) bool {
+	return len(b) >= 4 && [4]byte(b[:4]) == sessionMagic
+}
+
+// DecodeSessionFrame unmarshals EncodeSessionFrame's format.
+func DecodeSessionFrame(b []byte) (SessionFrame, error) {
+	if !IsSessionFrame(b) {
+		return SessionFrame{}, fmt.Errorf("binder: not a session frame: %w", abi.EINVAL)
+	}
+	b = b[4:]
+	if len(b) < 4+4+1 {
+		return SessionFrame{}, fmt.Errorf("binder: truncated session frame: %w", abi.EINVAL)
+	}
+	f := SessionFrame{
+		Session: binary.LittleEndian.Uint32(b),
+		Code:    binary.LittleEndian.Uint32(b[4:]),
+		Oneway:  b[8]&1 != 0,
+		Payload: append([]byte(nil), b[9:]...),
+	}
+	return f, nil
 }

@@ -6,12 +6,43 @@ func FuzzDecodeTransaction(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(EncodeTransaction(Transaction{Service: "window", Code: 2, Payload: []byte("p")}))
 	f.Add([]byte{0xFF, 0xFF, 'x'})
+	// The fast-path encodings: a oneway transaction, a session frame (must
+	// not decode as a flat transaction), and mangled magic prefixes.
+	f.Add(EncodeTransaction(Transaction{Service: "media", Code: 9, Payload: []byte("q"), Oneway: true}))
+	f.Add(EncodeSessionFrame(SessionFrame{Session: 7, Code: 3, Payload: []byte("s")}))
+	f.Add([]byte{0xFF, 0xFE, 'O', '1'})
+	f.Add([]byte{0xFF, 0xFE, 'S', '1', 0, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		txn, err := DecodeTransaction(data)
 		if err == nil {
-			// Whatever decodes must re-encode decodably.
-			if _, err2 := DecodeTransaction(EncodeTransaction(txn)); err2 != nil {
+			// Whatever decodes must re-encode decodably, preserving the
+			// oneway flag.
+			out, err2 := DecodeTransaction(EncodeTransaction(txn))
+			if err2 != nil {
 				t.Fatalf("re-encode broke: %v", err2)
+			}
+			if out.Oneway != txn.Oneway {
+				t.Fatalf("oneway flag flipped on re-encode: %v -> %v", txn.Oneway, out.Oneway)
+			}
+		}
+	})
+}
+
+func FuzzDecodeSessionFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSessionFrame(SessionFrame{Session: 1, Code: 3, Payload: []byte("p")}))
+	f.Add(EncodeSessionFrame(SessionFrame{Session: 0xFFFFFFFF, Oneway: true}))
+	f.Add([]byte{0xFF, 0xFE, 'S', '1'})
+	f.Add(EncodeTransaction(Transaction{Service: "window", Code: 2}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr, err := DecodeSessionFrame(data)
+		if err == nil {
+			out, err2 := DecodeSessionFrame(EncodeSessionFrame(fr))
+			if err2 != nil {
+				t.Fatalf("re-encode broke: %v", err2)
+			}
+			if out.Session != fr.Session || out.Code != fr.Code || out.Oneway != fr.Oneway {
+				t.Fatalf("round trip changed frame: %+v -> %+v", fr, out)
 			}
 		}
 	})

@@ -1,0 +1,263 @@
+package binder
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"anception/internal/abi"
+)
+
+func TestOpenSessionAndTransact(t *testing.T) {
+	d := NewDriver()
+	err := d.Register("location", false, func(from abi.Cred, code uint32, data []byte) ([]byte, error) {
+		return []byte(fmt.Sprintf("code=%d len=%d", code, len(data))), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := d.OpenSession("location")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.SessionCount() != 1 {
+		t.Fatalf("SessionCount = %d, want 1", d.SessionCount())
+	}
+	reply, err := d.TransactSession(abi.Cred{UID: abi.UIDAppBase}, sid, 3, []byte("xy"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "code=3 len=2" {
+		t.Fatalf("reply = %q", reply)
+	}
+	total, _ := d.Stats()
+	if total != 1 {
+		t.Fatalf("session transactions must count: total = %d", total)
+	}
+}
+
+func TestOpenSessionUnknownService(t *testing.T) {
+	d := NewDriver()
+	if _, err := d.OpenSession("ghost"); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("err = %v, want ENOENT", err)
+	}
+}
+
+func TestTransactSessionStaleHandle(t *testing.T) {
+	d := NewDriver()
+	if err := d.Register("svc", false, func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := d.OpenSession("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.CloseSession(sid)
+	if d.SessionCount() != 0 {
+		t.Fatalf("SessionCount = %d after close", d.SessionCount())
+	}
+	if _, err := d.TransactSession(abi.Cred{}, sid, 1, nil, false); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("closed session: %v, want ENOENT", err)
+	}
+	// A handle that was never issued is equally dead.
+	if _, err := d.TransactSession(abi.Cred{}, 999, 1, nil, false); !errors.Is(err, abi.ENOENT) {
+		t.Fatalf("never-opened session: %v, want ENOENT", err)
+	}
+	// Closing an unknown id is a no-op, not a panic.
+	d.CloseSession(12345)
+}
+
+func TestTransactSessionOversized(t *testing.T) {
+	d := NewDriver()
+	if err := d.Register("svc", false, func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	sid, err := d.OpenSession("svc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.TransactSession(abi.Cred{}, sid, 1, make([]byte, MaxTransaction+1), false); !errors.Is(err, abi.E2BIG) {
+		t.Fatalf("oversized session txn: %v, want E2BIG", err)
+	}
+}
+
+func TestTransactDecodedOversized(t *testing.T) {
+	d := NewDriver()
+	if err := d.Register("svc", false, func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	txn := Transaction{Service: "svc", Payload: make([]byte, MaxTransaction+1)}
+	if _, err := d.TransactDecoded(abi.Cred{}, txn); !errors.Is(err, abi.E2BIG) {
+		t.Fatalf("oversized decoded txn: %v, want E2BIG", err)
+	}
+}
+
+func TestOnewayEncodeDecodeRoundTrip(t *testing.T) {
+	in := Transaction{Service: "media", Code: 9, Payload: []byte("frame"), Oneway: true}
+	out, err := DecodeTransaction(EncodeTransaction(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Oneway || out.Service != in.Service || out.Code != in.Code || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+	// The synchronous encoding must stay byte-identical to the flat v1
+	// format: no magic prefix.
+	sync := EncodeTransaction(Transaction{Service: "media", Code: 9, Payload: []byte("frame")})
+	if bytes.HasPrefix(sync, onewayMagic[:]) {
+		t.Fatal("sync encoding grew the oneway magic")
+	}
+	if len(sync) != 2+len("media")+4+len("frame") {
+		t.Fatalf("sync encoding is %d bytes, want flat v1 length", len(sync))
+	}
+}
+
+func TestOnewayDiscardsReplyAndError(t *testing.T) {
+	d := NewDriver()
+	calls := 0
+	err := d.Register("svc", false, func(abi.Cred, uint32, []byte) ([]byte, error) {
+		calls++
+		return []byte("ignored"), errors.New("ignored too")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := d.Transact(abi.Cred{}, EncodeTransaction(Transaction{Service: "svc", Oneway: true}))
+	if err != nil || reply != nil {
+		t.Fatalf("oneway returned (%q, %v), want (nil, nil)", reply, err)
+	}
+	if calls != 1 {
+		t.Fatalf("handler ran %d times, want 1", calls)
+	}
+	if d.OnewayCount() != 1 {
+		t.Fatalf("OnewayCount = %d, want 1", d.OnewayCount())
+	}
+}
+
+func TestReadOnlyCodes(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return nil, nil }
+	if err := d.Register("location", false, h, 3, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Register("vold", false, h); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsReadOnly("location", 3) || !d.IsReadOnly("location", 7) {
+		t.Fatal("declared codes must be read-only")
+	}
+	if d.IsReadOnly("location", 4) {
+		t.Fatal("undeclared code must be mutating")
+	}
+	if d.IsReadOnly("vold", 3) {
+		t.Fatal("service without declarations must have no read-only codes")
+	}
+	if d.IsReadOnly("ghost", 3) {
+		t.Fatal("unknown service must not be read-only")
+	}
+}
+
+func TestSessionFrameRoundTrip(t *testing.T) {
+	in := SessionFrame{Session: 41, Code: 3, Payload: []byte("pinned"), Oneway: true}
+	enc := EncodeSessionFrame(in)
+	if !IsSessionFrame(enc) {
+		t.Fatal("encoded frame lost its magic")
+	}
+	out, err := DecodeSessionFrame(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Session != in.Session || out.Code != in.Code || out.Oneway != in.Oneway || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestSessionFrameMalformed(t *testing.T) {
+	if _, err := DecodeSessionFrame([]byte("not a frame")); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("foreign bytes: %v, want EINVAL", err)
+	}
+	truncated := EncodeSessionFrame(SessionFrame{Session: 1})[:6]
+	if _, err := DecodeSessionFrame(truncated); !errors.Is(err, abi.EINVAL) {
+		t.Fatalf("truncated frame: %v, want EINVAL", err)
+	}
+	// A session frame must not be mistaken for a flat transaction: its
+	// 0xFF 0xFE prefix decodes as an impossible name length.
+	if _, err := DecodeTransaction(EncodeSessionFrame(SessionFrame{Session: 1, Payload: []byte("x")})); err == nil {
+		t.Fatal("session frame decoded as a flat transaction")
+	}
+}
+
+// TestDriverChurnRace hammers one driver from concurrent registrars,
+// transactors, session users, and listers. The assertion is the race
+// detector's: run under -race in CI.
+func TestDriverChurnRace(t *testing.T) {
+	d := NewDriver()
+	h := func(abi.Cred, uint32, []byte) ([]byte, error) { return []byte("ok"), nil }
+	if err := d.Register("steady", false, h, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 4
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) { // registrars: new names, plus EEXIST collisions
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = d.Register(fmt.Sprintf("svc-%d-%d", w, i), false, h)
+				_ = d.Register("steady", false, h)
+			}
+		}(w)
+		wg.Add(1)
+		go func(w int) { // transactors: flat, decoded, and oneway dispatch
+			defer wg.Done()
+			cred := abi.Cred{UID: abi.UIDAppBase + w}
+			for i := 0; i < iters; i++ {
+				arg := EncodeTransaction(Transaction{Service: "steady", Code: 1, Oneway: i%2 == 0})
+				if _, err := d.Transact(cred, arg); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+		wg.Add(1)
+		go func() { // session churn: open, transact, close
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				sid, err := d.OpenSession("steady")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := d.TransactSession(abi.Cred{}, sid, 1, nil, false); err != nil {
+					t.Error(err)
+					return
+				}
+				d.CloseSession(sid)
+			}
+		}()
+		wg.Add(1)
+		go func() { // observers
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				_ = d.Services()
+				_, _ = d.Stats()
+				_ = d.SessionCount()
+				_ = d.IsReadOnly("steady", 1)
+				_ = d.OnewayCount()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if d.SessionCount() != 0 {
+		t.Fatalf("session leak: %d live handles after churn", d.SessionCount())
+	}
+	total, _ := d.Stats()
+	if want := workers * iters * 2; total != want {
+		t.Fatalf("transactions = %d, want %d", total, want)
+	}
+}

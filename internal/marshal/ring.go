@@ -84,8 +84,8 @@ type Pending struct {
 	key     int64
 	payload []byte
 	handler GuestHandler
-	// inline marks a grant-call frame that fit the slot's fixed
-	// descriptor area; its reply rides the CQ entry the same way.
+	// inline marks a grant-call or binder-call frame that fit the slot's
+	// fixed descriptor area; its reply rides the CQ entry the same way.
 	inline bool
 	resp   []byte
 	err    error
@@ -284,15 +284,16 @@ func (r *RingChannel) Submit(payload []byte, key int64, handler GuestHandler) (*
 	}
 	s.payload, s.handler, s.key = payload, handler, key
 	s.gen = int(r.gen.Load())
-	s.inline = IsGrantCall(payload) && len(payload) <= RingInlineBytes
+	s.inline = (IsGrantCall(payload) || IsBinderCall(payload)) && len(payload) <= RingInlineBytes
 	s.state.Store(slotQueued)
 	r.submitted.Add(1)
 
 	// The request bytes really traverse the slot's guest-visible frames,
 	// charged per chunk like the synchronous channel — but with the slot
 	// bookkeeping (RingSlotOverhead) in place of a per-call WorldSwitch.
-	// A grant-call descriptor small enough for the slot's fixed SQE area
-	// is covered by the slot write itself and skips the chunk charge.
+	// A grant-call descriptor or binder-call frame small enough for the
+	// slot's fixed SQE area is covered by the slot write itself and
+	// skips the chunk charge.
 	if !s.inline {
 		r.chargeChunks(len(payload), r.model.CopyToGuestPerByte)
 	}

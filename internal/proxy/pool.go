@@ -158,3 +158,18 @@ func shard(key int64, workers int) int {
 	}
 	return int(key % int64(workers))
 }
+
+// KeyForString derives a stable FIFO key from a name (FNV-1a). The binder
+// bridge keys ring submissions by service name so transactions to one
+// service retain submission order while different services overlap, the
+// same way file I/O keys by descriptor.
+func KeyForString(name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	// Fold to a non-negative int64 so shard()'s negation can't overflow
+	// on MinInt64.
+	return int64(h &^ (1 << 63))
+}

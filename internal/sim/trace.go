@@ -37,6 +37,10 @@ const (
 	// (TLB shootdowns), restart-time revoke-all sweeps, and stale-grant
 	// rejections.
 	EvGrant
+	// EvBinderSession marks binder fast-path activity: persistent-session
+	// opens, reply-cache hits and invalidations, and restart-time session
+	// drains.
+	EvBinderSession
 )
 
 // String returns the short label used in trace dumps.
@@ -68,6 +72,8 @@ func (k EventKind) String() string {
 		return "ring"
 	case EvGrant:
 		return "grant"
+	case EvBinderSession:
+		return "bindersession"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

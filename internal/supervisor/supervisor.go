@@ -48,6 +48,15 @@ type GrantRevoker interface {
 	RevokeGrants()
 }
 
+// BinderDrainer is implemented by targets with a binder bridge fast path.
+// After every successful restart the supervisor rolls it to the new boot
+// generation: pinned session handles and cached idempotent replies from
+// the old container are dropped, and in-flight pipelined transactions
+// fail EHOSTDOWN instead of replaying into the fresh guest.
+type BinderDrainer interface {
+	DrainBinder()
+}
+
 // Config tunes the watchdog. Zero values take the documented defaults.
 type Config struct {
 	// Heartbeat is the sim-time probe cadence (default 50 ms).
@@ -255,6 +264,11 @@ func (s *Supervisor) Tick() bool {
 	// are gone with the container; revoke them so stale refs fail fast.
 	if gr, ok := s.target.(GrantRevoker); ok {
 		gr.RevokeGrants()
+	}
+	// And the binder fast path: sessions pinned against the old container
+	// and cached replies it produced must not survive into the new boot.
+	if bd, ok := s.target.(BinderDrainer); ok {
+		bd.DrainBinder()
 	}
 	if trip {
 		s.target.SetDegraded(true)

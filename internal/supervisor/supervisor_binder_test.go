@@ -1,0 +1,98 @@
+package supervisor_test
+
+import (
+	"testing"
+	"time"
+
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// binderTarget is fakeTarget plus the BinderDrainer surface.
+type binderTarget struct {
+	fakeTarget
+	drains int
+}
+
+func (b *binderTarget) DrainBinder() { b.drains++ }
+
+// TestSupervisorDrainsBinderAfterRestart: a target exposing DrainBinder
+// gets it called exactly once per successful restart — and never when the
+// restart itself failed — mirroring the ring and grant hooks.
+func TestSupervisorDrainsBinderAfterRestart(t *testing.T) {
+	bt := &binderTarget{fakeTarget: fakeTarget{healthy: false}}
+	sup := supervisor.New(bt, sim.NewClock(), nil, supervisor.Config{})
+	if sup.Tick() != true {
+		t.Fatal("restart should have recovered the target within the tick")
+	}
+	if bt.restarts != 1 || bt.drains != 1 {
+		t.Fatalf("restarts=%d drains=%d, want 1/1", bt.restarts, bt.drains)
+	}
+
+	broken := &binderTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
+	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
+	sup2.Tick()
+	if broken.drains != 0 {
+		t.Fatalf("failed restart must not drain the binder fast path: %d", broken.drains)
+	}
+}
+
+// TestSupervisedRestartDrainsBinderSessions is the end-to-end drill: panic
+// a container carrying live binder sessions, let the watchdog recover it,
+// and verify the sessions were drained and fresh transactions re-enroll.
+func TestSupervisedRestartDrainsBinderSessions(t *testing.T) {
+	d, err := anception.NewDevice(anception.Options{
+		Mode:             anception.ModeAnception,
+		BinderSessions:   true,
+		BinderReplyCache: true,
+		CallDeadline:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	sup := supervisor.New(d, d.Clock, d.Trace, supervisor.Config{})
+	app, err := d.InstallApp(android.AppSpec{Package: "com.binder.drill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd, err := proc.OpenBinder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := proc.BinderCall(fd, "location", android.CodeGetLocation, []byte("fix")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := d.BinderStats(); st.SessionsOpened != 1 || st.ReplyHits != 1 {
+		t.Fatalf("pre-drill stats = %+v", st)
+	}
+
+	d.InjectGuestPanic("binder drill")
+	if err := sup.RunUntilHealthy(50); err != nil {
+		t.Fatalf("watchdog never recovered: %v", err)
+	}
+	if st := d.BinderStats(); st.DrainedSessions != 1 {
+		t.Fatalf("DrainedSessions = %d after supervised restart, want 1", st.DrainedSessions)
+	}
+
+	// Fresh traffic re-enrolls on the new container, and the pre-panic
+	// reply is not served across the generation roll.
+	if _, err := proc.BinderCall(fd, "location", android.CodeGetLocation, []byte("fix")); err != nil {
+		t.Fatalf("post-recovery call: %v", err)
+	}
+	st := d.BinderStats()
+	if st.SessionsOpened != 2 || st.ReplyHits != 1 {
+		t.Fatalf("post-recovery stats = %+v, want a fresh session and no stale hit", st)
+	}
+	if st.Submitted != st.Completed+st.Failed {
+		t.Fatalf("binder accounting %+v after supervised restart", st)
+	}
+}
