@@ -3,6 +3,7 @@ package main
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"anception/internal/abi"
 	"anception/internal/anception"
@@ -49,6 +50,7 @@ func recovery() error {
 	}
 
 	fmt.Printf("  %-26s %-22s %12s %9s\n", "fault class", "app-visible", "MTTR", "restarts")
+	var coldPanicMTTR time.Duration
 	for _, dr := range drills {
 		d, err := anception.NewDevice(anception.Options{Mode: anception.ModeAnception})
 		if err != nil {
@@ -92,8 +94,111 @@ func recovery() error {
 		}
 		st := sup.Stats()
 		fmt.Printf("  %-26s %-22s %12v %9d\n", dr.name, visible, st.LastMTTR, st.Restarts)
+		if dr.name == "guest kernel panic" {
+			coldPanicMTTR = st.LastMTTR
+		}
 	}
 
+	if err := recoveryRestore(coldPanicMTTR); err != nil {
+		return err
+	}
+
+	return recoveryChaos()
+}
+
+// recoveryRestore runs the snapshot-restore drills against the cold
+// baseline measured above: a panic recovered from a warm checkpoint must
+// land at least 10x below the cold-restart MTTR, and a rotted checkpoint
+// must provably fall back to the cold path (checksum reject, restore
+// failure, then a restart) — never restore corrupt state.
+func recoveryRestore(coldPanicMTTR time.Duration) error {
+	boot := func() (*anception.Device, *supervisor.Injector, *supervisor.Supervisor, *anception.Proc, error) {
+		d, err := anception.NewDevice(anception.Options{
+			Mode:             anception.ModeAnception,
+			SnapshotInterval: time.Millisecond,
+		})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		inj := supervisor.NewInjector(d.Layer.Transport(), sim.NewRNG(7), d.Clock, d.Trace)
+		inj.SetSnapshotCorrupter(d.CorruptSnapshot)
+		d.Layer.SetTransport(inj)
+		sup := supervisor.New(d, d.Clock, d.Trace, supervisor.Config{Channel: inj})
+		app, err := d.InstallApp(android.AppSpec{Package: "com.restoredrill"})
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		proc, err := d.Launch(app)
+		if err != nil {
+			return nil, nil, nil, nil, err
+		}
+		if _, err := proc.Open("warmup.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+			return nil, nil, nil, nil, err
+		}
+		// A healthy tick seals the first checkpoint.
+		if !sup.Tick() {
+			return nil, nil, nil, nil, fmt.Errorf("restore drill: healthy tick failed")
+		}
+		return d, inj, sup, proc, nil
+	}
+
+	fmt.Println("\n  restore path (checkpoint sealed before the fault):")
+
+	// Warm restore: panic recovered from the checkpoint, no cold restart.
+	d, _, sup, _, err := boot()
+	if err != nil {
+		return err
+	}
+	d.InjectGuestPanic("restore drill")
+	if err := sup.RunUntilHealthy(50); err != nil {
+		return fmt.Errorf("restore drill: %w", err)
+	}
+	st := sup.Stats()
+	restoreMTTR := st.LastMTTR
+	fmt.Printf("  %-26s %-22s %12v %9d restores\n", "panic -> snapshot restore", "ok", restoreMTTR, st.Restores)
+	if st.Restores != 1 || st.Restarts != 0 {
+		return fmt.Errorf("restore drill recovered cold: %d restores, %d restarts", st.Restores, st.Restarts)
+	}
+
+	// Corrupt fallback: the rotted image fails its checksum and the
+	// watchdog escalates to a cold restart within the same outage.
+	d, inj, sup, proc, err := boot()
+	if err != nil {
+		return err
+	}
+	inj.InjectNext(supervisor.FaultSnapshotCorrupt)
+	if _, err := proc.Open("carrier.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		return fmt.Errorf("corrupt-fallback carrier call: %w", err)
+	}
+	d.InjectGuestPanic("restore drill")
+	if err := sup.RunUntilHealthy(50); err != nil {
+		return fmt.Errorf("corrupt-fallback drill: %w", err)
+	}
+	st = sup.Stats()
+	snaps := d.SnapshotStats()
+	fmt.Printf("  %-26s %-22s %12v %9d restarts\n", "snapshot-corrupt fallback", "ok", st.LastMTTR, st.Restarts)
+	if st.Restores != 0 {
+		return fmt.Errorf("corrupt checkpoint was restored: %d restores", st.Restores)
+	}
+	if st.RestoreFailures == 0 || st.Restarts == 0 || snaps.ChecksumRejects == 0 {
+		return fmt.Errorf("corrupt fallback not proven: %d restore failures, %d restarts, %d checksum rejects",
+			st.RestoreFailures, st.Restarts, snaps.ChecksumRejects)
+	}
+
+	fmt.Printf("  floor: restore MTTR %v vs cold %v = %.1fx\n",
+		restoreMTTR, coldPanicMTTR, float64(coldPanicMTTR)/float64(restoreMTTR))
+	if coldPanicMTTR <= 0 || restoreMTTR <= 0 {
+		return fmt.Errorf("MTTRs not recorded: restore %v, cold %v", restoreMTTR, coldPanicMTTR)
+	}
+	if restoreMTTR*10 > coldPanicMTTR {
+		return fmt.Errorf("restore MTTR %v not 10x below cold MTTR %v", restoreMTTR, coldPanicMTTR)
+	}
+	return nil
+}
+
+// recoveryChaos runs probabilistic faults under load on one platform,
+// the watchdog keeping the container alive throughout.
+func recoveryChaos() error {
 	// One chaos run on a single platform: probabilistic faults under load,
 	// watchdog keeping the container alive throughout.
 	d, err := anception.NewDevice(anception.Options{Mode: anception.ModeAnception})

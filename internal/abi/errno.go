@@ -52,6 +52,7 @@ const (
 	ENETUNREACH Errno = 101 // network is unreachable
 	ETIMEDOUT   Errno = 110 // connection timed out
 	EHOSTDOWN   Errno = 112 // host is down
+	ESTALE      Errno = 116 // stale file handle
 )
 
 // Error implements the error interface with the strerror text.
@@ -103,4 +104,5 @@ var errnoNames = map[Errno]string{
 	ENETUNREACH: "network is unreachable",
 	ETIMEDOUT:   "connection timed out",
 	EHOSTDOWN:   "host is down",
+	ESTALE:      "stale file handle",
 }

@@ -18,10 +18,11 @@ import (
 // synchronous path slot-for-slot. Ordering: calls on the same guest
 // descriptor share a ring key, so the pool executes them FIFO.
 func (l *Layer) forwardRing(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, args *kernel.Args) kernel.Result {
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
 	}
+	defer l.exitGuestCall()
 	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {
@@ -82,10 +83,11 @@ func (l *Layer) forwardRing(st *layerState, ring marshal.AsyncTransport, t *kern
 // whole batch shares a key (its descriptor), so it stays ordered against
 // the descriptor's single-call traffic.
 func (l *Layer) forwardBatchRing(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return nil, fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)
 	}
+	defer l.exitGuestCall()
 	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {

@@ -49,16 +49,23 @@ type binderReplyKey struct {
 }
 
 // binderReply is one cached reply, pinned to the boot generation it was
-// produced against.
+// produced against. storedAt lets restore-time reconciliation keep
+// replies produced at or before the checkpoint (the service state they
+// reflect is inside the restored image) and drop everything newer.
 type binderReply struct {
-	data []byte
-	gen  int
+	data     []byte
+	gen      int
+	storedAt time.Duration
 }
 
 // binderSession is a pinned guest handle, valid only for its generation.
+// openedAt dates the enrollment for restore-time reconciliation: a
+// session opened at or before the checkpoint has its guest-side state in
+// the restored image and can be re-pinned without a fresh setup charge.
 type binderSession struct {
-	id  uint32
-	gen int
+	id       uint32
+	gen      int
+	openedAt time.Duration
 }
 
 // binderFastPath is the layer's session/cache state. Counters are atomic
@@ -158,7 +165,7 @@ func (fp *binderFastPath) lookupReply(key binderReplyKey) ([]byte, bool) {
 
 // storeReply caches a read-only reply, dropping the whole map if it
 // outgrows its bound.
-func (fp *binderFastPath) storeReply(key binderReplyKey, data []byte, gen int) {
+func (fp *binderFastPath) storeReply(key binderReplyKey, data []byte, gen int, at time.Duration) {
 	fp.mu.Lock()
 	defer fp.mu.Unlock()
 	if gen != fp.gen {
@@ -167,7 +174,7 @@ func (fp *binderFastPath) storeReply(key binderReplyKey, data []byte, gen int) {
 	if len(fp.replies) >= maxBinderReplies {
 		fp.replies = make(map[binderReplyKey]binderReply)
 	}
-	fp.replies[key] = binderReply{data: append([]byte(nil), data...), gen: gen}
+	fp.replies[key] = binderReply{data: append([]byte(nil), data...), gen: gen, storedAt: at}
 	fp.replyStores.Add(1)
 }
 
@@ -213,6 +220,63 @@ func (l *Layer) drainBinder(gen int) {
 		l.trace.Record(sim.EvBinderSession,
 			"drained %d binder sessions and %d cached replies at restart (gen %d)", dropped, replies, gen)
 	}
+}
+
+// reconcileBinder is drainBinder's generation-aware sibling for snapshot
+// restores: the guest that just came up carries every binder enrollment
+// that existed when the checkpoint was taken at takenAt, so sessions
+// opened at or before that moment are re-pinned on the new guest — the
+// OpenSession re-derives the handle id from the restored service state,
+// with NO BinderSessionSetup charge (the enrollment work is inside the
+// image). Sessions opened after the checkpoint, and replies stored after
+// it, reflect state the rewind erased; they drain exactly as a restart
+// would. Returns (sessionsKept, repliesKept).
+func (l *Layer) reconcileBinder(guest *kernel.Kernel, gen int, takenAt time.Duration) (sessionsKept, repliesKept int) {
+	fp := l.binder
+	if fp == nil {
+		return 0, 0
+	}
+	fp.mu.Lock()
+	oldHandles := fp.handles
+	oldReplies := fp.replies
+	fp.handles = make(map[string]binderSession)
+	fp.replies = make(map[binderReplyKey]binderReply)
+	fp.gen = gen
+	dropped := 0
+	for service, h := range oldHandles {
+		if h.openedAt > takenAt {
+			dropped++
+			continue
+		}
+		sid, err := guest.Binder().OpenSession(service)
+		if err != nil {
+			// The restored image does not know this service after all
+			// (e.g. it was registered post-checkpoint under a name that
+			// predates it); treat like a drained session.
+			dropped++
+			continue
+		}
+		fp.handles[service] = binderSession{id: sid, gen: gen, openedAt: h.openedAt}
+		sessionsKept++
+	}
+	droppedReplies := 0
+	for k, r := range oldReplies {
+		if r.storedAt > takenAt {
+			droppedReplies++
+			continue
+		}
+		r.gen = gen
+		fp.replies[k] = r
+		repliesKept++
+	}
+	fp.mu.Unlock()
+	fp.drainedSessions.Add(int64(dropped))
+	if l.trace != nil {
+		l.trace.Record(sim.EvBinderSession,
+			"restore-reconcile: %d sessions re-pinned, %d replies kept; dropped %d sessions, %d replies (gen %d)",
+			sessionsKept, repliesKept, dropped, droppedReplies, gen)
+	}
+	return sessionsKept, repliesKept
 }
 
 // BinderStats snapshots the fast-path counters (zero value when the fast
@@ -282,7 +346,7 @@ func (l *Layer) bridgeBinder(st *layerState, t *kernel.Task, args *kernel.Args, 
 		res = l.bridgeBinderSync(st, t, args, txn)
 	}
 	if readOnly && res.Err == nil {
-		fp.storeReply(replyKeyFor(txn), res.Data, gen)
+		fp.storeReply(replyKeyFor(txn), res.Data, gen, l.clock.Now())
 	}
 	return res
 }
@@ -313,10 +377,11 @@ func (l *Layer) bridgeBinderSync(st *layerState, t *kernel.Task, args *kernel.Ar
 // degraded mode like the rest of the redirection machinery.
 func (l *Layer) bridgeBinderSession(st *layerState, t *kernel.Task, args *kernel.Args, txn binder.Transaction) (kernel.Result, int) {
 	fp := l.binder
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}, 0
 	}
+	defer l.exitGuestCall()
 	fp.submitted.Add(1)
 	sid, gen, setup, err := l.ensureBinderSession(st, t, txn.Service)
 	if err != nil {
@@ -396,7 +461,7 @@ func (l *Layer) ensureBinderSession(st *layerState, t *kernel.Task, service stri
 	// Only pin the handle if no restart rolled the generation while we
 	// were opening; a stale handle must never survive into the new boot.
 	if fp.gen == gen {
-		fp.handles[service] = binderSession{id: sid, gen: gen}
+		fp.handles[service] = binderSession{id: sid, gen: gen, openedAt: l.clock.Now()}
 	}
 	fp.mu.Unlock()
 	return sid, gen, true, nil

@@ -189,6 +189,63 @@ func (l *Layer) invalidateRedirCache(gen int) {
 	}
 }
 
+// rekeyRedirCache is invalidateRedirCache's generation-aware sibling for
+// snapshot restores. The cache mirrors the host-persistent filesystem the
+// guest serves — state a restore does NOT rewind — so clean pages and
+// attribute entries stay correct and are re-tagged to the new boot
+// generation instead of dropped; the fdCache map is keyed by host
+// *kernel.FDEntry, which survives the swap, and a stale fc.guestFD
+// surfaces EBADF on next forwarded use exactly like after a cold restart.
+// Buffered dirty extents were never written to the guest and die with it
+// (crash semantics), taking the descriptor's size knowledge with them.
+// Returns (pagesKept, attrsKept, dirtyDropped).
+func (l *Layer) rekeyRedirCache(gen int) (pagesKept, attrsKept, dirtyDropped int) {
+	c := l.cache
+	if c == nil {
+		return 0, 0, 0
+	}
+	c.mu.Lock()
+	oldGen := c.gen
+	c.gen = gen
+	for _, fc := range c.fds {
+		if len(fc.dirty) > 0 {
+			dirtyDropped += len(fc.dirty)
+			fc.dirty = nil
+			fc.dirtyBytes = 0
+			fc.dirtySince = 0
+			fc.sizeValid = false
+		}
+		for idx, el := range fc.pages {
+			cp := el.Value.(*cachedPage)
+			if cp.gen == oldGen {
+				cp.gen = gen
+				pagesKept++
+				continue
+			}
+			c.lru.Remove(el)
+			c.bytes -= cachePageSize
+			delete(fc.pages, idx)
+		}
+	}
+	for k, ent := range c.attrs {
+		if ent.gen == oldGen {
+			ent.gen = gen
+			c.attrs[k] = ent
+			attrsKept++
+			continue
+		}
+		delete(c.attrs, k)
+	}
+	c.stats.Invalidations++
+	c.mu.Unlock()
+	if l.trace != nil {
+		l.trace.Record(sim.EvCache,
+			"redirection cache rekeyed to generation %d: %d pages and %d attrs kept, %d dirty extents dropped",
+			gen, pagesKept, attrsKept, dirtyDropped)
+	}
+	return pagesKept, attrsKept, dirtyDropped
+}
+
 // fdLocked returns (creating if needed) the per-descriptor state.
 func (c *redirCache) fdLocked(e *kernel.FDEntry) *fdCache {
 	if fc, ok := c.fds[e]; ok {

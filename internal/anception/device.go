@@ -142,6 +142,18 @@ type Options struct {
 	// restart, and bypassed in degraded mode. Off by default.
 	BinderReplyCache bool
 
+	// SnapshotInterval > 0 enables hypervisor checkpoints (DESIGN.md §13):
+	// the supervisor seals a copy-on-write snapshot of the healthy CVM at
+	// most this often (simulated time), and its watchdog restores from the
+	// latest verified checkpoint instead of cold-restarting — near-zero
+	// MTTR, with warm state provably unchanged since the checkpoint
+	// surviving the swap. Off by default.
+	SnapshotInterval time.Duration
+	// SnapshotMaxAge bounds how stale a checkpoint may be and still be
+	// restorable; an over-age checkpoint is refused (ESTALE) and recovery
+	// falls back to a cold restart. Zero means no age limit.
+	SnapshotMaxAge time.Duration
+
 	// Vulns selects the historical bugs present on the platform.
 	Vulns android.VulnProfile
 
@@ -195,6 +207,10 @@ type Device struct {
 	// grants is set when Options.GrantThreshold > 0: the zero-copy
 	// grant table shared by the layer and the guest side.
 	grants *hypervisor.GrantTable
+
+	// snapshots is set when Options.SnapshotInterval > 0: the checkpoint
+	// policy feeding the supervisor's restore-first recovery path.
+	snapshots *hypervisor.Snapshotter
 
 	PM *android.PackageManager
 
@@ -353,6 +369,13 @@ func (d *Device) bootAnception() error {
 		d.grants = hypervisor.NewGrantTable(cvm)
 	}
 
+	if d.Opts.SnapshotInterval > 0 {
+		d.snapshots = hypervisor.NewSnapshotter(cvm, hypervisor.SnapshotterConfig{
+			Interval: d.Opts.SnapshotInterval,
+			MaxAge:   d.Opts.SnapshotMaxAge,
+		})
+	}
+
 	layer, err := NewLayer(LayerConfig{
 		Host:         host,
 		Guest:        guest,
@@ -444,27 +467,173 @@ func (d *Device) RestartCVM() error {
 	}
 
 	// Boot a fresh guest kernel on the persistent container filesystem.
-	guestFS := d.Guest.FS()
-	guest, err := d.newKernelWithFS("cvm", guestFS, d.CVM.GuestAllocator(), d.minAddr())
+	guest, svcs, proxies, err := d.rebuildGuest()
 	if err != nil {
 		return err
 	}
-	svcs, err := android.Boot(guest, android.BootConfig{
-		Headless: !d.Opts.FullCVMStack,
-		Vulns:    d.Opts.Vulns,
-	})
-	if err != nil {
-		return err
-	}
-	proxies := proxy.NewManager(guest, d.Clock, d.Model, d.Trace)
-	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
-
 	d.Guest, d.GuestServices, d.Proxies = guest, svcs, proxies
 	d.Layer.ReplaceGuest(guest, proxies)
 	if d.Trace != nil {
 		d.Trace.Record(sim.EvLifecycle, "cvm restarted: fresh guest kernel, %d services", len(svcs.Names()))
 	}
 	return nil
+}
+
+// Snapshots returns the device's snapshotter (nil when
+// Options.SnapshotInterval == 0). Exposed for tests and tooling.
+func (d *Device) Snapshots() *hypervisor.Snapshotter {
+	return d.snapshots
+}
+
+// SnapshotStats snapshots the checkpoint/restore counters (zero value
+// when snapshots are disabled).
+func (d *Device) SnapshotStats() hypervisor.SnapshotStats {
+	if d.snapshots == nil {
+		return hypervisor.SnapshotStats{}
+	}
+	return d.snapshots.Stats()
+}
+
+// Checkpoint seals a checkpoint of the container right now, regardless of
+// the interval. Returns false when snapshots are disabled.
+func (d *Device) Checkpoint() bool {
+	if d.snapshots == nil || d.Opts.Mode != ModeAnception {
+		return false
+	}
+	d.snapshots.Checkpoint()
+	return true
+}
+
+// MaybeCheckpoint satisfies the supervisor's Checkpointer hook: called at
+// the end of each healthy probe, it seals a checkpoint if the configured
+// interval has passed. No-op (false) when snapshots are disabled.
+func (d *Device) MaybeCheckpoint() bool {
+	if d.snapshots == nil || d.Opts.Mode != ModeAnception {
+		return false
+	}
+	return d.snapshots.MaybeCheckpoint()
+}
+
+// SnapshotUsable is the first half of the supervisor's SnapshotRestorer
+// interface: it reports whether a restore could be attempted right now.
+func (d *Device) SnapshotUsable() bool {
+	return d.snapshots != nil && d.Opts.Mode == ModeAnception && d.snapshots.Usable()
+}
+
+// CorruptSnapshot rots the latest checkpoint image in place (fault
+// drills); the next restore attempt fails its checksum and the watchdog
+// falls back to a cold restart. Wire it to the injector with
+// Injector.SetSnapshotCorrupter(dev.CorruptSnapshot).
+func (d *Device) CorruptSnapshot() {
+	if d.snapshots != nil {
+		d.snapshots.Corrupt()
+	}
+}
+
+// RestoreFromSnapshot is the second half of the supervisor's
+// SnapshotRestorer interface: rewind the container to the latest verified
+// checkpoint instead of cold-restarting it. The old guest is taken down,
+// the CVM's memory image is rewritten copy-on-write (only frames dirtied
+// since the checkpoint), and a guest kernel is brought up over the
+// restored state. Warm state provably unchanged since the checkpoint —
+// clean cache pages, pre-checkpoint binder sessions and replies,
+// pre-checkpoint grants — survives via the layer's generation-aware
+// reconciliation; everything newer drains exactly as a restart would.
+// On any failure (checksum mismatch, staleness, missing image) the
+// checkpoint is invalidated and the error returned, so the watchdog falls
+// back to the cold path.
+func (d *Device) RestoreFromSnapshot() error {
+	if d.Opts.Mode != ModeAnception {
+		return fmt.Errorf("restore from snapshot: not an anception platform: %w", abi.EINVAL)
+	}
+	if d.snapshots == nil {
+		return fmt.Errorf("restore from snapshot: snapshots disabled: %w", abi.ENOENT)
+	}
+	snap := d.snapshots.Latest()
+	if snap == nil {
+		return fmt.Errorf("restore from snapshot: no checkpoint: %w", abi.ENOENT)
+	}
+	// Capture the checkpoint moment before Restore consumes the image:
+	// it is the reconciliation watermark for warm-state survival.
+	takenAt := snap.TakenAt
+	d.Guest.Panic("snapshot restore")
+	if err := d.snapshots.Restore(); err != nil {
+		return err
+	}
+	guest, svcs, proxies, err := d.rebuildGuest()
+	if err != nil {
+		return err
+	}
+	d.Guest, d.GuestServices, d.Proxies = guest, svcs, proxies
+	d.Layer.RestoreGuest(guest, proxies, takenAt)
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvLifecycle, "cvm restored from checkpoint taken at %v (gen %d)", takenAt, d.CVM.Generation())
+	}
+	return nil
+}
+
+// LiveUpgrade swaps the guest under load: seal a checkpoint of the
+// running container, gate new submissions (EAGAIN, retryable), drain
+// every in-flight redirected call and ring slot gracefully — never
+// EHOSTDOWN — then bring up the replacement guest over the restored
+// state and reopen the gate. Essentially all warm state survives, since
+// the checkpoint is taken at the moment of the swap.
+func (d *Device) LiveUpgrade() error {
+	if d.Opts.Mode != ModeAnception {
+		return fmt.Errorf("live upgrade: not an anception platform: %w", abi.EINVAL)
+	}
+	if d.snapshots == nil {
+		return fmt.Errorf("live upgrade: snapshots disabled: %w", abi.ENOENT)
+	}
+	snap := d.snapshots.Checkpoint()
+	takenAt := snap.TakenAt
+
+	// Quiesce: gate first (new arrivals fail EAGAIN and retry), then wait
+	// for in-flight calls to drain — the layer barrier covers every
+	// guest-touching span, the ring barrier covers detached oneway slots.
+	d.SetDegraded(true)
+	d.Layer.QuiesceGuestCalls()
+	if d.ring != nil {
+		d.ring.Quiesce()
+	}
+
+	d.Guest.Panic("live upgrade")
+	if err := d.snapshots.Restore(); err != nil {
+		d.SetDegraded(false)
+		return fmt.Errorf("live upgrade: %w", err)
+	}
+	guest, svcs, proxies, err := d.rebuildGuest()
+	if err != nil {
+		d.SetDegraded(false)
+		return fmt.Errorf("live upgrade: %w", err)
+	}
+	d.Guest, d.GuestServices, d.Proxies = guest, svcs, proxies
+	d.Layer.UpgradeGuest(guest, proxies, takenAt)
+	d.SetDegraded(false)
+	if d.Trace != nil {
+		d.Trace.Record(sim.EvLifecycle, "live upgrade complete (gen %d)", d.CVM.Generation())
+	}
+	return d.Probe()
+}
+
+// rebuildGuest boots a fresh guest kernel + services on the container's
+// persistent filesystem with a fresh proxy manager — the common tail of
+// RestartCVM, RestoreFromSnapshot, and LiveUpgrade.
+func (d *Device) rebuildGuest() (*kernel.Kernel, *android.Services, *proxy.Manager, error) {
+	guest, err := d.newKernelWithFS("cvm", d.Guest.FS(), d.CVM.GuestAllocator(), d.minAddr())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	svcs, err := android.Boot(guest, android.BootConfig{
+		Headless: !d.Opts.FullCVMStack,
+		Vulns:    d.Opts.Vulns,
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	proxies := proxy.NewManager(guest, d.Clock, d.Model, d.Trace)
+	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
+	return guest, svcs, proxies, nil
 }
 
 // DrainRing re-arms the async redirection ring to the CVM's current boot

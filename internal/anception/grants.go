@@ -213,10 +213,11 @@ func (l *Layer) forwardGrantFD(st *layerState, t *kernel.Task, e *kernel.FDEntry
 // carries only the return count. The grant is revoked (one batched TLB
 // shootdown) when the call completes, success or not.
 func (l *Layer) forwardGrant(st *layerState, t *kernel.Task, args *kernel.Args) kernel.Result {
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
 	}
+	defer l.exitGuestCall()
 	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {

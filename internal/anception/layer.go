@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"path"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,13 @@ type Layer struct {
 	// copy-on-write under mu, so readers always see a consistent tuple.
 	state atomic.Pointer[layerState]
 
+	// guestCalls counts redirected calls currently inside a guest-touching
+	// span (transport round-trip, ring submit/wait, grant forward, binder
+	// session dispatch). It is the live-upgrade quiesce barrier: with
+	// degraded mode gating new entries, QuiesceGuestCalls waits for this
+	// to reach zero before the guest is swapped under load.
+	guestCalls atomic.Int64
+
 	counters layerCounters
 
 	// mu serializes state writers and guards mmapBindings; it is never
@@ -93,6 +101,15 @@ type layerCounters struct {
 	grantCalls       atomic.Int64
 	grantBytes       atomic.Int64
 	grantCacheBypass atomic.Int64
+
+	restores       atomic.Int64
+	upgrades       atomic.Int64
+	cachePagesKept atomic.Int64
+	attrsKept      atomic.Int64
+	dirtyDropped   atomic.Int64
+	sessionsKept   atomic.Int64
+	repliesKept    atomic.Int64
+	grantsKept     atomic.Int64
 }
 
 type mmapBinding struct {
@@ -132,6 +149,34 @@ type LayerStats struct {
 	// transactions, reply-cache hits, restart drains — zero when both
 	// Options.BinderSessions and BinderReplyCache are off.
 	Binder BinderStats
+	// Restore holds the snapshot-restore and live-upgrade counters.
+	Restore RestoreStats
+}
+
+// RestoreStats counts snapshot-restore and live-upgrade recoveries plus
+// the warm state that survived each generation-aware reconciliation.
+// Everything the Kept counters do not cover drains exactly as a cold
+// restart would.
+type RestoreStats struct {
+	// Restores counts guest swaps after snapshot restores (RestoreGuest);
+	// Upgrades counts live guest swaps under load (UpgradeGuest). Neither
+	// increments Restarts.
+	Restores int
+	Upgrades int
+	// CachePagesKept / AttrsKept count redirection-cache entries re-tagged
+	// to the new boot generation (clean pages mirror the persistent
+	// filesystem, which a restore does not rewind). DirtyDropped counts
+	// buffered write extents discarded with crash semantics.
+	CachePagesKept int
+	AttrsKept      int
+	DirtyDropped   int
+	// SessionsKept / RepliesKept count binder sessions re-pinned and
+	// cached replies re-tagged because they provably predate the
+	// checkpoint; GrantsKept counts grant entries that survived because
+	// their guest-side PTEs are inside the restored image.
+	SessionsKept int
+	RepliesKept  int
+	GrantsKept   int
 }
 
 // DefaultCallDeadline bounds one redirected round-trip in sim time. It is
@@ -296,6 +341,118 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 	}
 }
 
+// enterGuestCall registers one container-bound call against the
+// live-upgrade quiesce barrier and checks the fail-fast gate. It returns
+// false — and the caller must fail with EAGAIN without touching the guest
+// — when degraded mode is on (breaker open, or an upgrade gating
+// submissions). The increment-then-recheck order pairs Dekker-style with
+// SetDegraded-then-QuiesceGuestCalls on the quiescing side: once the gate
+// is visible, a concurrent call either observed it here (and backed out)
+// or its registration is visible to the quiescer, so no call can slip
+// through unseen while the guest is being swapped.
+func (l *Layer) enterGuestCall(st *layerState) bool {
+	l.guestCalls.Add(1)
+	if st.degraded || l.currentState().degraded {
+		l.guestCalls.Add(-1)
+		return false
+	}
+	return true
+}
+
+// exitGuestCall balances a successful enterGuestCall.
+func (l *Layer) exitGuestCall() { l.guestCalls.Add(-1) }
+
+// QuiesceGuestCalls blocks until no redirected call is touching the
+// container. The caller must gate new submissions first (SetDegraded(true))
+// or this may never terminate. In-flight calls drain to completion —
+// EAGAIN-retry for new arrivals, never EHOSTDOWN for in-flight ones —
+// which is the graceful half of the live-upgrade contract.
+func (l *Layer) QuiesceGuestCalls() {
+	for l.guestCalls.Load() > 0 {
+		runtime.Gosched()
+	}
+}
+
+// RestoreGuest swaps in the guest rebuilt over a snapshot restore taken at
+// takenAt. Unlike ReplaceGuest's wholesale drains, warm state provably
+// unchanged since the checkpoint survives, generation-aware:
+//
+//   - redirection cache: clean pages and path attributes are re-tagged to
+//     the new boot generation (they mirror the persistent filesystem,
+//     which the restore does not rewind); buffered dirty extents are
+//     dropped with crash semantics.
+//   - binder fast path: sessions opened and replies stored at or before
+//     takenAt are re-pinned/re-tagged (their guest-side state is inside
+//     the restored image); later ones drain as a restart would.
+//   - grants: entries issued at or before takenAt survive at their
+//     original generation so the owning call's deferred revoke retires
+//     them; later entries are swept.
+//   - ring: re-armed to the new generation exactly as after a restart —
+//     slots in flight against the crashed guest still fail EHOSTDOWN.
+func (l *Layer) RestoreGuest(guest *kernel.Kernel, proxies *proxy.Manager, takenAt time.Duration) {
+	l.reconcileWarmState(guest, proxies, takenAt, false)
+}
+
+// UpgradeGuest swaps in a replacement guest under load (live CVM
+// upgrade). Callers must have gated and quiesced first (SetDegraded,
+// QuiesceGuestCalls, ring Quiesce); with takenAt the moment of the
+// pre-swap checkpoint, essentially all warm state survives.
+func (l *Layer) UpgradeGuest(guest *kernel.Kernel, proxies *proxy.Manager, takenAt time.Duration) {
+	l.reconcileWarmState(guest, proxies, takenAt, true)
+}
+
+func (l *Layer) reconcileWarmState(guest *kernel.Kernel, proxies *proxy.Manager, takenAt time.Duration, upgrade bool) {
+	l.mutateState(func(s *layerState) {
+		s.guest = guest
+		s.proxies = proxies
+	})
+	// mmap bindings reference guest descriptors of the old proxy set; like
+	// any post-restart remote descriptor they surface EBADF on next use.
+	l.mu.Lock()
+	l.mmapBindings = make(map[int]map[uint64]mmapBinding)
+	l.mu.Unlock()
+	gen := 1
+	if l.cvm != nil {
+		gen = l.cvm.Generation()
+	}
+	if upgrade {
+		l.counters.upgrades.Add(1)
+	} else {
+		l.counters.restores.Add(1)
+	}
+	pagesKept, attrsKept, dirtyDropped := l.rekeyRedirCache(gen)
+	sessionsKept, repliesKept := l.reconcileBinder(guest, gen, takenAt)
+	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
+		ring.Rearm(gen)
+	}
+	grantsKept := l.reconcileGrants(takenAt)
+	l.counters.cachePagesKept.Add(int64(pagesKept))
+	l.counters.attrsKept.Add(int64(attrsKept))
+	l.counters.dirtyDropped.Add(int64(dirtyDropped))
+	l.counters.sessionsKept.Add(int64(sessionsKept))
+	l.counters.repliesKept.Add(int64(repliesKept))
+	l.counters.grantsKept.Add(int64(grantsKept))
+	if l.trace != nil {
+		what := "snapshot restore"
+		if upgrade {
+			what = "live upgrade"
+		}
+		l.trace.Record(sim.EvSnapshot,
+			"guest swapped (%s, gen %d): kept %d cache pages, %d attrs, %d sessions, %d replies, %d grants; dropped %d dirty extents",
+			what, gen, pagesKept, attrsKept, sessionsKept, repliesKept, grantsKept, dirtyDropped)
+	}
+}
+
+// reconcileGrants is the grant half of the warm-state reconciliation.
+func (l *Layer) reconcileGrants(takenAt time.Duration) int {
+	if l.grants == nil {
+		return 0
+	}
+	kept, _ := l.grants.table.ReconcileRestore(takenAt)
+	l.grants.clearLive()
+	return kept
+}
+
 // Transport returns the current data-channel transport.
 func (l *Layer) Transport() marshal.Transport { return l.currentState().transport }
 
@@ -398,6 +555,16 @@ func (l *Layer) Stats() LayerStats {
 	}
 	s.Grants = l.GrantStats()
 	s.Binder = l.BinderStats()
+	s.Restore = RestoreStats{
+		Restores:       int(l.counters.restores.Load()),
+		Upgrades:       int(l.counters.upgrades.Load()),
+		CachePagesKept: int(l.counters.cachePagesKept.Load()),
+		AttrsKept:      int(l.counters.attrsKept.Load()),
+		DirtyDropped:   int(l.counters.dirtyDropped.Load()),
+		SessionsKept:   int(l.counters.sessionsKept.Load()),
+		RepliesKept:    int(l.counters.repliesKept.Load()),
+		GrantsKept:     int(l.counters.grantsKept.Load()),
+	}
 	return s
 }
 
@@ -798,10 +965,11 @@ func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) ker
 	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
 		return l.forwardRing(st, ring, t, args)
 	}
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
 	}
+	defer l.exitGuestCall()
 	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {
@@ -866,10 +1034,11 @@ func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Arg
 	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
 		return l.forwardBatchRing(st, ring, t, calls)
 	}
-	if st.degraded {
+	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return nil, fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)
 	}
+	defer l.exitGuestCall()
 	p, err := st.proxies.Ensure(t)
 	if err != nil {
 		if errors.Is(err, abi.EHOSTDOWN) {

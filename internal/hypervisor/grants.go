@@ -3,6 +3,7 @@ package hypervisor
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"anception/internal/abi"
 	"anception/internal/sim"
@@ -29,8 +30,12 @@ type GrantStats struct {
 	Entries int
 	// Revokes counts batched revoke operations (one TLB shootdown each).
 	Revokes int
-	// RevokedByRestart counts entries dropped by RevokeAll sweeps.
+	// RevokedByRestart counts entries dropped by RevokeAll sweeps and by
+	// the post-checkpoint half of restore-time reconciliation.
 	RevokedByRestart int
+	// KeptByRestore counts entries that survived a snapshot restore
+	// because they were provably issued before the checkpoint was taken.
+	KeptByRestore int
 	// StaleRejected counts Resolve calls that named a grant from an
 	// earlier boot generation.
 	StaleRejected int
@@ -45,6 +50,11 @@ type grantEntry struct {
 	buf      []byte
 	writable bool
 	gen      int
+	// issuedAt is the simulated time the grant was mapped; restore-time
+	// reconciliation keeps entries issued at or before the checkpoint
+	// (their guest-side PTEs are inside the restored image) and sweeps
+	// everything newer.
+	issuedAt time.Duration
 }
 
 // GrantTable is the page-flipping side channel of the data path (the
@@ -82,12 +92,13 @@ func (g *GrantTable) GrantBatch(bufs [][]byte, writable bool) []GrantRef {
 	gen := g.cvm.Generation()
 	g.cvm.clock.Advance(g.cvm.model.GrantMapCost)
 	refs := make([]GrantRef, len(bufs))
+	now := g.cvm.clock.Now()
 	g.mu.Lock()
 	g.stats.Maps++
 	for i, buf := range bufs {
 		g.next++
 		id := g.next
-		g.slots[id] = &grantEntry{buf: buf, writable: writable, gen: gen}
+		g.slots[id] = &grantEntry{buf: buf, writable: writable, gen: gen, issuedAt: now}
 		refs[i] = GrantRef{ID: id, Gen: uint32(gen), Len: uint32(len(buf))}
 		g.stats.Entries++
 		g.stats.BytesGranted += int64(len(buf))
@@ -161,6 +172,38 @@ func (g *GrantTable) RevokeAll() int {
 		g.cvm.trace.Record(sim.EvGrant, "revoke-all: %d live grant(s) swept (boot generation %d)", n, g.cvm.Generation())
 	}
 	return n
+}
+
+// ReconcileRestore is the grant half of restoring a CVM from a snapshot
+// taken at takenAt. Entries issued at or before the checkpoint survive:
+// their guest-side PTEs are part of the restored image, so tearing them
+// down would leave the restored guest holding dangling mappings. They keep
+// their ORIGINAL generation tag — the owning call's deferred RevokeBatch
+// matches refs by (id, gen) and must still retire them, while any stale
+// in-flight Resolve from before the restore still fails EHOSTDOWN against
+// the bumped generation. Entries issued after the checkpoint have no PTEs
+// in the restored image and are swept like a restart would. One TLB
+// shootdown covers the sweep. Returns (kept, swept).
+func (g *GrantTable) ReconcileRestore(takenAt time.Duration) (kept, swept int) {
+	g.cvm.clock.Advance(g.cvm.model.GrantUnmapTLBShootdown)
+	g.mu.Lock()
+	for id, e := range g.slots {
+		if e.issuedAt <= takenAt {
+			kept++
+			continue
+		}
+		delete(g.slots, id)
+		swept++
+	}
+	g.stats.Revokes++
+	g.stats.RevokedByRestart += swept
+	g.stats.KeptByRestore += kept
+	g.stats.Active = len(g.slots)
+	g.mu.Unlock()
+	if g.cvm.trace != nil {
+		g.cvm.trace.Record(sim.EvGrant, "restore-reconcile: %d grant(s) kept (pre-checkpoint), %d swept", kept, swept)
+	}
+	return kept, swept
 }
 
 // Active reports the number of live entries.

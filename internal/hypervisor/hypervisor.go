@@ -38,7 +38,8 @@ type CVM struct {
 	channelPages  []kernel.FrameID
 	remapped      bool
 	// generation counts boots of this container: 1 after Launch, +1 per
-	// Relaunch. Recovery tooling reports it as the restart count.
+	// successful Relaunch or snapshot restore. Recovery tooling reports it
+	// as the restart count.
 	generation int
 }
 
@@ -103,17 +104,25 @@ func Launch(phys *kernel.Physical, cfg Config) (*CVM, error) {
 // caller boots a fresh guest kernel on top. Used after a container crash
 // ("such attacks are likely to be noticed quickly", Section II — a
 // crashed CVM is simply restarted).
+//
+// Relaunch commits atomically: the replacement channel is allocated in
+// full before the channel pages, remap flag, and generation bump are
+// installed together. A mid-relaunch channel-page allocation failure
+// therefore leaves the generation unchanged and the channel consistently
+// torn down (the wipe killed it), never a generation-bumped container
+// with remapped=false — the watchdog's retry relaunches from a blank but
+// consistent container.
 func (c *CVM) Relaunch() error {
 	c.phys.ResetRegion(c.region)
 	c.mu.Lock()
 	n := c.nChannel
 	c.channelPages = nil
 	c.remapped = false
-	c.generation++
 	c.mu.Unlock()
+	var pages []kernel.FrameID
 	if n > 0 {
 		alloc := c.phys.NewAllocator("cvm-channel", c.region)
-		pages := make([]kernel.FrameID, 0, n)
+		pages = make([]kernel.FrameID, 0, n)
 		for i := 0; i < n; i++ {
 			f, err := alloc.Alloc(-1)
 			if err != nil {
@@ -122,11 +131,12 @@ func (c *CVM) Relaunch() error {
 			pages = append(pages, f)
 		}
 		c.clock.Advance(time.Duration(n) * c.model.PageRemap)
-		c.mu.Lock()
-		c.channelPages = pages
-		c.remapped = true
-		c.mu.Unlock()
 	}
+	c.mu.Lock()
+	c.channelPages = pages
+	c.remapped = n > 0
+	c.generation++
+	c.mu.Unlock()
 	if c.trace != nil {
 		c.trace.Record(sim.EvLifecycle, "cvm relaunched: %d frames wiped", c.region.Frames())
 	}

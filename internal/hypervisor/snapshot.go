@@ -1,0 +1,528 @@
+package hypervisor
+
+// Snapshot/restore: periodic copy-on-write checkpoints of a healthy CVM
+// and a warm restore path that rewinds the container to the last checkpoint
+// instead of cold-rebooting it. The paper's recovery story ("such attacks
+// are likely to be noticed quickly ... a crashed CVM is simply restarted",
+// Section II) leaves MTTR bounded below by a full guest reboot plus the
+// watchdog's backoff; checkpointing a known-good image lets the supervisor
+// rewind in microseconds and is the substrate for live CVM upgrades.
+//
+// Dirty tracking is frame-level and shadow-free: kernel.Physical keeps a
+// per-frame mutation counter, the checkpoint records the version vector of
+// the guest region, and both the checkpoint cost (frames copied since the
+// previous checkpoint) and the restore cost (frames that diverged since
+// capture) scale with the number of dirty frames, not the region size.
+//
+// The checkpoint image is a self-describing byte encoding sealed with an
+// FNV-64a checksum so that a corrupted image is detected at restore time
+// and the supervisor provably falls back to a cold restart. The decoder is
+// hardened against malformed input (fuzzed like the scatter-gather
+// decoder): every length is bounds-checked before allocation and trailing
+// garbage is rejected.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// snapshotMagic brands a checkpoint image ("Anception SNaPshot").
+var snapshotMagic = []byte{'A', 'S', 'N', 'P'}
+
+// snapshotVersion is the image format version.
+const snapshotVersion = 1
+
+// Decoder hardening bounds. A region is at most a few hundred MB of 4 KiB
+// frames; anything claiming more is malformed, not big.
+const (
+	maxSnapshotFrames     = 1 << 20 // 4 GiB of guest memory
+	maxSnapshotKernelName = 256
+)
+
+// Snapshot is one sealed checkpoint of a healthy container: the encoded
+// image plus the frame-version baseline captured alongside it. The version
+// vector lives outside the checksummed image deliberately — it indexes the
+// host's dirty-tracking bookkeeping, not guest state, and corrupting it
+// can only cause extra frame rewrites, never a wrong restore.
+type Snapshot struct {
+	// Generation is the boot generation the checkpoint was taken at. A
+	// restore requires the container to still be on this generation;
+	// anything else means a cold reboot already happened and the image is
+	// stale (ESTALE).
+	Generation int
+	// TakenAt is the simulated time of capture, for staleness policy.
+	TakenAt time.Duration
+	// Image is the encoded, checksummed checkpoint.
+	Image []byte
+	// versions is the per-frame version baseline at capture, indexed by
+	// region offset; restore rewrites only frames whose counter moved.
+	versions []uint64
+}
+
+// snapshotImage is the decoded form of a checkpoint image: dense per-frame
+// owner/content vectors ready for kernel.(*Physical).RestoreRegion.
+type snapshotImage struct {
+	Generation  int
+	TakenAt     time.Duration
+	RegionStart kernel.FrameID
+	NFrames     int
+	Channel     []kernel.FrameID
+	Owners      []kernel.FrameOwner
+	Datas       [][]byte
+}
+
+// encodeSnapshotImage seals a captured region state into the image format.
+// Frames in the default post-reset state (guest-kernel-owned, never
+// written) are elided; the decoder re-expands them, so image size scales
+// with the guest's touched footprint.
+func encodeSnapshotImage(gen int, takenAt time.Duration, region kernel.Region,
+	channel []kernel.FrameID, owners []kernel.FrameOwner, datas [][]byte) []byte {
+	buf := append([]byte(nil), snapshotMagic...)
+	buf = append(buf, snapshotVersion)
+	buf = binary.AppendUvarint(buf, uint64(gen))
+	buf = binary.AppendUvarint(buf, uint64(takenAt))
+	buf = binary.AppendUvarint(buf, uint64(region.Start))
+	buf = binary.AppendUvarint(buf, uint64(region.Frames()))
+	buf = binary.AppendUvarint(buf, uint64(len(channel)))
+	for _, f := range channel {
+		buf = binary.AppendUvarint(buf, uint64(f))
+	}
+	// Sparse frame records: only frames that differ from the post-reset
+	// default (guest-kernel owner, nil contents).
+	nRecords := 0
+	for i := range owners {
+		if !defaultFrameState(owners[i], datas[i]) {
+			nRecords++
+		}
+	}
+	buf = binary.AppendUvarint(buf, uint64(nRecords))
+	for i := range owners {
+		if defaultFrameState(owners[i], datas[i]) {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(i))
+		buf = binary.AppendUvarint(buf, uint64(owners[i].Kind))
+		buf = binary.AppendVarint(buf, int64(owners[i].PID))
+		buf = binary.AppendUvarint(buf, uint64(len(owners[i].Kernel)))
+		buf = append(buf, owners[i].Kernel...)
+		buf = binary.AppendUvarint(buf, uint64(len(datas[i])))
+		buf = append(buf, datas[i]...)
+	}
+	h := fnv.New64a()
+	h.Write(buf)
+	return h.Sum(buf) // appends the 8-byte big-endian checksum
+}
+
+func defaultFrameState(o kernel.FrameOwner, data []byte) bool {
+	return o == (kernel.FrameOwner{Kind: kernel.FrameGuestKernel}) && data == nil
+}
+
+// decodeSnapshotImage verifies and decodes a checkpoint image. A checksum
+// mismatch returns EIO (the image rotted); any structural violation —
+// short buffer, unbounded count, out-of-order record, trailing garbage —
+// returns EINVAL (the image was never valid).
+func decodeSnapshotImage(img []byte) (*snapshotImage, error) {
+	if len(img) < len(snapshotMagic)+1+8 {
+		return nil, fmt.Errorf("snapshot image: %d bytes is shorter than any valid image: %w", len(img), abi.EINVAL)
+	}
+	body, sum := img[:len(img)-8], img[len(img)-8:]
+	h := fnv.New64a()
+	h.Write(body)
+	if binary.BigEndian.Uint64(sum) != h.Sum64() {
+		return nil, fmt.Errorf("snapshot image: checksum mismatch: %w", abi.EIO)
+	}
+	for i, b := range snapshotMagic {
+		if body[i] != b {
+			return nil, fmt.Errorf("snapshot image: bad magic: %w", abi.EINVAL)
+		}
+	}
+	if body[len(snapshotMagic)] != snapshotVersion {
+		return nil, fmt.Errorf("snapshot image: unknown format version %d: %w", body[len(snapshotMagic)], abi.EINVAL)
+	}
+	d := &snapshotDecoder{buf: body, off: len(snapshotMagic) + 1}
+	gen := d.uvarint("generation")
+	takenAt := d.uvarint("taken-at")
+	regionStart := d.uvarint("region start")
+	nFrames := d.uvarint("frame count")
+	if d.err == nil && (nFrames == 0 || nFrames > maxSnapshotFrames) {
+		return nil, fmt.Errorf("snapshot image: frame count %d out of range: %w", nFrames, abi.EINVAL)
+	}
+	if d.err == nil && regionStart > maxSnapshotFrames {
+		return nil, fmt.Errorf("snapshot image: region start %d out of range: %w", regionStart, abi.EINVAL)
+	}
+	nChannel := d.uvarint("channel count")
+	if d.err == nil && nChannel > nFrames {
+		return nil, fmt.Errorf("snapshot image: %d channel pages exceed %d frames: %w", nChannel, nFrames, abi.EINVAL)
+	}
+	out := &snapshotImage{
+		Generation:  int(gen),
+		TakenAt:     time.Duration(takenAt),
+		RegionStart: kernel.FrameID(regionStart),
+		NFrames:     int(nFrames),
+	}
+	if d.err == nil {
+		out.Channel = make([]kernel.FrameID, 0, nChannel)
+		for i := uint64(0); i < nChannel && d.err == nil; i++ {
+			f := d.uvarint("channel page")
+			if d.err != nil {
+				break
+			}
+			if f < regionStart || f >= regionStart+nFrames {
+				return nil, fmt.Errorf("snapshot image: channel page %d outside region: %w", f, abi.EINVAL)
+			}
+			out.Channel = append(out.Channel, kernel.FrameID(f))
+		}
+	}
+	nRecords := d.uvarint("record count")
+	if d.err == nil && nRecords > nFrames {
+		return nil, fmt.Errorf("snapshot image: %d records exceed %d frames: %w", nRecords, nFrames, abi.EINVAL)
+	}
+	if d.err == nil {
+		out.Owners = make([]kernel.FrameOwner, nFrames)
+		for i := range out.Owners {
+			out.Owners[i] = kernel.FrameOwner{Kind: kernel.FrameGuestKernel}
+		}
+		out.Datas = make([][]byte, nFrames)
+		prev := -1
+		for r := uint64(0); r < nRecords && d.err == nil; r++ {
+			idx := d.uvarint("frame index")
+			kind := d.uvarint("owner kind")
+			pid := d.varint("owner pid")
+			name := d.bytes("kernel name", maxSnapshotKernelName)
+			data := d.bytes("frame data", abi.PageSize)
+			if d.err != nil {
+				break
+			}
+			if int64(idx) <= int64(prev) || idx >= nFrames {
+				return nil, fmt.Errorf("snapshot image: frame record %d out of order or range: %w", idx, abi.EINVAL)
+			}
+			if kind < uint64(kernel.FrameFree) || kind > uint64(kernel.FrameProcess) {
+				return nil, fmt.Errorf("snapshot image: unknown owner kind %d: %w", kind, abi.EINVAL)
+			}
+			prev = int(idx)
+			out.Owners[idx] = kernel.FrameOwner{Kind: kernel.FrameOwnerKind(kind), Kernel: string(name), PID: int(pid)}
+			if len(data) > 0 {
+				page := make([]byte, abi.PageSize)
+				copy(page, data)
+				out.Datas[idx] = page
+			}
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("snapshot image: %d trailing bytes: %w", len(body)-d.off, abi.EINVAL)
+	}
+	return out, nil
+}
+
+// snapshotDecoder is a bounds-checked cursor over the image body. The
+// first violation latches err; subsequent reads are no-ops.
+type snapshotDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *snapshotDecoder) uvarint(field string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("snapshot image: truncated %s: %w", field, abi.EINVAL)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *snapshotDecoder) varint(field string) int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("snapshot image: truncated %s: %w", field, abi.EINVAL)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *snapshotDecoder) bytes(field string, max int) []byte {
+	n := d.uvarint(field + " length")
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(max) {
+		d.err = fmt.Errorf("snapshot image: %s length %d exceeds %d: %w", field, n, max, abi.EINVAL)
+		return nil
+	}
+	if d.off+int(n) > len(d.buf) {
+		d.err = fmt.Errorf("snapshot image: truncated %s: %w", field, abi.EINVAL)
+		return nil
+	}
+	b := d.buf[d.off : d.off+int(n)]
+	d.off += int(n)
+	return b
+}
+
+// RestoreFromSnapshot rewinds the container to a checkpoint: the image is
+// verified and decoded, every frame that diverged since capture is
+// rewritten (copy-on-write — unchanged frames keep their memory and their
+// version), the channel mapping recorded in the image is reinstalled, and
+// the boot generation is bumped exactly as a Relaunch would. The caller
+// must have stopped the guest first (Panic); on any error the container is
+// left untouched and ready for a cold Relaunch.
+//
+// Errors: EIO for a checksum mismatch, EINVAL for a structurally invalid
+// image or one that does not describe this container's region, ESTALE when
+// the container's generation moved past the checkpoint's (a cold reboot
+// intervened, so the image describes a dead boot). The int is the number
+// of frames rewritten, which the restore cost scaled with.
+func (c *CVM) RestoreFromSnapshot(snap *Snapshot) (int, error) {
+	if snap == nil {
+		return 0, fmt.Errorf("restore cvm: no snapshot: %w", abi.ENOENT)
+	}
+	img, err := decodeSnapshotImage(snap.Image)
+	if err != nil {
+		return 0, fmt.Errorf("restore cvm: %w", err)
+	}
+	if img.RegionStart != c.region.Start || img.NFrames != c.region.Frames() {
+		return 0, fmt.Errorf("restore cvm: image covers region [%d,+%d), container has [%d,+%d): %w",
+			img.RegionStart, img.NFrames, c.region.Start, c.region.Frames(), abi.EINVAL)
+	}
+	c.mu.Lock()
+	gen := c.generation
+	c.mu.Unlock()
+	if img.Generation != gen {
+		return 0, fmt.Errorf("restore cvm: snapshot is generation %d, container is %d: %w",
+			img.Generation, gen, abi.ESTALE)
+	}
+	restored, err := c.phys.RestoreRegion(c.region, img.Owners, img.Datas, snap.versions)
+	if err != nil {
+		return 0, fmt.Errorf("restore cvm: %w", err)
+	}
+	c.clock.Advance(c.model.SnapshotRestoreFixed + time.Duration(restored)*c.model.SnapshotRestorePerFrame)
+	c.mu.Lock()
+	c.channelPages = append([]kernel.FrameID(nil), img.Channel...)
+	c.remapped = len(img.Channel) > 0
+	c.generation++
+	newGen := c.generation
+	c.mu.Unlock()
+	// The restored image's owner vector names the checkpointed boot's
+	// allocations. The guest kernel brought up over the restored state
+	// re-owns its memory from scratch, so everything but the live channel
+	// mapping rejoins the pool — otherwise repeated restores exhaust the
+	// region. Frame contents are left intact.
+	c.phys.ReclaimRegion(c.region, img.Channel)
+	if c.trace != nil {
+		c.trace.Record(sim.EvSnapshot, "cvm restored from checkpoint: gen %d->%d, %d/%d frames rewritten",
+			gen, newGen, restored, img.NFrames)
+	}
+	return restored, nil
+}
+
+// SnapshotterConfig tunes the checkpoint policy.
+type SnapshotterConfig struct {
+	// Interval is the minimum simulated time between checkpoints taken by
+	// MaybeCheckpoint. Zero means every MaybeCheckpoint call checkpoints.
+	Interval time.Duration
+	// MaxAge bounds how stale a checkpoint may be and still be restorable;
+	// zero means no age limit. An over-age snapshot is treated like a
+	// generation mismatch: the restore path refuses it (ESTALE) and the
+	// supervisor falls back to a cold restart.
+	MaxAge time.Duration
+}
+
+// SnapshotStats counts checkpoint/restore activity.
+type SnapshotStats struct {
+	Checkpoints     int // checkpoints sealed
+	DirtyFrames     int // cumulative frames copied into checkpoints
+	Restores        int // successful restores
+	RestoredFrames  int // cumulative frames rewritten by restores
+	ChecksumRejects int // restores refused for a corrupt image (EIO)
+	StaleRejects    int // restores refused for staleness (ESTALE / over-age)
+}
+
+// Snapshotter runs the checkpoint policy for one container: it seals
+// periodic copy-on-write checkpoints while the container is healthy and
+// serves the latest verified image to the supervisor's restore path.
+type Snapshotter struct {
+	cvm *CVM
+	cfg SnapshotterConfig
+
+	mu           sync.Mutex
+	latest       *Snapshot
+	lastAt       time.Duration
+	haveLast     bool
+	prevVersions []uint64 // dirty baseline: version vector at previous checkpoint
+	stats        SnapshotStats
+}
+
+// NewSnapshotter returns a snapshotter for the container.
+func NewSnapshotter(cvm *CVM, cfg SnapshotterConfig) *Snapshotter {
+	return &Snapshotter{cvm: cvm, cfg: cfg}
+}
+
+// Checkpoint seals a checkpoint of the container right now. The cost
+// charged scales with the number of frames dirtied since the previous
+// checkpoint (all touched frames for the first), plus the fixed commit
+// cost. Call only while the container is healthy — a checkpoint of a
+// compromised guest would faithfully preserve the compromise.
+func (s *Snapshotter) Checkpoint() *Snapshot {
+	c := s.cvm
+	owners, datas, versions := c.phys.CaptureRegion(c.region)
+	s.mu.Lock()
+	dirty := 0
+	for i := range versions {
+		if s.prevVersions == nil {
+			if datas[i] != nil {
+				dirty++
+			}
+		} else if versions[i] != s.prevVersions[i] {
+			dirty++
+		}
+	}
+	s.prevVersions = versions
+	s.mu.Unlock()
+	c.clock.Advance(time.Duration(dirty)*c.model.SnapshotFrameCopy + c.model.SnapshotCommit)
+	takenAt := c.clock.Now()
+	gen := c.Generation()
+	snap := &Snapshot{
+		Generation: gen,
+		TakenAt:    takenAt,
+		Image:      encodeSnapshotImage(gen, takenAt, c.region, c.ChannelPages(), owners, datas),
+		versions:   versions,
+	}
+	s.mu.Lock()
+	s.latest = snap
+	s.lastAt = takenAt
+	s.haveLast = true
+	s.stats.Checkpoints++
+	s.stats.DirtyFrames += dirty
+	s.mu.Unlock()
+	if c.trace != nil {
+		c.trace.Record(sim.EvSnapshot, "checkpoint sealed: gen %d, %d dirty frames, %d byte image",
+			gen, dirty, len(snap.Image))
+	}
+	return snap
+}
+
+// MaybeCheckpoint checkpoints if at least the configured interval has
+// passed since the last one (or none exists yet). It reports whether a
+// checkpoint was taken.
+func (s *Snapshotter) MaybeCheckpoint() bool {
+	s.mu.Lock()
+	due := !s.haveLast || s.cvm.clock.Now()-s.lastAt >= s.cfg.Interval
+	s.mu.Unlock()
+	if !due {
+		return false
+	}
+	s.Checkpoint()
+	return true
+}
+
+// Latest returns the most recent checkpoint, or nil.
+func (s *Snapshotter) Latest() *Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest
+}
+
+// Usable reports whether a restore could be attempted right now: a
+// checkpoint exists, it matches the container's current generation, and it
+// is within the age limit. It does not verify the checksum — that proof
+// happens on the restore itself.
+func (s *Snapshotter) Usable() bool {
+	s.mu.Lock()
+	snap := s.latest
+	s.mu.Unlock()
+	if snap == nil || snap.Generation != s.cvm.Generation() {
+		return false
+	}
+	if s.cfg.MaxAge > 0 && s.cvm.clock.Now()-snap.TakenAt > s.cfg.MaxAge {
+		return false
+	}
+	return true
+}
+
+// Corrupt flips a byte in the latest checkpoint's image, for fault drills.
+// The next restore attempt will fail its checksum and fall back cold.
+func (s *Snapshotter) Corrupt() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.latest == nil || len(s.latest.Image) == 0 {
+		return
+	}
+	// Copy before flipping: callers may hold the slice from Latest().
+	img := append([]byte(nil), s.latest.Image...)
+	img[len(img)/2] ^= 0xff
+	cp := *s.latest
+	cp.Image = img
+	s.latest = &cp
+}
+
+// Invalidate drops the latest checkpoint (e.g. after the guest's warm
+// state is known-bad, or after a restore consumed it).
+func (s *Snapshotter) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latest = nil
+}
+
+// Restore rewinds the container to the latest checkpoint. On success the
+// consumed checkpoint is invalidated (it describes the pre-restore
+// generation; the next healthy probe reseals one). On failure the
+// checkpoint is also invalidated — a checksum-bad or stale image can never
+// succeed later — and the error is returned for the supervisor to fall
+// back to a cold restart.
+func (s *Snapshotter) Restore() error {
+	s.mu.Lock()
+	snap := s.latest
+	s.mu.Unlock()
+	if snap == nil {
+		return fmt.Errorf("snapshot restore: %w", abi.ENOENT)
+	}
+	if s.cfg.MaxAge > 0 && s.cvm.clock.Now()-snap.TakenAt > s.cfg.MaxAge {
+		s.mu.Lock()
+		s.stats.StaleRejects++
+		s.latest = nil
+		s.mu.Unlock()
+		return fmt.Errorf("snapshot restore: checkpoint is %s old, max age %s: %w",
+			s.cvm.clock.Now()-snap.TakenAt, s.cfg.MaxAge, abi.ESTALE)
+	}
+	restored, err := s.cvm.RestoreFromSnapshot(snap)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.latest = nil
+	if err != nil {
+		switch {
+		case errors.Is(err, abi.EIO):
+			s.stats.ChecksumRejects++
+		case errors.Is(err, abi.ESTALE):
+			s.stats.StaleRejects++
+		}
+		return err
+	}
+	s.stats.Restores++
+	s.stats.RestoredFrames += restored
+	return nil
+}
+
+// Stats returns a copy of the counters.
+func (s *Snapshotter) Stats() SnapshotStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

@@ -1,0 +1,301 @@
+package hypervisor
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/sim"
+)
+
+// dirtyGuestFrame allocates one guest frame and writes recognizable bytes
+// into it, returning the frame and its contents.
+func dirtyGuestFrame(t *testing.T, c *CVM, pid int, fill byte) (kernel.FrameID, []byte) {
+	t.Helper()
+	f, err := c.GuestAllocator().Alloc(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{fill}, 64)
+	if err := c.phys.WriteFrame(c.region, f, 0, data); err != nil {
+		t.Fatal(err)
+	}
+	return f, data
+}
+
+func TestSnapshotRoundTripRestoresFrameState(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	f, want := dirtyGuestFrame(t, c, 100, 0xaa)
+
+	snap := NewSnapshotter(c, SnapshotterConfig{}).Checkpoint()
+	if snap.Generation != c.Generation() {
+		t.Fatalf("snapshot gen = %d, cvm gen = %d", snap.Generation, c.Generation())
+	}
+
+	// Scribble over the checkpointed frame, then restore.
+	if err := c.phys.WriteFrame(c.region, f, 0, bytes.Repeat([]byte{0x55}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	genBefore := c.Generation()
+	restored, err := c.RestoreFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored == 0 {
+		t.Fatal("restore rewrote no frames despite a dirtied one")
+	}
+	if c.Generation() != genBefore+1 {
+		t.Fatalf("generation after restore = %d, want %d", c.Generation(), genBefore+1)
+	}
+	got := make([]byte, len(want))
+	if err := c.phys.ReadFrame(c.region, f, 0, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("frame after restore = %x, want %x", got[:8], want[:8])
+	}
+	if !c.ChannelRemapped() || len(c.ChannelPages()) == 0 {
+		t.Fatal("channel mapping did not survive the restore")
+	}
+}
+
+func TestRestoreRewritesOnlyDirtyFrames(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	f, _ := dirtyGuestFrame(t, c, 100, 0xaa)
+	dirtyGuestFrame(t, c, 101, 0xbb) // second frame, untouched after the checkpoint
+
+	snap := NewSnapshotter(c, SnapshotterConfig{}).Checkpoint()
+	if err := c.phys.WriteFrame(c.region, f, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := c.RestoreFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored != 1 {
+		t.Fatalf("restored %d frames, want exactly the 1 dirtied since the checkpoint", restored)
+	}
+}
+
+func TestSnapshotDirtyTrackingBetweenCheckpoints(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	s := NewSnapshotter(c, SnapshotterConfig{})
+	dirtyGuestFrame(t, c, 100, 0xaa)
+	s.Checkpoint()
+	first := s.Stats().DirtyFrames
+
+	f, _ := dirtyGuestFrame(t, c, 101, 0xbb)
+	if err := c.phys.WriteFrame(c.region, f, 8, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	s.Checkpoint()
+	// Second checkpoint: exactly the alloc+writes above moved versions —
+	// one new frame, regardless of how many times it was written.
+	if got := s.Stats().DirtyFrames - first; got != 1 {
+		t.Fatalf("second checkpoint copied %d dirty frames, want 1", got)
+	}
+}
+
+func TestSnapshotCorruptImageFailsEIO(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	s := NewSnapshotter(c, SnapshotterConfig{})
+	s.Checkpoint()
+	s.Corrupt()
+	if !s.Usable() {
+		t.Fatal("corruption is silent until the restore proves the checksum")
+	}
+	err := s.Restore()
+	if !errors.Is(err, abi.EIO) {
+		t.Fatalf("restore of corrupt image: err = %v, want EIO", err)
+	}
+	st := s.Stats()
+	if st.ChecksumRejects != 1 || st.Restores != 0 {
+		t.Fatalf("stats = %+v, want 1 checksum reject, 0 restores", st)
+	}
+	if s.Latest() != nil {
+		t.Fatal("corrupt checkpoint not invalidated after the failed restore")
+	}
+}
+
+func TestSnapshotStaleAfterRelaunch(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	s := NewSnapshotter(c, SnapshotterConfig{})
+	s.Checkpoint()
+	if err := c.Relaunch(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Usable() {
+		t.Fatal("checkpoint from the previous boot generation reported usable")
+	}
+	err := s.Restore()
+	if !errors.Is(err, abi.ESTALE) {
+		t.Fatalf("restore across a relaunch: err = %v, want ESTALE", err)
+	}
+	if s.Stats().StaleRejects != 1 {
+		t.Fatalf("StaleRejects = %d, want 1", s.Stats().StaleRejects)
+	}
+}
+
+func TestSnapshotMaxAgeEnforced(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	s := NewSnapshotter(c, SnapshotterConfig{MaxAge: time.Millisecond})
+	s.Checkpoint()
+	c.clock.Advance(2 * time.Millisecond)
+	if s.Usable() {
+		t.Fatal("over-age checkpoint reported usable")
+	}
+	if err := s.Restore(); !errors.Is(err, abi.ESTALE) {
+		t.Fatalf("restore of over-age checkpoint: err = %v, want ESTALE", err)
+	}
+}
+
+func TestMaybeCheckpointThrottlesToInterval(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	s := NewSnapshotter(c, SnapshotterConfig{Interval: 10 * time.Millisecond})
+	if !s.MaybeCheckpoint() {
+		t.Fatal("first MaybeCheckpoint must seal")
+	}
+	if s.MaybeCheckpoint() {
+		t.Fatal("second MaybeCheckpoint inside the interval must not seal")
+	}
+	c.clock.Advance(11 * time.Millisecond)
+	if !s.MaybeCheckpoint() {
+		t.Fatal("MaybeCheckpoint after the interval must seal")
+	}
+	if got := s.Stats().Checkpoints; got != 2 {
+		t.Fatalf("Checkpoints = %d, want 2", got)
+	}
+}
+
+func TestRestoreChargesSnapshotCosts(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	f, _ := dirtyGuestFrame(t, c, 100, 0xaa)
+	snap := NewSnapshotter(c, SnapshotterConfig{}).Checkpoint()
+	if err := c.phys.WriteFrame(c.region, f, 0, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	before := c.clock.Now()
+	restored, err := c.RestoreFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.model.SnapshotRestoreFixed + time.Duration(restored)*c.model.SnapshotRestorePerFrame
+	if got := c.clock.Now() - before; got != want {
+		t.Fatalf("restore charged %v, want %v", got, want)
+	}
+}
+
+// TestRelaunchAtomicity pins the partial-failure contract: a relaunch that
+// cannot rebuild its channel pages must leave the generation unchanged and
+// the channel unmapped — never a bumped generation over a half-built
+// channel. (The failure is forced by inflating the channel demand past the
+// region; real launches can only hit this through allocator exhaustion.)
+func TestRelaunchAtomicity(t *testing.T) {
+	phys := kernel.NewPhysical(1 << 30)
+	c := launchTestCVM(t, phys)
+	genBefore := c.Generation()
+
+	c.mu.Lock()
+	savedChannel := c.nChannel
+	c.nChannel = c.region.Frames() + 1
+	c.mu.Unlock()
+
+	if err := c.Relaunch(); err == nil {
+		t.Fatal("relaunch with impossible channel demand succeeded")
+	}
+	if c.Generation() != genBefore {
+		t.Fatalf("generation bumped to %d by a FAILED relaunch", c.Generation())
+	}
+	if c.ChannelRemapped() {
+		t.Fatal("channel reported mapped after a failed relaunch")
+	}
+
+	// Restoring the real demand, the next relaunch fully recovers.
+	c.mu.Lock()
+	c.nChannel = savedChannel
+	c.mu.Unlock()
+	if err := c.Relaunch(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != genBefore+1 {
+		t.Fatalf("generation = %d after one successful relaunch, want %d", c.Generation(), genBefore+1)
+	}
+	if !c.ChannelRemapped() || len(c.ChannelPages()) != savedChannel {
+		t.Fatalf("channel pages = %d, want %d", len(c.ChannelPages()), savedChannel)
+	}
+	for _, f := range c.ChannelPages() {
+		if !c.region.Contains(f) {
+			t.Fatalf("channel frame %d outside guest region", f)
+		}
+	}
+}
+
+// FuzzDecodeSnapshot hardens the image decoder the way FuzzDecodeSG
+// hardens the scatter-gather decoder: arbitrary bytes must produce a clean
+// error or a structurally valid image — never a panic, never unbounded
+// allocation.
+func FuzzDecodeSnapshot(f *testing.F) {
+	phys := kernel.NewPhysical(1 << 30)
+	clock := sim.NewClock()
+	c, err := Launch(phys, Config{
+		Clock: clock, Model: sim.DefaultLatencyModel(),
+		MemoryBytes: 16 << 20, KernelReserveBytes: 4 << 20, ChannelPages: 4,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := c.GuestAllocator().Alloc(100); err != nil {
+		f.Fatal(err)
+	}
+	owners, datas, _ := c.phys.CaptureRegion(c.region)
+	valid := encodeSnapshotImage(c.Generation(), clock.Now(), c.region, c.ChannelPages(), owners, datas)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-1]) // truncated checksum
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(flipped) // checksum mismatch
+	f.Add([]byte{})
+	f.Add([]byte("ASNP"))
+
+	f.Fuzz(func(t *testing.T, img []byte) {
+		si, err := decodeSnapshotImage(img)
+		if err != nil {
+			if !errors.Is(err, abi.EIO) && !errors.Is(err, abi.EINVAL) {
+				t.Fatalf("decoder error vocabulary violated: %v", err)
+			}
+			return
+		}
+		// A decoded image must be internally consistent.
+		if si.NFrames < 0 || si.NFrames > maxSnapshotFrames {
+			t.Fatalf("NFrames = %d escaped bounds", si.NFrames)
+		}
+		if len(si.Owners) != si.NFrames || len(si.Datas) != si.NFrames {
+			t.Fatalf("vectors %d/%d disagree with NFrames %d", len(si.Owners), len(si.Datas), si.NFrames)
+		}
+		end := si.RegionStart + kernel.FrameID(si.NFrames)
+		for _, fr := range si.Channel {
+			if fr < si.RegionStart || fr >= end {
+				t.Fatalf("channel frame %d outside [%d, %d)", fr, si.RegionStart, end)
+			}
+		}
+		for i, o := range si.Owners {
+			if o.Kind < kernel.FrameFree || o.Kind > kernel.FrameProcess {
+				t.Fatalf("frame %d owner kind %d out of range", i, o.Kind)
+			}
+			if len(si.Datas[i]) > abi.PageSize {
+				t.Fatalf("frame %d data %d bytes > page", i, len(si.Datas[i]))
+			}
+		}
+	})
+}

@@ -47,6 +47,12 @@ type Physical struct {
 type frame struct {
 	owner FrameOwner
 	data  []byte // nil until first write
+	// version counts mutations of this frame (content writes, ownership
+	// changes, resets). The hypervisor's snapshot engine captures the
+	// version vector of a region at checkpoint time and, at restore,
+	// rewrites only the frames whose version moved since — frame-level
+	// dirty tracking without shadow copies.
+	version uint64
 }
 
 // NewPhysical creates physical memory with the given total size in bytes
@@ -111,6 +117,7 @@ func (p *Physical) ReserveRegion(n int) (Region, error) {
 				start := i - n + 1
 				for j := start; j <= i; j++ {
 					p.frames[j].owner = FrameOwner{Kind: FrameGuestKernel}
+					p.frames[j].version++
 				}
 				p.rebuildFreeLocked()
 				return Region{Start: FrameID(start), End: FrameID(i + 1)}, nil
@@ -131,7 +138,109 @@ func (p *Physical) ResetRegion(r Region) {
 	for f := r.Start; f < r.End && int(f) < len(p.frames); f++ {
 		p.frames[f].owner = FrameOwner{Kind: FrameGuestKernel}
 		p.frames[f].data = nil
+		p.frames[f].version++
 	}
+}
+
+// ReclaimRegion returns every frame in a reserved guest region to the
+// unowned guest-kernel state — except the frames in keep (the live
+// channel mapping) — while leaving frame contents intact. This is the
+// physical effect of a guest kernel resuming over a restored memory
+// image: the rebooted kernel re-owns its allocations from scratch, so
+// the previous boot's frames must rejoin the pool or repeated restores
+// exhaust the region. Only frames whose owner actually changes are
+// version-bumped.
+func (p *Physical) ReclaimRegion(r Region, keep []FrameID) {
+	kept := make(map[FrameID]struct{}, len(keep))
+	for _, f := range keep {
+		kept[f] = struct{}{}
+	}
+	unowned := FrameOwner{Kind: FrameGuestKernel}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for f := r.Start; f < r.End && int(f) < len(p.frames); f++ {
+		if _, ok := kept[f]; ok {
+			continue
+		}
+		if p.frames[f].owner == unowned {
+			continue
+		}
+		p.frames[f].owner = unowned
+		p.frames[f].version++
+	}
+}
+
+// FrameVersions returns the current version counter of every frame in a
+// region, indexed by region offset. The hypervisor's snapshot engine uses
+// the vector as its dirty-tracking baseline.
+func (p *Physical) FrameVersions(r Region) []uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]uint64, 0, r.Frames())
+	for f := r.Start; f < r.End && int(f) < len(p.frames); f++ {
+		out = append(out, p.frames[f].version)
+	}
+	return out
+}
+
+// CaptureRegion copies out the owner, content, and version of every frame
+// in a region, indexed by region offset — the raw material of a CVM
+// checkpoint. Contents are deep-copied (nil stays nil: a never-written
+// frame), so later mutations cannot bleed into the capture.
+func (p *Physical) CaptureRegion(r Region) (owners []FrameOwner, datas [][]byte, versions []uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := r.Frames()
+	owners = make([]FrameOwner, 0, n)
+	datas = make([][]byte, 0, n)
+	versions = make([]uint64, 0, n)
+	for f := r.Start; f < r.End && int(f) < len(p.frames); f++ {
+		fr := &p.frames[f]
+		owners = append(owners, fr.owner)
+		if fr.data != nil {
+			datas = append(datas, append([]byte(nil), fr.data...))
+		} else {
+			datas = append(datas, nil)
+		}
+		versions = append(versions, fr.version)
+	}
+	return owners, datas, versions
+}
+
+// RestoreRegion rewrites a region back to a captured state, copy-on-write
+// style: only frames whose version counter moved since the capture (the
+// baseVersions vector) are touched; frames provably unchanged since the
+// checkpoint keep their memory untouched and their version intact. It
+// returns the number of frames rewritten, which is what the restore's sim
+// cost scales with.
+func (p *Physical) RestoreRegion(r Region, owners []FrameOwner, datas [][]byte, baseVersions []uint64) (int, error) {
+	n := r.Frames()
+	if len(owners) != n || len(datas) != n || len(baseVersions) != n {
+		return 0, fmt.Errorf("restore region: capture covers %d/%d/%d frames, region has %d: %w",
+			len(owners), len(datas), len(baseVersions), n, abi.EINVAL)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	restored := 0
+	for i := 0; i < n; i++ {
+		f := r.Start + FrameID(i)
+		if int(f) >= len(p.frames) {
+			break
+		}
+		fr := &p.frames[f]
+		if fr.version == baseVersions[i] {
+			continue // provably unchanged since the checkpoint
+		}
+		fr.owner = owners[i]
+		if datas[i] != nil {
+			fr.data = append([]byte(nil), datas[i]...)
+		} else {
+			fr.data = nil
+		}
+		fr.version++
+		restored++
+	}
+	return restored, nil
 }
 
 func (p *Physical) rebuildFreeLocked() {
@@ -174,15 +283,22 @@ func (a *Allocator) Alloc(pid int) (FrameID, error) {
 	if pid < 0 {
 		owner = FrameOwner{Kind: FrameHostKernel}
 		if a.region.End != 0 {
-			owner = FrameOwner{Kind: FrameGuestKernel}
+			// Tag with the allocator's kernel name so the frame no longer
+			// matches the unowned state below — a kernel allocation must
+			// consume a distinct frame, not re-return the first one.
+			owner = FrameOwner{Kind: FrameGuestKernel, Kernel: a.kernel}
 		}
 	}
 	if a.region.End != 0 {
-		// Guest allocator: scan its region for a guest-kernel-owned frame
-		// not yet assigned to a process.
+		// Guest allocator: scan its region for an unowned guest frame —
+		// exactly the post-reset state, so frames already assigned to a
+		// process or claimed by a kernel allocation (channel pages) are
+		// never handed out twice.
+		unowned := FrameOwner{Kind: FrameGuestKernel}
 		for f := a.region.Start; f < a.region.End; f++ {
-			if p.frames[f].owner.Kind == FrameGuestKernel {
+			if p.frames[f].owner == unowned {
 				p.frames[f].owner = owner
+				p.frames[f].version++
 				return f, nil
 			}
 		}
@@ -193,6 +309,7 @@ func (a *Allocator) Alloc(pid int) (FrameID, error) {
 		p.free = p.free[:len(p.free)-1]
 		if p.frames[f].owner.Kind == FrameFree {
 			p.frames[f].owner = owner
+			p.frames[f].version++
 			return f, nil
 		}
 	}
@@ -217,6 +334,7 @@ func (a *Allocator) Free(f FrameID) error {
 		p.free = append(p.free, f)
 	}
 	p.frames[f].data = nil
+	p.frames[f].version++
 	return nil
 }
 
@@ -247,6 +365,7 @@ func (p *Physical) WriteFrame(accessor Region, f FrameID, off int, data []byte) 
 		fr.data = make([]byte, abi.PageSize)
 	}
 	copy(fr.data[off:], data)
+	fr.version++
 	return nil
 }
 

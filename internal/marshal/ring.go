@@ -2,6 +2,7 @@ package marshal
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -451,6 +452,18 @@ func (r *RingChannel) Rearm(generation int) {
 	r.bellMu.Unlock()
 	if r.trace != nil {
 		r.trace.Record(sim.EvRing, "re-arm: ring keyed to boot generation %d; stale in-flight slots will fail fast", generation)
+	}
+}
+
+// Quiesce blocks until no slot is in flight. Callers must gate new
+// submissions first (the layer holds EAGAIN-fast-fail degraded mode while
+// quiescing); with the gate up, the guest pool drains the SQ and every
+// in-flight slot — including detached oneway waiters, which recycle their
+// slot on completion — reaches Wait. Used by the live-upgrade drill to
+// drain the ring gracefully instead of failing slots EHOSTDOWN.
+func (r *RingChannel) Quiesce() {
+	for r.inflight.Load() > 0 {
+		runtime.Gosched()
 	}
 }
 

@@ -142,6 +142,23 @@ type LatencyModel struct {
 	// the whole extent, so this too is per revoke call, not per page.
 	GrantUnmapTLBShootdown time.Duration
 
+	// SnapshotFrameCopy is the per-frame cost of copying one dirty 4 KiB
+	// frame into the checkpoint image (copy-on-write checkpointing charges
+	// only for frames whose version moved since the previous checkpoint).
+	SnapshotFrameCopy time.Duration
+	// SnapshotCommit is the fixed cost of sealing one checkpoint: pausing
+	// the guest long enough to quiesce the dirty-bit scan, checksumming,
+	// and publishing the image.
+	SnapshotCommit time.Duration
+	// SnapshotRestorePerFrame is the per-frame cost of rewriting one frame
+	// that diverged from the checkpoint during a restore.
+	SnapshotRestorePerFrame time.Duration
+	// SnapshotRestoreFixed is the fixed cost of a snapshot restore:
+	// checksum verification, channel re-remap, and the world-switch pair
+	// that resumes the restored guest. It is what makes restore-path MTTR
+	// land orders of magnitude below a cold reboot plus backoff.
+	SnapshotRestoreFixed time.Duration
+
 	// NetworkRTT is the simulated round-trip to a remote server (bank).
 	NetworkRTT time.Duration
 	// NetworkPerByte is the per-byte wire cost.
@@ -205,6 +222,11 @@ func DefaultLatencyModel() LatencyModel {
 
 		GrantMapCost:           13100 * time.Nanosecond,
 		GrantUnmapTLBShootdown: 6400 * time.Nanosecond,
+
+		SnapshotFrameCopy:       400 * time.Nanosecond,
+		SnapshotCommit:          30 * time.Microsecond,
+		SnapshotRestorePerFrame: 500 * time.Nanosecond,
+		SnapshotRestoreFixed:    150 * time.Microsecond,
 
 		NetworkRTT:     38 * time.Millisecond,
 		NetworkPerByte: 9 * time.Nanosecond,

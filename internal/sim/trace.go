@@ -41,6 +41,10 @@ const (
 	// opens, reply-cache hits and invalidations, and restart-time session
 	// drains.
 	EvBinderSession
+	// EvSnapshot marks hypervisor snapshot/restore activity: periodic
+	// copy-on-write checkpoints, restores (with the frame counts that set
+	// their cost), checksum rejections, and live-upgrade swaps.
+	EvSnapshot
 )
 
 // String returns the short label used in trace dumps.
@@ -74,6 +78,8 @@ func (k EventKind) String() string {
 		return "grant"
 	case EvBinderSession:
 		return "bindersession"
+	case EvSnapshot:
+		return "snapshot"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

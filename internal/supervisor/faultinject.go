@@ -35,6 +35,12 @@ const (
 	// FaultHang wedges the channel: this and every later round-trip hangs
 	// until Unwedge (a CVM relaunch rebuilds the channel).
 	FaultHang
+	// FaultSnapshotCorrupt rots the hypervisor's latest checkpoint image
+	// (via the hook installed with SetSnapshotCorrupter) and then lets the
+	// round-trip proceed untouched. Recovery drills use it to prove the
+	// restore path detects the bad checksum and falls back to a cold
+	// restart instead of resuming a corrupted guest.
+	FaultSnapshotCorrupt
 )
 
 // String names the fault for traces and reports.
@@ -52,6 +58,8 @@ func (k FaultKind) String() string {
 		return "truncate"
 	case FaultHang:
 		return "hang"
+	case FaultSnapshotCorrupt:
+		return "snapshot-corrupt"
 	default:
 		return fmt.Sprintf("fault(%d)", int(k))
 	}
@@ -79,12 +87,13 @@ type Injector struct {
 	clock *sim.Clock
 	trace *sim.Trace
 
-	mu     sync.Mutex
-	queue  []FaultKind
-	probs  map[FaultKind]float64
-	delay  time.Duration
-	wedged bool
-	stats  InjectorStats
+	mu        sync.Mutex
+	queue     []FaultKind
+	probs     map[FaultKind]float64
+	delay     time.Duration
+	wedged    bool
+	corrupter func()
+	stats     InjectorStats
 }
 
 var _ marshal.Transport = (*Injector)(nil)
@@ -135,6 +144,15 @@ func (i *Injector) SetProbability(kind FaultKind, p float64) {
 		return
 	}
 	i.probs[kind] = p
+}
+
+// SetSnapshotCorrupter installs the hook FaultSnapshotCorrupt fires —
+// typically the snapshotter's Corrupt method, which flips a byte in the
+// latest checkpoint image so its checksum no longer verifies.
+func (i *Injector) SetSnapshotCorrupter(fn func()) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.corrupter = fn
 }
 
 // SetDelay overrides the FaultDelay latency.
@@ -200,7 +218,7 @@ func (i *Injector) pick() (FaultKind, time.Duration) {
 	default:
 		// Deterministic probability mode: one RNG draw per candidate kind,
 		// in a fixed order, so runs with the same seed replay exactly.
-		for _, k := range []FaultKind{FaultDrop, FaultDelay, FaultCorrupt, FaultTruncate, FaultHang} {
+		for _, k := range []FaultKind{FaultDrop, FaultDelay, FaultCorrupt, FaultTruncate, FaultHang, FaultSnapshotCorrupt} {
 			if p, ok := i.probs[k]; ok && i.rng.Float64() < p {
 				kind = k
 				break
@@ -267,6 +285,17 @@ func (i *Injector) RoundTrip(payload []byte, handler marshal.GuestHandler) ([]by
 			i.trace.Record(sim.EvFault, "injected: response truncated %d -> %d bytes", len(resp), cut)
 		}
 		return append([]byte(nil), resp[:cut]...), nil
+	case FaultSnapshotCorrupt:
+		i.mu.Lock()
+		fn := i.corrupter
+		i.mu.Unlock()
+		if fn != nil {
+			fn()
+		}
+		if i.trace != nil {
+			i.trace.Record(sim.EvFault, "injected: latest checkpoint image corrupted")
+		}
+		return i.inner.RoundTrip(payload, handler)
 	default:
 		return i.inner.RoundTrip(payload, handler)
 	}

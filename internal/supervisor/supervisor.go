@@ -57,6 +57,30 @@ type BinderDrainer interface {
 	DrainBinder()
 }
 
+// SnapshotRestorer is implemented by targets with a hypervisor snapshot
+// engine. When the watchdog finds the container down and a usable
+// checkpoint exists, it prefers rewinding to it over a cold RestartCVM:
+// no reboot, no backoff, and warm state provably unchanged since the
+// checkpoint survives. RestoreFromSnapshot must leave the target fully
+// reconciled (ring re-armed, stale grants swept, binder and cache rolled)
+// — the supervisor runs none of its post-restart drain hooks on the
+// restore path. A failed restore (corrupt image, staleness) falls back to
+// the cold path in the same tick.
+type SnapshotRestorer interface {
+	SnapshotUsable() bool
+	RestoreFromSnapshot() error
+}
+
+// Checkpointer is implemented by targets that can seal checkpoints of a
+// healthy container. The supervisor drives the periodic policy: every
+// healthy probe offers the target a chance to checkpoint (the target
+// throttles to its configured interval). Checkpoints are only ever taken
+// on healthy probes — an image of a wedged guest would faithfully
+// preserve the wedge.
+type Checkpointer interface {
+	MaybeCheckpoint() bool
+}
+
 // Config tunes the watchdog. Zero values take the documented defaults.
 type Config struct {
 	// Heartbeat is the sim-time probe cadence (default 50 ms).
@@ -78,6 +102,12 @@ type Config struct {
 	// Channel, when set, is unwedged after every successful restart —
 	// the relaunch rebuilt the data channel, clearing a wedge.
 	Channel *Injector
+	// RestoreMaxFailures is how many consecutive snapshot-restore failures
+	// the watchdog tolerates before it stops preferring the restore path
+	// and escalates to cold restarts for the remainder of the outage
+	// (default 2). This is the escalation rung below the circuit breaker:
+	// restore -> cold restart -> breaker/degraded.
+	RestoreMaxFailures int
 }
 
 func (c *Config) applyDefaults() {
@@ -96,6 +126,9 @@ func (c *Config) applyDefaults() {
 	if c.BreakerWindow <= 0 {
 		c.BreakerWindow = 10 * time.Second
 	}
+	if c.RestoreMaxFailures <= 0 {
+		c.RestoreMaxFailures = 2
+	}
 }
 
 // Stats counts what the supervisor observed and did, in sim time.
@@ -104,6 +137,11 @@ type Stats struct {
 	ProbeFailures   int
 	Restarts        int
 	RestartFailures int
+	// Restores counts recoveries served by the snapshot-restore fast path;
+	// RestoreFailures counts restore attempts that fell back cold (corrupt
+	// image, stale generation, or a post-restore probe failure).
+	Restores        int
+	RestoreFailures int
 	BreakerTrips    int
 	// Recoveries counts down->up transitions; MTTR aggregates are over
 	// these.
@@ -136,9 +174,13 @@ type Supervisor struct {
 	healthy     bool
 	downSince   time.Duration
 	consecutive int // consecutive failed probe/restart cycles, drives backoff
-	restartLog  []time.Duration
-	degraded    bool
-	lastErr     error
+	// restoreFails counts consecutive snapshot-restore failures this
+	// outage; at RestoreMaxFailures the watchdog escalates to cold
+	// restarts. Reset on the next healthy probe.
+	restoreFails int
+	restartLog   []time.Duration
+	degraded     bool
+	lastErr      error
 }
 
 // New builds a supervisor around a target. The clock must be the same sim
@@ -212,6 +254,58 @@ func (s *Supervisor) Tick() bool {
 		return false
 	}
 
+	// Restore-first policy: when a usable checkpoint exists, rewind to it
+	// instead of cold-rebooting — no backoff (the restore is cheap enough
+	// to attempt immediately) and no drain hooks (the target's restore
+	// reconciles its own warm state; the hooks would wrongly sweep the
+	// surviving entries). This is the escalation ladder's bottom rung:
+	// after RestoreMaxFailures consecutive restore failures the watchdog
+	// stops trusting the snapshot path and escalates to cold restarts,
+	// which in turn escalate to the circuit breaker.
+	if sr, ok := s.target.(SnapshotRestorer); ok {
+		s.mu.Lock()
+		tries := s.restoreFails
+		s.mu.Unlock()
+		if tries < s.cfg.RestoreMaxFailures && sr.SnapshotUsable() {
+			if rerr := sr.RestoreFromSnapshot(); rerr != nil {
+				s.mu.Lock()
+				s.stats.RestoreFailures++
+				s.restoreFails++
+				s.lastErr = rerr
+				s.mu.Unlock()
+				if s.trace != nil {
+					s.trace.Record(sim.EvWatchdog, "snapshot restore failed (%v); falling back to cold restart", rerr)
+				}
+				// Fall through to the cold path in this same tick.
+			} else {
+				s.mu.Lock()
+				s.stats.Restores++
+				s.mu.Unlock()
+				// The restore rebuilt the channel mapping: clear any wedge.
+				if s.cfg.Channel != nil {
+					s.cfg.Channel.Unwedge()
+				}
+				if s.trace != nil {
+					s.trace.Record(sim.EvWatchdog, "container restored from checkpoint; probing")
+				}
+				if err := s.probe(); err == nil {
+					s.noteHealthy()
+					return true
+				} else {
+					// Restored but still unhealthy: the checkpoint did not
+					// cure the fault. Count it against the restore rung so
+					// the next tick escalates toward a cold restart.
+					s.mu.Lock()
+					s.stats.RestoreFailures++
+					s.restoreFails++
+					s.lastErr = err
+					s.mu.Unlock()
+					return false
+				}
+			}
+		}
+	}
+
 	// Back off, then restart. Backoff is sim time: the watchdog waits
 	// before burning another reboot.
 	s.mu.Lock()
@@ -250,26 +344,7 @@ func (s *Supervisor) Tick() bool {
 	if s.cfg.Channel != nil {
 		s.cfg.Channel.Unwedge()
 	}
-	// And invalidated any host-side redirection cache: stale pages from
-	// the previous container boot must never be served.
-	if inv, ok := s.target.(CacheInvalidator); ok {
-		inv.InvalidateRedirCache()
-	}
-	// Likewise the async ring: re-arm it to the new boot generation so
-	// in-flight slots from the old container complete with EHOSTDOWN.
-	if rd, ok := s.target.(RingDrainer); ok {
-		rd.DrainRing()
-	}
-	// And the grant table: the old generation's page-flipping mappings
-	// are gone with the container; revoke them so stale refs fail fast.
-	if gr, ok := s.target.(GrantRevoker); ok {
-		gr.RevokeGrants()
-	}
-	// And the binder fast path: sessions pinned against the old container
-	// and cached replies it produced must not survive into the new boot.
-	if bd, ok := s.target.(BinderDrainer); ok {
-		bd.DrainBinder()
-	}
+	s.runPostRestartHooks()
 	if trip {
 		s.target.SetDegraded(true)
 		if s.trace != nil {
@@ -288,6 +363,46 @@ func (s *Supervisor) Tick() bool {
 		s.mu.Unlock()
 	}
 	return false
+}
+
+// runPostRestartHooks rolls the target's warm state to the new boot
+// generation after every successful cold restart. The order is a
+// contract, asserted by tests:
+//
+//  1. GrantRevoker — first, so every stale page-flipping ref fails fast
+//     before any other drain step can complete work that would resolve a
+//     grant against host pages the app may already be reusing.
+//  2. RingDrainer — second: with grants gone, re-arming the ring makes
+//     in-flight slots fail EHOSTDOWN cleanly; re-arming before the grant
+//     sweep would let a slot complete against a grant that is about to
+//     be revoked underneath it.
+//  3. BinderDrainer — third: binder sessions pipeline transactions
+//     through ring slots, so sessions are dropped only after the ring is
+//     keyed to the new generation — a drained session can then never
+//     re-pin its handle against the old boot.
+//  4. CacheInvalidator — last: the cache's fetch and flush paths forward
+//     through the ring, grant, and binder paths above; invalidating after
+//     all of them guarantees nothing can re-populate the cache from a
+//     pre-drain code path, so no stale page survives the sweep.
+//
+// The snapshot-restore path deliberately does NOT run these hooks: the
+// target's RestoreFromSnapshot reconciles its own warm state generation-
+// aware (entries provably unchanged since the checkpoint survive), and
+// these wholesale sweeps would destroy exactly the state the restore
+// path exists to preserve.
+func (s *Supervisor) runPostRestartHooks() {
+	if gr, ok := s.target.(GrantRevoker); ok {
+		gr.RevokeGrants()
+	}
+	if rd, ok := s.target.(RingDrainer); ok {
+		rd.DrainRing()
+	}
+	if bd, ok := s.target.(BinderDrainer); ok {
+		bd.DrainBinder()
+	}
+	if inv, ok := s.target.(CacheInvalidator); ok {
+		inv.InvalidateRedirCache()
+	}
 }
 
 // countRestartsSinceLocked counts restarts at or after cutoff; callers
@@ -311,6 +426,7 @@ func (s *Supervisor) noteHealthy() {
 	s.healthy = true
 	s.degraded = false
 	s.consecutive = 0
+	s.restoreFails = 0
 	s.lastErr = nil
 	var mttr time.Duration
 	if wasDown {
@@ -328,6 +444,11 @@ func (s *Supervisor) noteHealthy() {
 	}
 	if wasDown && s.trace != nil {
 		s.trace.Record(sim.EvWatchdog, "container recovered; MTTR %v", mttr)
+	}
+	// A healthy probe is the only safe moment to seal a checkpoint; the
+	// target throttles to its own interval.
+	if cp, ok := s.target.(Checkpointer); ok {
+		cp.MaybeCheckpoint()
 	}
 }
 

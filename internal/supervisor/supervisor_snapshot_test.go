@@ -1,0 +1,284 @@
+package supervisor_test
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// scriptTarget is a scriptable supervisor.Target that records every hook
+// invocation in order. probeErrs is consumed one per probe; once empty,
+// probes succeed.
+type scriptTarget struct {
+	probeErrs []error
+	calls     []string
+}
+
+func (f *scriptTarget) Probe() error {
+	if len(f.probeErrs) == 0 {
+		return nil
+	}
+	err := f.probeErrs[0]
+	f.probeErrs = f.probeErrs[1:]
+	return err
+}
+func (f *scriptTarget) RestartCVM() error             { f.calls = append(f.calls, "restart"); return nil }
+func (f *scriptTarget) SetDegraded(bool)              {}
+func (f *scriptTarget) GuestServiceAlive(string) bool { return true }
+func (f *scriptTarget) RevokeGrants()                 { f.calls = append(f.calls, "grants") }
+func (f *scriptTarget) DrainRing()                    { f.calls = append(f.calls, "ring") }
+func (f *scriptTarget) DrainBinder()                  { f.calls = append(f.calls, "binder") }
+func (f *scriptTarget) InvalidateRedirCache()         { f.calls = append(f.calls, "cache") }
+
+// scriptRestorer adds the SnapshotRestorer surface to scriptTarget.
+type scriptRestorer struct {
+	scriptTarget
+	usable      bool
+	restoreErrs []error // consumed per attempt; once empty, restores succeed
+	attempts    int
+}
+
+func (f *scriptRestorer) SnapshotUsable() bool { return f.usable }
+func (f *scriptRestorer) RestoreFromSnapshot() error {
+	f.attempts++
+	f.calls = append(f.calls, "restore")
+	if len(f.restoreErrs) == 0 {
+		return nil
+	}
+	err := f.restoreErrs[0]
+	f.restoreErrs = f.restoreErrs[1:]
+	return err
+}
+
+var errDown = fmt.Errorf("probe: %w", abi.EHOSTDOWN)
+
+// TestPostRestartHookOrder pins the documented contract: after every
+// successful cold restart the supervisor drains warm state in exactly the
+// order GrantRevoker, RingDrainer, BinderDrainer, CacheInvalidator.
+func TestPostRestartHookOrder(t *testing.T) {
+	ft := &scriptTarget{probeErrs: []error{errDown}}
+	sup := supervisor.New(ft, sim.NewClock(), nil, supervisor.Config{})
+	if !sup.Tick() {
+		t.Fatalf("tick did not recover: %v", sup.LastError())
+	}
+	want := []string{"restart", "grants", "ring", "binder", "cache"}
+	if len(ft.calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", ft.calls, want)
+	}
+	for i := range want {
+		if ft.calls[i] != want[i] {
+			t.Fatalf("hook order violated at %d: calls = %v, want %v", i, ft.calls, want)
+		}
+	}
+}
+
+// TestRestoreFirstPolicy: with a usable checkpoint, the watchdog restores
+// instead of cold-restarting — no restart, no drain hooks (the target's
+// restore reconciles its own warm state), no backoff burned.
+func TestRestoreFirstPolicy(t *testing.T) {
+	fr := &scriptRestorer{scriptTarget: scriptTarget{probeErrs: []error{errDown}}, usable: true}
+	clock := sim.NewClock()
+	cfg := supervisor.Config{Heartbeat: time.Millisecond, BackoffBase: 10 * time.Millisecond}
+	sup := supervisor.New(fr, clock, nil, cfg)
+	if !sup.Tick() {
+		t.Fatalf("tick did not recover: %v", sup.LastError())
+	}
+	st := sup.Stats()
+	if st.Restores != 1 || st.Restarts != 0 || st.RestoreFailures != 0 {
+		t.Fatalf("stats = %+v, want exactly one restore and no restarts", st)
+	}
+	for _, c := range fr.calls {
+		if c != "restore" {
+			t.Fatalf("restore path ran %q: calls = %v (drain hooks must not run)", c, fr.calls)
+		}
+	}
+	// No backoff on the restore path: the tick consumed only its heartbeat.
+	if got := clock.Now(); got >= cfg.BackoffBase {
+		t.Fatalf("restore tick consumed %v, smells of backoff (base %v)", got, cfg.BackoffBase)
+	}
+}
+
+// TestRestoreFailureFallsBackColdSameTick: a failed restore (e.g. corrupt
+// image) escalates to a cold restart within the same tick, hooks and all.
+func TestRestoreFailureFallsBackColdSameTick(t *testing.T) {
+	fr := &scriptRestorer{
+		scriptTarget:  scriptTarget{probeErrs: []error{errDown}},
+		usable:      true,
+		restoreErrs: []error{fmt.Errorf("image rotted: %w", abi.EIO)},
+	}
+	sup := supervisor.New(fr, sim.NewClock(), nil, supervisor.Config{})
+	if !sup.Tick() {
+		t.Fatalf("tick did not recover: %v", sup.LastError())
+	}
+	st := sup.Stats()
+	if st.RestoreFailures != 1 || st.Restores != 0 || st.Restarts != 1 {
+		t.Fatalf("stats = %+v, want 1 restore failure then 1 cold restart", st)
+	}
+	want := []string{"restore", "restart", "grants", "ring", "binder", "cache"}
+	if fmt.Sprint(fr.calls) != fmt.Sprint(want) {
+		t.Fatalf("calls = %v, want %v", fr.calls, want)
+	}
+}
+
+// TestRestoreMaxFailuresEscalation: after RestoreMaxFailures consecutive
+// restore failures in one outage, the watchdog stops trying the snapshot
+// path — the escalation rung below the circuit breaker — and a later
+// healthy probe re-arms it.
+func TestRestoreMaxFailuresEscalation(t *testing.T) {
+	down := make([]error, 8)
+	for i := range down {
+		down[i] = errDown
+	}
+	fr := &scriptRestorer{
+		scriptTarget: scriptTarget{probeErrs: down},
+		usable:     true,
+		// Every restore fails, and the post-restart probe keeps failing
+		// too, so the outage spans several ticks.
+		restoreErrs: []error{abi.EIO, abi.EIO, abi.EIO, abi.EIO},
+	}
+	cfg := supervisor.Config{RestoreMaxFailures: 2}
+	sup := supervisor.New(fr, sim.NewClock(), nil, cfg)
+	for i := 0; i < 4 && !sup.Tick(); i++ {
+	}
+	if fr.attempts != cfg.RestoreMaxFailures {
+		t.Fatalf("restore attempts = %d, want exactly RestoreMaxFailures = %d",
+			fr.attempts, cfg.RestoreMaxFailures)
+	}
+	if sup.Stats().Restarts == 0 {
+		t.Fatal("escalation never reached the cold-restart rung")
+	}
+	// Recovery resets the rung: the next outage tries the restore path again.
+	if !sup.Healthy() {
+		if err := sup.RunUntilHealthy(10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr.probeErrs = []error{errDown}
+	fr.restoreErrs = nil
+	sup.Tick()
+	if fr.attempts != cfg.RestoreMaxFailures+1 {
+		t.Fatalf("restore rung not re-armed after recovery: attempts = %d", fr.attempts)
+	}
+}
+
+// bootSnapshotRig boots a supervised Anception device with checkpoints
+// enabled and the injector's snapshot-corrupter wired.
+func bootSnapshotRig(t *testing.T, opts anception.Options, cfg supervisor.Config) *rig {
+	t.Helper()
+	opts.Mode = anception.ModeAnception
+	d, err := anception.NewDevice(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := supervisor.NewInjector(d.Layer.Transport(), sim.NewRNG(42), d.Clock, d.Trace)
+	inj.SetSnapshotCorrupter(d.CorruptSnapshot)
+	d.Layer.SetTransport(inj)
+	cfg.Channel = inj
+	sup := supervisor.New(d, d.Clock, d.Trace, cfg)
+
+	app, err := d.InstallApp(android.AppSpec{Package: "com.snapdrill"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{d: d, inj: inj, sup: sup, app: proc}
+}
+
+// TestSupervisedRestoreRecoversFromPanic: end to end — a healthy tick
+// seals a checkpoint, the guest panics, and the watchdog recovers via the
+// restore path with a far smaller MTTR than a cold restart, durable state
+// intact.
+func TestSupervisedRestoreRecoversFromPanic(t *testing.T) {
+	r := bootSnapshotRig(t, anception.Options{SnapshotInterval: time.Millisecond}, supervisor.Config{})
+	durable := writeDurable(t, r, "precious.txt", "pre-fault")
+	if !r.sup.Tick() {
+		t.Fatal("healthy tick failed")
+	}
+	if r.d.SnapshotStats().Checkpoints == 0 {
+		t.Fatal("healthy tick sealed no checkpoint")
+	}
+
+	r.d.InjectGuestPanic("drill")
+	assertRecovered(t, r, durable, "pre-fault")
+	st := r.sup.Stats()
+	if st.Restores != 1 || st.Restarts != 0 {
+		t.Fatalf("stats = %+v, want recovery via exactly one restore, no cold restart", st)
+	}
+	if snaps := r.d.SnapshotStats(); snaps.Restores != 1 {
+		t.Fatalf("snapshot stats = %+v, want 1 restore", snaps)
+	}
+}
+
+// TestRestoreMTTRTenfoldBelowCold is the acceptance floor: restore-path
+// MTTR at least 10x below cold-restart MTTR for the same fault.
+func TestRestoreMTTRTenfoldBelowCold(t *testing.T) {
+	mttr := func(opts anception.Options) time.Duration {
+		r := bootSnapshotRig(t, opts, supervisor.Config{})
+		if !r.sup.Tick() {
+			t.Fatal("healthy tick failed")
+		}
+		r.d.InjectGuestPanic("drill")
+		if err := r.sup.RunUntilHealthy(50); err != nil {
+			t.Fatal(err)
+		}
+		return r.sup.Stats().LastMTTR
+	}
+	cold := mttr(anception.Options{})
+	warm := mttr(anception.Options{SnapshotInterval: time.Millisecond})
+	if warm <= 0 || cold <= 0 {
+		t.Fatalf("MTTRs not recorded: warm %v, cold %v", warm, cold)
+	}
+	if warm*10 > cold {
+		t.Fatalf("restore MTTR %v not 10x below cold MTTR %v", warm, cold)
+	}
+}
+
+// TestSnapshotCorruptFallsBackToColdRestart: the snapshot-corrupt fault
+// class rots the checkpoint; the watchdog provably detects the checksum
+// mismatch, counts a restore failure, and recovers via cold restart.
+func TestSnapshotCorruptFallsBackToColdRestart(t *testing.T) {
+	r := bootSnapshotRig(t, anception.Options{SnapshotInterval: time.Millisecond}, supervisor.Config{})
+	durable := writeDurable(t, r, "precious.txt", "pre-fault")
+	if !r.sup.Tick() {
+		t.Fatal("healthy tick failed")
+	}
+
+	r.inj.InjectNext(supervisor.FaultSnapshotCorrupt)
+	// The corrupting round-trip rides the app's next call, then the panic
+	// takes the guest down with only the rotted checkpoint on file.
+	if _, err := r.app.Open("carrier.txt", abi.OWrOnly|abi.OCreat, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	r.d.InjectGuestPanic("drill")
+
+	assertRecovered(t, r, durable, "pre-fault")
+	st := r.sup.Stats()
+	if st.Restores != 0 {
+		t.Fatalf("corrupt checkpoint was restored: %+v", st)
+	}
+	if st.RestoreFailures == 0 {
+		t.Fatalf("restore path never attempted/failed: %+v", st)
+	}
+	if st.Restarts == 0 {
+		t.Fatalf("no cold restart fallback: %+v", st)
+	}
+	snaps := r.d.SnapshotStats()
+	if snaps.ChecksumRejects == 0 {
+		t.Fatalf("checksum mismatch not detected: %+v", snaps)
+	}
+	if !errorsIsAny(r.sup.LastError()) {
+		t.Log("last error cleared after recovery (expected)")
+	}
+}
+
+func errorsIsAny(err error) bool { return errors.Is(err, abi.EIO) || err == nil }
