@@ -22,6 +22,7 @@ import (
 	"anception/internal/android"
 	"anception/internal/exploits"
 	"anception/internal/marshal"
+	"anception/internal/netstack"
 	"anception/internal/workloads"
 )
 
@@ -801,5 +802,153 @@ func BenchmarkCVMSizeProxyCapacity(b *testing.B) {
 				b.ReportMetric(float64(d.CVMMemory().ActiveKB), "active-KB")
 			}
 		})
+	}
+}
+
+// --- Network fast path (DESIGN.md §14) ------------------------------------
+
+// benchSockEcho measures one redirected echo round trip — send the
+// payload, recv the reply — against a registered simulated remote.
+func benchSockEcho(b *testing.B, opts anception.Options, size, respLen int) {
+	d := newBenchDevice(b, anception.ModeAnception, opts)
+	defer d.Close()
+	d.RegisterRemote("echo.bench:80", func(req []byte) []byte {
+		if len(req) > 128 {
+			return []byte("ok")
+		}
+		return req
+	})
+	p := launchBenchApp(b, d, "com.bench.sock")
+	fd, err := p.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Connect(fd, "echo.bench:80"); err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, size)
+	if _, err := p.Send(fd, payload); err != nil { // warm the path
+		b.Fatal(err)
+	}
+	if _, err := p.Recv(fd, respLen); err != nil {
+		b.Fatal(err)
+	}
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Send(fd, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Recv(fd, respLen); err != nil {
+			b.Fatal(err)
+		}
+	}
+	simPerOp(b, d, start)
+	if st := d.NetStats(); st.Submitted > 0 {
+		b.ReportMetric(float64(st.RingOps)/float64(st.Submitted), "ring-frac")
+	}
+}
+
+// The synchronous sockop baseline: generic TLV forwards, two world
+// switches per op. evaluate -exp network pins this row uncached.
+func BenchmarkSocket_SyncEcho(b *testing.B) {
+	benchSockEcho(b, anception.Options{CallDeadline: time.Hour}, 128, 128)
+}
+
+// Sockets over the async ring: compact sockop frames in inline slots.
+func BenchmarkSocket_RingEcho(b *testing.B) {
+	benchSockEcho(b, anception.Options{
+		RingDepth:     marshal.DefaultRingDepth,
+		RingWorkers:   1,
+		RingReapBatch: marshal.DefaultRingDepth,
+		CallDeadline:  time.Hour,
+	}, 128, 128)
+}
+
+// A 64 KiB send moving by grant reference over the ring; the reply is a
+// short ack so the outbound leg dominates.
+func BenchmarkSocket_GrantSend64K(b *testing.B) {
+	benchSockEcho(b, grantRingOpts(), 64<<10, 2)
+}
+
+// BenchmarkSocket_AcceptBatch measures the batched accept4 path: each op
+// is one wave of DefaultNetBatch loopback connects drained by a single
+// epoll_wait plus batched accept4 calls, echoed and closed.
+func BenchmarkSocket_AcceptBatch(b *testing.B) {
+	d := newBenchDevice(b, anception.ModeAnception, anception.Options{
+		RingDepth: marshal.DefaultRingDepth, RingWorkers: 4, CallDeadline: time.Hour,
+	})
+	defer d.Close()
+	srv := launchBenchApp(b, d, "com.bench.srv")
+	cli := launchBenchApp(b, d, "com.bench.cli")
+	lfd, err := srv.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Bind(lfd, "bench.cvm:9000"); err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.Listen(lfd, 0); err != nil {
+		b.Fatal(err)
+	}
+	epfd, err := srv.EpollCreate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.EpollCtl(epfd, 1, lfd); err != nil {
+		b.Fatal(err)
+	}
+	msg := []byte("ping")
+	start := d.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fds := make([]int, 0, anception.DefaultNetBatch)
+		for j := 0; j < anception.DefaultNetBatch; j++ {
+			fd, err := cli.Socket(netstack.AFInet, netstack.SockStream, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := cli.Connect(fd, "bench.cvm:9000"); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := cli.Send(fd, msg); err != nil {
+				b.Fatal(err)
+			}
+			fds = append(fds, fd)
+		}
+		ready, err := srv.EpollWait(epfd, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, rfd := range ready {
+			conns, err := srv.AcceptBatch(rfd, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, cfd := range conns {
+				req, err := srv.Recv(cfd, len(msg))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := srv.Send(cfd, req); err != nil {
+					b.Fatal(err)
+				}
+				if err := srv.Close(cfd); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		for _, fd := range fds {
+			if _, err := cli.Recv(fd, len(msg)); err != nil {
+				b.Fatal(err)
+			}
+			if err := cli.Close(fd); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	simPerOp(b, d, start)
+	if st := d.NetStats(); st.Batches > 0 {
+		b.ReportMetric(float64(st.BatchedFDs)/float64(st.Batches), "fds/batch")
 	}
 }

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 
 	"anception/internal/abi"
 	"anception/internal/anception"
@@ -41,6 +43,54 @@ type benchReport struct {
 	// Binder holds the sync/session/pipelined/cached bridge sweep
 	// (-exp binder), merged the same way.
 	Binder []binderRow `json:"binder,omitempty"`
+}
+
+// networkJSONFile is where -exp network writes the redirected-network
+// fast-path report. It is a separate document from BENCH_redirection.json
+// but shares the iterations header and the benchRow shape, so the same
+// tooling parses both.
+const networkJSONFile = "BENCH_network.json"
+
+// netWorkloadRow is one transport's open-loop traffic-workload result:
+// latency percentiles and throughput under the modeled ~100k-client
+// population (workloads.RunNetServer).
+type netWorkloadRow struct {
+	Transport      string  `json:"transport"`
+	Sessions       int     `json:"sessions"`
+	Clients        int     `json:"clients"`
+	Lanes          int     `json:"lanes"`
+	P50SimUs       float64 `json:"p50_sim_us"`
+	P99SimUs       float64 `json:"p99_sim_us"`
+	P999SimUs      float64 `json:"p999_sim_us"`
+	MaxSimUs       float64 `json:"max_sim_us"`
+	OpsPerSimSec   float64 `json:"ops_per_sim_s"`
+	ThinkTimeMs    float64 `json:"think_time_ms"`
+	AvgAcceptBatch float64 `json:"avg_accept_batch"`
+}
+
+// networkReport is the -exp network output document.
+type networkReport struct {
+	Iterations int        `json:"iterations"`
+	Rows       []benchRow `json:"rows"`
+	// EchoSpeedup compares per-op 128 B echo cost on the sync channel
+	// against the pipelined sockop ring; WorkloadSpeedup is the same
+	// comparison under the open-loop traffic workload's ops/sim-s.
+	EchoSpeedup     float64 `json:"echo_speedup"`
+	WorkloadSpeedup float64 `json:"workload_speedup"`
+	// GrantSendSpeedup compares the redirection overhead (per-op cost
+	// above the native wire+syscall baseline) of the chunk-copied
+	// synchronous 64 KiB send against the grant-backed one riding the
+	// pipelined ring.
+	GrantSendSpeedup float64          `json:"grant_send_speedup"`
+	Workload         []netWorkloadRow `json:"workload"`
+}
+
+func writeNetworkReport(report *networkReport) error {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(networkJSONFile, append(blob, '\n'), 0o644)
 }
 
 // benchDevice boots a quiet platform and a benchmark app for bench-json.

@@ -17,6 +17,7 @@
 //	evaluate -exp bench-json  redirection-cache speedups + concurrency rows -> BENCH_redirection.json
 //	evaluate -exp zerocopy  copy vs grant vs grant+ring transfer sweep -> BENCH_redirection.json
 //	evaluate -exp binder    sync vs session vs pipelined vs cached binder bridge sweep -> BENCH_redirection.json
+//	evaluate -exp network   sockets over the ring + open-loop 100k-client traffic -> BENCH_network.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, network, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -60,9 +61,10 @@ func run(exp string) error {
 		"bench-json":  benchJSON,
 		"zerocopy":    zerocopy,
 		"binder":      binderExp,
+		"network":     networkExp,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder", "network"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,30 @@
+package abi
+
+import "encoding/binary"
+
+// EncodeFDList packs a descriptor list into a little-endian u32 vector.
+// Batched accept4 replies carry the accepted guest descriptors this way
+// (one ring completion, N connections); epoll_wait replies reuse it for
+// ready-descriptor vectors. It lives in abi because both the simulated
+// kernel and the anception layer need it and the kernel cannot import
+// marshal.
+func EncodeFDList(fds []int) []byte {
+	out := make([]byte, 4*len(fds))
+	for i, fd := range fds {
+		binary.LittleEndian.PutUint32(out[4*i:], uint32(fd))
+	}
+	return out
+}
+
+// DecodeFDList unpacks a descriptor vector produced by EncodeFDList.
+// A ragged tail (length not a multiple of 4) means a corrupt frame.
+func DecodeFDList(b []byte) ([]int, error) {
+	if len(b)%4 != 0 {
+		return nil, EINVAL
+	}
+	fds := make([]int, len(b)/4)
+	for i := range fds {
+		fds[i] = int(int32(binary.LittleEndian.Uint32(b[4*i:])))
+	}
+	return fds, nil
+}

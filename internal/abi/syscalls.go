@@ -89,6 +89,9 @@ const (
 	SysGettid       SyscallNr = 224
 	SysFutex        SyscallNr = 240
 	SysExitGroup    SyscallNr = 248
+	SysEpollCreate  SyscallNr = 250
+	SysEpollCtl     SyscallNr = 251
+	SysEpollWait    SyscallNr = 252
 	SysClockGettime SyscallNr = 263
 	SysTgkill       SyscallNr = 268
 
@@ -116,6 +119,7 @@ const (
 	SysPreadv        SyscallNr = 361
 	SysPwritev       SyscallNr = 362
 	SysPerfEventOpen SyscallNr = 364
+	SysAccept4       SyscallNr = 366
 )
 
 var sysNames = map[SyscallNr]string{
@@ -141,11 +145,13 @@ var sysNames = map[SyscallNr]string{
 	SysFchdir: "fchdir", SysGetdents: "getdents", SysMsync: "msync",
 	SysNanosleep: "nanosleep", SysMremap: "mremap",
 	SysReadv: "readv", SysWritev: "writev", SysPreadv: "preadv",
-	SysPwritev: "pwritev",
+	SysPwritev:   "pwritev",
 	SysSetresuid: "setresuid", SysPoll: "poll", SysPread64: "pread64",
 	SysPwrite64: "pwrite64", SysChown: "chown", SysGetcwd: "getcwd",
 	SysSendfile: "sendfile", SysVfork: "vfork", SysMmap2: "mmap2",
 	SysGettid: "gettid", SysFutex: "futex", SysExitGroup: "exit_group",
+	SysEpollCreate: "epoll_create", SysEpollCtl: "epoll_ctl",
+	SysEpollWait:    "epoll_wait",
 	SysClockGettime: "clock_gettime", SysTgkill: "tgkill",
 	SysSocket: "socket", SysBind: "bind", SysConnect: "connect",
 	SysListen: "listen", SysAccept: "accept",
@@ -157,6 +163,7 @@ var sysNames = map[SyscallNr]string{
 	SysShmat: "shmat", SysShmdt: "shmdt", SysShmget: "shmget",
 	SysShmctl:        "shmctl",
 	SysPerfEventOpen: "perf_event_open",
+	SysAccept4:       "accept4",
 }
 
 // String returns the syscall's conventional name, or "sys_N" if unknown.

@@ -127,6 +127,17 @@ type Options struct {
 	// by default — the paper's Table I rows are measured without it.
 	GrantThreshold int
 
+	// NetBatch caps how many accepted connections or readiness events one
+	// batched accept4/epoll_wait ring completion may carry (default
+	// anception.DefaultNetBatch). Callers asking for more are clamped;
+	// callers asking for 0 get the full cap.
+	NetBatch int
+	// SockRcvBudget overrides the per-socket receive-queue byte budget
+	// (default netstack.DefaultRcvBudget). A full stream queue pushes
+	// EAGAIN back at the sender; a full datagram queue drops silently and
+	// counts the drop.
+	SockRcvBudget int
+
 	// BinderSessions enables persistent binder sessions to CVM-resident
 	// services (DESIGN.md §12): the first transaction to a service pays a
 	// one-time BinderSessionSetup (proxy enrollment + pinned guest
@@ -398,11 +409,20 @@ func (d *Device) bootAnception() error {
 
 		BinderSessions:   d.Opts.BinderSessions,
 		BinderReplyCache: d.Opts.BinderReplyCache,
+
+		NetBatch: d.Opts.NetBatch,
 	})
 	if err != nil {
 		return err
 	}
 	host.SetInterceptor(layer)
+
+	// Key the guest stack to the boot generation so ConnectPolicy
+	// re-checks fire after a restart, and apply the receive budget knob.
+	guest.Net().SetGeneration(uint64(cvm.Generation()))
+	if d.Opts.SockRcvBudget > 0 {
+		guest.Net().SetDefaultRcvBudget(d.Opts.SockRcvBudget)
+	}
 
 	d.Host, d.HostServices = host, hostSvcs
 	d.CVM, d.Guest, d.GuestServices = cvm, guest, guestSvcs
@@ -633,6 +653,9 @@ func (d *Device) rebuildGuest() (*kernel.Kernel, *android.Services, *proxy.Manag
 	}
 	proxies := proxy.NewManager(guest, d.Clock, d.Model, d.Trace)
 	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
+	if d.Opts.SockRcvBudget > 0 {
+		guest.Net().SetDefaultRcvBudget(d.Opts.SockRcvBudget)
+	}
 	return guest, svcs, proxies, nil
 }
 
@@ -673,6 +696,28 @@ func (d *Device) DrainBinder() {
 		return
 	}
 	d.Layer.drainBinder(d.CVM.Generation())
+}
+
+// DrainSockets rolls the network fast path to the CVM's current boot
+// generation: ring slots still carrying socket ops against the old boot
+// fail EHOSTDOWN, and the fresh guest stack's generation is rolled so
+// surviving sockets re-run the current ConnectPolicy on next use.
+// ReplaceGuest already does this on restart; the supervisor also calls
+// it explicitly (via the SocketDrainer hook) after each successful
+// restart, ordered between the ring and binder drains.
+func (d *Device) DrainSockets() {
+	if d.Layer == nil || d.CVM == nil {
+		return
+	}
+	d.Layer.DrainSockets(d.CVM.Generation())
+}
+
+// NetStats snapshots the network fast-path counters.
+func (d *Device) NetStats() NetPathStats {
+	if d.Layer == nil {
+		return NetPathStats{}
+	}
+	return d.Layer.NetStats()
 }
 
 // BinderStats snapshots the binder fast-path counters (zero value when

@@ -118,7 +118,8 @@ func (l *Layer) grantEligible(args *kernel.Args) bool {
 		return false
 	}
 	switch args.Nr {
-	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64:
+	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
+		abi.SysSend, abi.SysSendto, abi.SysRecv, abi.SysRecvfrom:
 		return len(args.Buf) >= l.grants.threshold
 	case abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev:
 		return grantIovTotal(args.Iov) >= l.grants.threshold
@@ -188,7 +189,8 @@ func (l *Layer) forwardGrantFD(st *layerState, t *kernel.Task, e *kernel.FDEntry
 	var liveID int64
 	if writeStyle {
 		off := args.Off
-		if args.Nr == abi.SysWrite || args.Nr == abi.SysWritev {
+		if args.Nr == abi.SysWrite || args.Nr == abi.SysWritev ||
+			args.Nr == abi.SysSend || args.Nr == abi.SysSendto {
 			off = -1 // cursor write: offset unknown, overlap everything
 		}
 		liveID = l.grants.registerWrite(e.GuestFD, off, grantPayloadLen(args))

@@ -385,7 +385,7 @@ func TestGrantConcurrentRestartUnderLoad(t *testing.T) {
 
 	// Every worker recovers with a granted round trip on the final guest.
 	for i, app := range apps {
-		want := pattern(4096, byte(0x80 + i))
+		want := pattern(4096, byte(0x80+i))
 		fd, err := app.Open("final.dat", abi.ORdWr|abi.OCreat, 0o600)
 		if err != nil {
 			t.Fatalf("worker %d post-restart open: %v", i, err)

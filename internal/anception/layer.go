@@ -47,6 +47,9 @@ type Layer struct {
 	// hung transport or wedged guest surfaces as ETIMEDOUT at this bound
 	// instead of blocking the app forever.
 	deadline time.Duration
+	// netBatch caps the descriptors per batched accept4/epoll_wait
+	// completion (DESIGN.md §14).
+	netBatch int
 
 	// state is the hot-path snapshot: Intercept/forward load it once with
 	// a single atomic read instead of taking a mutex per field. Writers
@@ -102,6 +105,14 @@ type layerCounters struct {
 	grantBytes       atomic.Int64
 	grantCacheBypass atomic.Int64
 
+	sockSubmitted  atomic.Int64
+	sockCompleted  atomic.Int64
+	sockFailed     atomic.Int64
+	sockRing       atomic.Int64
+	sockBatches    atomic.Int64
+	sockBatchedFDs atomic.Int64
+	sockDrains     atomic.Int64
+
 	restores       atomic.Int64
 	upgrades       atomic.Int64
 	cachePagesKept atomic.Int64
@@ -149,6 +160,9 @@ type LayerStats struct {
 	// transactions, reply-cache hits, restart drains — zero when both
 	// Options.BinderSessions and BinderReplyCache are off.
 	Binder BinderStats
+	// Net holds the network fast-path counters — socket ops over the
+	// ring, batched accept/epoll completions, restart drains.
+	Net NetPathStats
 	// Restore holds the snapshot-restore and live-upgrade counters.
 	Restore RestoreStats
 }
@@ -219,6 +233,9 @@ type LayerConfig struct {
 	// BinderReplyCache enables the idempotent binder reply cache for
 	// codes declared read-only at Register.
 	BinderReplyCache bool
+	// NetBatch caps the descriptors one batched accept4/epoll_wait
+	// completion may carry (0 = DefaultNetBatch).
+	NetBatch int
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -243,7 +260,11 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 		execCache:    execCache,
 		keepFSOnHost: cfg.KeepFSOnHost,
 		deadline:     deadline,
+		netBatch:     cfg.NetBatch,
 		mmapBindings: make(map[int]map[uint64]mmapBinding),
+	}
+	if l.netBatch <= 0 {
+		l.netBatch = DefaultNetBatch
 	}
 	l.state.Store(&layerState{
 		guest:     cfg.Guest,
@@ -332,6 +353,10 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
 		ring.Rearm(gen)
 	}
+	// Roll the network fast path: in-flight socket slots fail EHOSTDOWN
+	// with the re-arm above, and the fresh guest stack is keyed to the
+	// new generation so ConnectPolicy re-checks fire.
+	l.DrainSockets(gen)
 	// Revoke every zero-copy grant: the guest mappings died with the old
 	// container, and refs tagged with its boot generation must fail
 	// EHOSTDOWN instead of touching host pages the app may have reused.
@@ -425,6 +450,10 @@ func (l *Layer) reconcileWarmState(guest *kernel.Kernel, proxies *proxy.Manager,
 	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
 		ring.Rearm(gen)
 	}
+	// Sockets inside the restored image survive, but their connect-time
+	// policy check predates the swap: roll the stack generation so each
+	// re-runs the current ConnectPolicy on next use.
+	guest.Net().SetGeneration(uint64(gen))
 	grantsKept := l.reconcileGrants(takenAt)
 	l.counters.cachePagesKept.Add(int64(pagesKept))
 	l.counters.attrsKept.Add(int64(attrsKept))
@@ -555,6 +584,7 @@ func (l *Layer) Stats() LayerStats {
 	}
 	s.Grants = l.GrantStats()
 	s.Binder = l.BinderStats()
+	s.Net = l.NetStats()
 	s.Restore = RestoreStats{
 		Restores:       int(l.counters.restores.Load()),
 		Upgrades:       int(l.counters.upgrades.Load()),
@@ -667,6 +697,17 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		if l.grantEligible(args) {
 			return l.forwardGrantFD(st, t, e, args), true
 		}
+		// Socket ops take the network fast path: compact sockop frames
+		// over the ring, with the Submitted=Completed+Failed identity.
+		if isSockCall(args.Nr) {
+			fwd := *args
+			fwd.FD = e.GuestFD
+			res := l.forwardSock(st, t, &fwd)
+			if res.Ok() && len(res.Data) > 0 && len(args.Buf) > 0 {
+				copy(args.Buf, res.Data)
+			}
+			return res, true
+		}
 		if !l.cacheBypassed(st) {
 			if res, handled := l.cachedFDCall(st, t, e, args); handled {
 				return res, true
@@ -722,13 +763,30 @@ func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.R
 		}
 		fwd := *args
 		fwd.FD = e.GuestFD
+		fwd.Path = "sock:accepted"
 		return l.forwardWithFDResult(t, &fwd), true
+
+	case abi.SysAccept4:
+		return l.handleAccept4(t, args)
+
+	case abi.SysEpollCreate:
+		fwd := *args
+		fwd.Path = "epoll:"
+		return l.forwardWithFDResult(t, &fwd), true
+
+	case abi.SysEpollCtl:
+		return l.handleEpollCtl(t, args)
+
+	case abi.SysEpollWait:
+		return l.handleEpollWait(t, args)
 
 	case abi.SysSendfile:
 		return l.handleSendfile(t, args)
 
 	case abi.SysSocket:
-		return l.forwardWithFDResult(t, args), true
+		fwd := *args
+		fwd.Path = "sock:"
+		return l.forwardWithFDResult(t, &fwd), true
 
 	case abi.SysPipe:
 		res := l.forward(t, args)
@@ -921,12 +979,18 @@ func (l *Layer) handleSendfile(t *kernel.Task, args *kernel.Args) (kernel.Result
 			chunk = buf[:readRes.Ret]
 		}
 		writeArgs := kernel.Args{Nr: abi.SysWrite, FD: args.FD, Buf: chunk}
+		if out.Kind == kernel.FDRemote && strings.HasPrefix(out.Path, "sock:") {
+			// sendfile -> socket: the outbound leg is a send, so a big
+			// enough chunk rides the grant path and the guest transmits
+			// straight out of the pinned staging pages — no second copy.
+			writeArgs.Nr = abi.SysSend
+		}
 		var writeRes kernel.Result
 		if out.Kind == kernel.FDRemote {
 			writeArgs.FD = out.GuestFD
 			if l.grantEligible(&writeArgs) {
 				writeRes = l.forwardGrant(st, t, &writeArgs)
-				if writeRes.Ok() {
+				if writeRes.Ok() && writeArgs.Nr == abi.SysWrite {
 					l.noteGuestFDWrite(out.GuestFD)
 				}
 			} else {

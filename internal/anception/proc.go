@@ -284,6 +284,76 @@ func (p *Proc) Recv(fd int, n int) ([]byte, error) {
 	return buf[:res.Ret], nil
 }
 
+// RecvInto receives into a caller-owned buffer — the zero-copy grant
+// path pins exactly these pages, and benchmarks reuse one buffer.
+func (p *Proc) RecvInto(fd int, buf []byte) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysRecv, FD: fd, Buf: buf})
+	return int(res.Ret), res.Err
+}
+
+// Bind binds a socket to a local address.
+func (p *Proc) Bind(fd int, addr string) error {
+	return p.invoke(kernel.Args{Nr: abi.SysBind, FD: fd, Addr: addr}).Err
+}
+
+// Listen marks a bound socket as accepting connections.
+func (p *Proc) Listen(fd, backlog int) error {
+	return p.invoke(kernel.Args{Nr: abi.SysListen, FD: fd, Size: backlog}).Err
+}
+
+// Accept takes one pending connection, returning the new descriptor.
+func (p *Proc) Accept(fd int) (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysAccept, FD: fd})
+	if !res.Ok() {
+		return -1, res.Err
+	}
+	return res.FD, nil
+}
+
+// AcceptBatch drains up to max pending connections in one call (accept4
+// batching, DESIGN.md §14) — one ring completion carries the whole fd
+// list. max <= 0 asks for the configured batch cap.
+func (p *Proc) AcceptBatch(fd, max int) ([]int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysAccept4, FD: fd, Size: max})
+	if !res.Ok() {
+		return nil, res.Err
+	}
+	return abi.DecodeFDList(res.Data)
+}
+
+// EpollCreate creates an epoll instance.
+func (p *Proc) EpollCreate() (int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysEpollCreate})
+	if !res.Ok() {
+		return -1, res.Err
+	}
+	return res.FD, nil
+}
+
+// EpollCtl adds or removes a watched descriptor (op is
+// kernel.EpollCtlAdd or kernel.EpollCtlDel).
+func (p *Proc) EpollCtl(epfd, op, fd int) error {
+	return p.invoke(kernel.Args{Nr: abi.SysEpollCtl, FD: epfd, FD2: fd, Flags: abi.OpenFlag(op)}).Err
+}
+
+// EpollWait polls for up to max ready descriptors in one call — batched
+// like AcceptBatch, one ring completion carries N readiness events.
+func (p *Proc) EpollWait(epfd, max int) ([]int, error) {
+	res := p.invoke(kernel.Args{Nr: abi.SysEpollWait, FD: epfd, Size: max})
+	if !res.Ok() {
+		return nil, res.Err
+	}
+	if len(res.Data) == 0 {
+		return nil, nil
+	}
+	return abi.DecodeFDList(res.Data)
+}
+
+// Shutdown shuts down a connected socket.
+func (p *Proc) Shutdown(fd int) error {
+	return p.invoke(kernel.Args{Nr: abi.SysShutdownSk, FD: fd}).Err
+}
+
 // --- memory ---
 
 // Brk grows the heap to end (0 queries) and returns the break.

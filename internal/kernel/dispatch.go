@@ -228,6 +228,14 @@ func (k *Kernel) dispatchLocal(t *Task, args Args) Result {
 		return k.sysListen(t, args)
 	case abi.SysAccept:
 		return k.sysAccept(t, args)
+	case abi.SysAccept4:
+		return k.sysAccept4(t, args)
+	case abi.SysEpollCreate:
+		return k.sysEpollCreate(t, args)
+	case abi.SysEpollCtl:
+		return k.sysEpollCtl(t, args)
+	case abi.SysEpollWait:
+		return k.sysEpollWait(t, args)
 	case abi.SysSend, abi.SysSendto:
 		return k.sysSend(t, args)
 	case abi.SysRecv, abi.SysRecvfrom:

@@ -47,6 +47,8 @@ const (
 	FDRemote
 	// FDProcMem is an open /proc/<pid>/mem handle.
 	FDProcMem
+	// FDEpoll is an epoll instance watching socket readiness.
+	FDEpoll
 )
 
 // FDEntry is one slot of a task's descriptor table.
@@ -55,6 +57,7 @@ type FDEntry struct {
 	File    *vfs.File
 	Sock    *netstack.Socket
 	Pipe    *Pipe
+	Epoll   *Epoll // valid for FDEpoll
 	GuestFD int    // valid for FDRemote
 	Target  *Task  // valid for FDProcMem
 	Path    string // diagnostic: what was opened

@@ -34,6 +34,23 @@ func FuzzDecodeResult(f *testing.F) {
 	})
 }
 
+func FuzzDecodeSockOp(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeSockOp(&kernel.Args{Nr: abi.SysSend, FD: 4, Buf: []byte("GET /")}))
+	f.Add(EncodeSockOp(&kernel.Args{Nr: abi.SysConnect, FD: 3, Addr: "cvm:80"}))
+	f.Add(EncodeSockOp(&kernel.Args{Nr: abi.SysRecv, FD: 4, Size: 4096}))
+	f.Add(EncodeSockOp(&kernel.Args{Nr: abi.SysAccept4, FD: 3, Size: 16}))
+	f.Add(EncodeSockOp(&kernel.Args{Nr: abi.SysEpollWait, FD: 5, Size: 8}))
+	f.Add([]byte{0xA9})
+	f.Add([]byte{0xA9, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		args, err := DecodeSockOp(data)
+		if err == nil && args == nil {
+			t.Fatal("nil args without error")
+		}
+	})
+}
+
 // FuzzArgsRoundTrip: anything that encodes must decode to itself.
 func FuzzArgsRoundTrip(f *testing.F) {
 	f.Add("/data/x", 3, []byte("buf"), int64(12), "tag")

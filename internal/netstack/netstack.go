@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"anception/internal/abi"
 )
@@ -96,6 +97,12 @@ const (
 	StateClosed
 )
 
+// DefaultRcvBudget is the SO_RCVBUF-style byte budget of a socket's
+// receive queue. An open-loop sender used to grow recvq without limit;
+// now a full stream queue pushes EAGAIN back at the sender and a full
+// datagram queue drops (counted), like a real kernel.
+const DefaultRcvBudget = 256 << 10
+
 // Socket is one endpoint.
 type Socket struct {
 	stack  *Stack
@@ -110,9 +117,20 @@ type Socket struct {
 	peer      *Socket
 	remote    RemoteHandler
 	recvq     [][]byte
+	rcvBytes  int
+	rcvBudget int
 	backlog   []*Socket
 	vulns     map[VulnFlag]bool
 	owner     Cred
+
+	// policyGen records the stack generation whose ConnectPolicy vetted
+	// this socket's outbound connect; policyChecked marks sockets that
+	// went through Connect (server-side accept halves are exempt). When
+	// the stack generation rolls (CVM restart), the next Send/Recv
+	// re-runs the then-current policy so a firewall swapped in by the
+	// supervisor applies to resurrected sockets too.
+	policyGen     uint64
+	policyChecked bool
 }
 
 // ConnectPolicy may veto outbound connections. The host installs one on
@@ -131,6 +149,17 @@ type Stack struct {
 	netlinks  map[int]netlinkEntry
 	vulnByKey map[string]VulnFlag
 	policy    ConnectPolicy
+
+	// defaultBudget overrides DefaultRcvBudget for new sockets when > 0
+	// (the Options.SockRcvBudget knob).
+	defaultBudget int
+
+	// generation is the CVM boot generation this stack is serving;
+	// rolling it invalidates every socket's connect-time policy check.
+	generation atomic.Uint64
+	// dgramDrops counts datagrams dropped because the receiver's budget
+	// was full.
+	dgramDrops atomic.Int64
 }
 
 type netlinkEntry struct {
@@ -179,6 +208,45 @@ func (s *Stack) SetConnectPolicy(p ConnectPolicy) {
 	s.policy = p
 }
 
+// SetGeneration rolls the stack to a new CVM boot generation. Sockets
+// vetted by an older generation's ConnectPolicy re-run the current
+// policy on their next Send/Recv.
+func (s *Stack) SetGeneration(gen uint64) { s.generation.Store(gen) }
+
+// Generation returns the stack's current boot generation.
+func (s *Stack) Generation() uint64 { return s.generation.Load() }
+
+// DgramDrops returns the count of datagrams dropped at full receive
+// budgets.
+func (s *Stack) DgramDrops() int64 { return s.dgramDrops.Load() }
+
+// SetDefaultRcvBudget sets the receive budget new sockets start with
+// (<= 0 restores DefaultRcvBudget). Existing sockets are unaffected.
+func (s *Stack) SetDefaultRcvBudget(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.defaultBudget = n
+}
+
+func (s *Stack) rcvBudgetDefault() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.defaultBudget > 0 {
+		return s.defaultBudget
+	}
+	return DefaultRcvBudget
+}
+
+// IsRemote reports whether addr names a scripted remote endpoint (as
+// opposed to a loopback listener or unix name). The kernel charges the
+// wide-area NetworkRTT only for these.
+func (s *Stack) IsRemote(addr string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.remotes[addr]
+	return ok
+}
+
 // NetlinkProtocols lists the registered netlink protocol numbers in
 // ascending order; the kernel synthesizes /proc/net/netlink from it.
 func (s *Stack) NetlinkProtocols() []int {
@@ -208,13 +276,14 @@ func (s *Stack) Socket(cred Cred, f Family, t SockType, proto int) (*Socket, err
 		return nil, abi.EINVAL
 	}
 	sock := &Socket{
-		stack:  s,
-		Family: f,
-		Type:   t,
-		Proto:  proto,
-		state:  StateNew,
-		vulns:  make(map[VulnFlag]bool),
-		owner:  cred,
+		stack:     s,
+		Family:    f,
+		Type:      t,
+		Proto:     proto,
+		state:     StateNew,
+		rcvBudget: s.rcvBudgetDefault(),
+		vulns:     make(map[VulnFlag]bool),
+		owner:     cred,
 	}
 	s.mu.Lock()
 	if v, ok := s.vulnByKey[vulnKey(f, t)]; ok {
@@ -233,6 +302,17 @@ func (sk *Socket) HasVulnerability(v VulnFlag) bool {
 
 // Owner returns the creating credentials.
 func (sk *Socket) Owner() Cred { return sk.owner }
+
+// SetRcvBuf adjusts the receive-queue byte budget (SO_RCVBUF). A
+// non-positive size restores the default.
+func (sk *Socket) SetRcvBuf(n int) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if n <= 0 {
+		n = DefaultRcvBudget
+	}
+	sk.rcvBudget = n
+}
 
 // State returns the socket state.
 func (sk *Socket) State() State {
@@ -305,6 +385,36 @@ func (sk *Socket) Accept() (*Socket, error) {
 	return conn, nil
 }
 
+// AcceptBatch dequeues up to max pending connections in one call — the
+// netstack half of batched accept4, where one ring completion carries N
+// accepted connections. EAGAIN when the backlog is empty; max <= 0 means
+// "all of them".
+func (sk *Socket) AcceptBatch(max int) ([]*Socket, error) {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	if sk.state != StateListening {
+		return nil, abi.EINVAL
+	}
+	if len(sk.backlog) == 0 {
+		return nil, abi.EAGAIN
+	}
+	n := len(sk.backlog)
+	if max > 0 && max < n {
+		n = max
+	}
+	conns := make([]*Socket, n)
+	copy(conns, sk.backlog)
+	sk.backlog = sk.backlog[n:]
+	return conns, nil
+}
+
+// Backlog reports the number of connections waiting to be accepted.
+func (sk *Socket) Backlog() int {
+	sk.mu.Lock()
+	defer sk.mu.Unlock()
+	return len(sk.backlog)
+}
+
 // Connect attaches the socket to a remote address: a scripted remote, a
 // local listener, or a bound unix socket.
 func (sk *Socket) Connect(addr string) error {
@@ -336,24 +446,27 @@ func (sk *Socket) Connect(addr string) error {
 	}
 	s.mu.Unlock()
 
+	gen := s.generation.Load()
 	switch {
 	case isRemote:
 		sk.mu.Lock()
 		sk.remote = remote
 		sk.peerAddr = addr
 		sk.state = StateConnected
+		sk.policyGen, sk.policyChecked = gen, true
 		sk.mu.Unlock()
 		return nil
 	case listener != nil:
 		serverSide := &Socket{
 			stack: s, Family: sk.Family, Type: sk.Type, Proto: sk.Proto,
 			state: StateConnected, peerAddr: "client", vulns: map[VulnFlag]bool{},
-			owner: listener.owner,
+			owner: listener.owner, rcvBudget: s.rcvBudgetDefault(),
 		}
 		sk.mu.Lock()
 		sk.peer = serverSide
 		sk.peerAddr = addr
 		sk.state = StateConnected
+		sk.policyGen, sk.policyChecked = gen, true
 		sk.mu.Unlock()
 		serverSide.peer = sk
 		listener.mu.Lock()
@@ -364,12 +477,13 @@ func (sk *Socket) Connect(addr string) error {
 		serverSide := &Socket{
 			stack: s, Family: sk.Family, Type: sk.Type, Proto: sk.Proto,
 			state: StateConnected, peerAddr: "client", vulns: map[VulnFlag]bool{},
-			owner: unixPeer.owner,
+			owner: unixPeer.owner, rcvBudget: s.rcvBudgetDefault(),
 		}
 		sk.mu.Lock()
 		sk.peer = serverSide
 		sk.peerAddr = addr
 		sk.state = StateConnected
+		sk.policyGen, sk.policyChecked = gen, true
 		sk.mu.Unlock()
 		serverSide.peer = sk
 		unixPeer.mu.Lock()
@@ -381,9 +495,45 @@ func (sk *Socket) Connect(addr string) error {
 	}
 }
 
+// recheckPolicy re-runs the stack's ConnectPolicy against a socket whose
+// connect-time check predates the current boot generation. A policy the
+// supervisor swapped in around a CVM restart thereby applies to sockets
+// that survived (or were resurrected across) the restart, not just to
+// new connects.
+func (sk *Socket) recheckPolicy() error {
+	s := sk.stack
+	gen := s.generation.Load()
+	sk.mu.Lock()
+	if !sk.policyChecked || sk.policyGen == gen {
+		sk.mu.Unlock()
+		return nil
+	}
+	owner, addr := sk.owner, sk.peerAddr
+	sk.mu.Unlock()
+
+	s.mu.Lock()
+	policy := s.policy
+	s.mu.Unlock()
+	if policy != nil {
+		if err := policy(owner, addr); err != nil {
+			return err
+		}
+	}
+	sk.mu.Lock()
+	sk.policyGen = gen
+	sk.mu.Unlock()
+	return nil
+}
+
 // Send transmits data on a connected socket. For scripted remotes the
-// response is queued for the next Recv.
+// response is queued for the next Recv. Peer delivery honors the
+// receiver's byte budget: a full stream queue pushes EAGAIN back at the
+// sender (backpressure), a full datagram queue drops the message and
+// counts it — so an open-loop sender cannot grow recvq without bound.
 func (sk *Socket) Send(data []byte) (int, error) {
+	if err := sk.recheckPolicy(); err != nil {
+		return 0, err
+	}
 	sk.mu.Lock()
 	if sk.state != StateConnected {
 		sk.mu.Unlock()
@@ -398,13 +548,27 @@ func (sk *Socket) Send(data []byte) (int, error) {
 		resp := remote(append([]byte(nil), data...))
 		sk.mu.Lock()
 		if resp != nil {
+			// Responses to the socket's own request are never dropped —
+			// the app asked for these bytes — but they still count
+			// against the budget so backpressure sees them.
 			sk.recvq = append(sk.recvq, resp)
+			sk.rcvBytes += len(resp)
 		}
 		sk.mu.Unlock()
 		return len(data), nil
 	case peer != nil:
 		peer.mu.Lock()
+		if peer.rcvBytes+len(data) > peer.rcvBudget {
+			dgram := peer.Type == SockDgram
+			peer.mu.Unlock()
+			if dgram {
+				sk.stack.dgramDrops.Add(1)
+				return len(data), nil
+			}
+			return 0, abi.EAGAIN
+		}
 		peer.recvq = append(peer.recvq, append([]byte(nil), data...))
+		peer.rcvBytes += len(data)
 		peer.mu.Unlock()
 		return len(data), nil
 	default:
@@ -432,8 +596,12 @@ func (sk *Socket) SendToNetlink(proto int, sender Cred, msg []byte) error {
 	return entry.receiver(sender, msg)
 }
 
-// Recv dequeues one buffered message; EAGAIN when empty.
+// Recv dequeues one buffered message; EAGAIN when empty. Consumed bytes
+// are released back to the receive budget.
 func (sk *Socket) Recv(p []byte) (int, error) {
+	if err := sk.recheckPolicy(); err != nil {
+		return 0, err
+	}
 	sk.mu.Lock()
 	defer sk.mu.Unlock()
 	if sk.state == StateClosed {
@@ -446,8 +614,13 @@ func (sk *Socket) Recv(p []byte) (int, error) {
 	n := copy(p, msg)
 	if sk.Type == SockStream && n < len(msg) {
 		sk.recvq[0] = msg[n:]
+		sk.rcvBytes -= n
 	} else {
 		sk.recvq = sk.recvq[1:]
+		sk.rcvBytes -= len(msg)
+	}
+	if sk.rcvBytes < 0 {
+		sk.rcvBytes = 0
 	}
 	return n, nil
 }
@@ -479,6 +652,7 @@ func (sk *Socket) Close() error {
 	local, fam, st := sk.localAddr, sk.Family, sk.state
 	sk.state = StateClosed
 	sk.recvq = nil
+	sk.rcvBytes = 0
 	sk.mu.Unlock()
 
 	s := sk.stack

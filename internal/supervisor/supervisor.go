@@ -48,6 +48,15 @@ type GrantRevoker interface {
 	RevokeGrants()
 }
 
+// SocketDrainer is implemented by targets with a redirected network fast
+// path. After every successful restart the supervisor rolls it to the
+// new boot generation: ring slots still carrying socket ops against the
+// old container fail EHOSTDOWN, and the fresh guest stack is keyed so
+// surviving sockets re-run the current ConnectPolicy on their next use.
+type SocketDrainer interface {
+	DrainSockets()
+}
+
 // BinderDrainer is implemented by targets with a binder bridge fast path.
 // After every successful restart the supervisor rolls it to the new boot
 // generation: pinned session handles and cached idempotent replies from
@@ -376,11 +385,16 @@ func (s *Supervisor) Tick() bool {
 //     in-flight slots fail EHOSTDOWN cleanly; re-arming before the grant
 //     sweep would let a slot complete against a grant that is about to
 //     be revoked underneath it.
-//  3. BinderDrainer — third: binder sessions pipeline transactions
+//  3. SocketDrainer — third: socket ops ride ring slots like file I/O,
+//     so the network fast path rolls only after the ring is keyed to the
+//     new generation; rolling it also re-keys the fresh guest stack so
+//     surviving sockets re-run the current ConnectPolicy, which must
+//     happen before any later hook could forward a socket op.
+//  4. BinderDrainer — fourth: binder sessions pipeline transactions
 //     through ring slots, so sessions are dropped only after the ring is
 //     keyed to the new generation — a drained session can then never
 //     re-pin its handle against the old boot.
-//  4. CacheInvalidator — last: the cache's fetch and flush paths forward
+//  5. CacheInvalidator — last: the cache's fetch and flush paths forward
 //     through the ring, grant, and binder paths above; invalidating after
 //     all of them guarantees nothing can re-populate the cache from a
 //     pre-drain code path, so no stale page survives the sweep.
@@ -396,6 +410,9 @@ func (s *Supervisor) runPostRestartHooks() {
 	}
 	if rd, ok := s.target.(RingDrainer); ok {
 		rd.DrainRing()
+	}
+	if sd, ok := s.target.(SocketDrainer); ok {
+		sd.DrainSockets()
 	}
 	if bd, ok := s.target.(BinderDrainer); ok {
 		bd.DrainBinder()

@@ -34,6 +34,7 @@ func (f *scriptTarget) SetDegraded(bool)              {}
 func (f *scriptTarget) GuestServiceAlive(string) bool { return true }
 func (f *scriptTarget) RevokeGrants()                 { f.calls = append(f.calls, "grants") }
 func (f *scriptTarget) DrainRing()                    { f.calls = append(f.calls, "ring") }
+func (f *scriptTarget) DrainSockets()                 { f.calls = append(f.calls, "sockets") }
 func (f *scriptTarget) DrainBinder()                  { f.calls = append(f.calls, "binder") }
 func (f *scriptTarget) InvalidateRedirCache()         { f.calls = append(f.calls, "cache") }
 
@@ -61,14 +62,15 @@ var errDown = fmt.Errorf("probe: %w", abi.EHOSTDOWN)
 
 // TestPostRestartHookOrder pins the documented contract: after every
 // successful cold restart the supervisor drains warm state in exactly the
-// order GrantRevoker, RingDrainer, BinderDrainer, CacheInvalidator.
+// order GrantRevoker, RingDrainer, SocketDrainer, BinderDrainer,
+// CacheInvalidator.
 func TestPostRestartHookOrder(t *testing.T) {
 	ft := &scriptTarget{probeErrs: []error{errDown}}
 	sup := supervisor.New(ft, sim.NewClock(), nil, supervisor.Config{})
 	if !sup.Tick() {
 		t.Fatalf("tick did not recover: %v", sup.LastError())
 	}
-	want := []string{"restart", "grants", "ring", "binder", "cache"}
+	want := []string{"restart", "grants", "ring", "sockets", "binder", "cache"}
 	if len(ft.calls) != len(want) {
 		t.Fatalf("calls = %v, want %v", ft.calls, want)
 	}
@@ -109,9 +111,9 @@ func TestRestoreFirstPolicy(t *testing.T) {
 // image) escalates to a cold restart within the same tick, hooks and all.
 func TestRestoreFailureFallsBackColdSameTick(t *testing.T) {
 	fr := &scriptRestorer{
-		scriptTarget:  scriptTarget{probeErrs: []error{errDown}},
-		usable:      true,
-		restoreErrs: []error{fmt.Errorf("image rotted: %w", abi.EIO)},
+		scriptTarget: scriptTarget{probeErrs: []error{errDown}},
+		usable:       true,
+		restoreErrs:  []error{fmt.Errorf("image rotted: %w", abi.EIO)},
 	}
 	sup := supervisor.New(fr, sim.NewClock(), nil, supervisor.Config{})
 	if !sup.Tick() {
@@ -121,7 +123,7 @@ func TestRestoreFailureFallsBackColdSameTick(t *testing.T) {
 	if st.RestoreFailures != 1 || st.Restores != 0 || st.Restarts != 1 {
 		t.Fatalf("stats = %+v, want 1 restore failure then 1 cold restart", st)
 	}
-	want := []string{"restore", "restart", "grants", "ring", "binder", "cache"}
+	want := []string{"restore", "restart", "grants", "ring", "sockets", "binder", "cache"}
 	if fmt.Sprint(fr.calls) != fmt.Sprint(want) {
 		t.Fatalf("calls = %v, want %v", fr.calls, want)
 	}
@@ -138,7 +140,7 @@ func TestRestoreMaxFailuresEscalation(t *testing.T) {
 	}
 	fr := &scriptRestorer{
 		scriptTarget: scriptTarget{probeErrs: down},
-		usable:     true,
+		usable:       true,
 		// Every restore fails, and the post-restart probe keeps failing
 		// too, so the outage spans several ticks.
 		restoreErrs: []error{abi.EIO, abi.EIO, abi.EIO, abi.EIO},

@@ -1,0 +1,370 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/netstack"
+)
+
+// Open-loop network traffic workload (DESIGN.md §14): an HTTP/RPC-style
+// echo server runs as an app behind the anception layer — listener,
+// epoll readiness, batched accept4, per-connection recv/send — while an
+// open-loop generator models a large population of concurrent simulated
+// clients. Each client session is one short request/response connection;
+// arrivals are scheduled on the sim clock at a fixed interarrival gap
+// regardless of completions (open loop: a slow server grows the queue,
+// it does not slow the clients), and each session's latency is measured
+// from its scheduled arrival to its completion, so queueing delay is in
+// the percentiles rather than hidden by generator back-off.
+//
+// Concurrency is modeled by Little's law: Clients concurrent clients
+// each issuing one request per think time T produce an aggregate arrival
+// rate of Clients/T. The generator calibrates the per-session service
+// cost first, then picks the interarrival gap for a target utilization,
+// so T = Clients * gap follows and the reported population is honest.
+
+// NetServerConfig tunes the echo-server traffic run. Zero values take
+// the documented defaults.
+type NetServerConfig struct {
+	// Sessions is the number of client sessions to generate (default
+	// 20000; the evaluate harness runs 100000).
+	Sessions int
+	// Clients is the modeled concurrent client population (default
+	// 100000). It sets the reported think time, not the arrival rate.
+	Clients int
+	// Lanes shards the server across this many listeners (default 4) so
+	// accept batches form per lane.
+	Lanes int
+	// ReqBytes is the request/response payload size (default 128 — small
+	// enough to ride an inline ring slot).
+	ReqBytes int
+	// Utilization is the target fraction of measured capacity the
+	// arrival rate aims at (default 0.8): high enough to queue, low
+	// enough to be stable.
+	Utilization float64
+	// CalibrationSessions sizes the closed-loop warm-up that measures
+	// per-session service cost (default 512).
+	CalibrationSessions int
+}
+
+func (c *NetServerConfig) applyDefaults() {
+	if c.Sessions <= 0 {
+		c.Sessions = 20_000
+	}
+	if c.Clients <= 0 {
+		c.Clients = 100_000
+	}
+	if c.Lanes <= 0 {
+		c.Lanes = 4
+	}
+	if c.ReqBytes <= 0 {
+		c.ReqBytes = 128
+	}
+	if c.Utilization <= 0 || c.Utilization >= 1 {
+		c.Utilization = 0.8
+	}
+	if c.CalibrationSessions <= 0 {
+		c.CalibrationSessions = 512
+	}
+}
+
+// NetServerStats is the outcome of one traffic run.
+type NetServerStats struct {
+	Mode     anception.Mode
+	Sessions int
+	Clients  int
+	Lanes    int
+
+	// Latency percentiles over per-session scheduled-arrival-to-
+	// completion sim time.
+	P50, P99, P999, Max time.Duration
+
+	// OpsPerSimSec is completed sessions per simulated second.
+	OpsPerSimSec float64
+	// Interarrival is the open-loop gap between scheduled arrivals.
+	Interarrival time.Duration
+	// ThinkTime = Clients * Interarrival: the per-client request period
+	// that yields this arrival rate from the modeled population.
+	ThinkTime time.Duration
+	// Elapsed is total sim time from first arrival to last completion.
+	Elapsed time.Duration
+
+	// AvgAcceptBatch is accepted connections per accept4 call — the
+	// batching win (1.0 means no batching happened).
+	AvgAcceptBatch float64
+	// DgramDrops counts receive-budget datagram drops (0 for this
+	// stream workload unless something is miswired).
+	DgramDrops int64
+}
+
+// netServerRig is the booted echo server: one server app with lane
+// listeners behind one epoll instance, and one client app per lane.
+type netServerRig struct {
+	d        *anception.Device
+	server   *anception.Proc
+	client   *anception.Proc
+	epfd     int
+	listen   []int // lane listener fds (server side)
+	addrs    []string
+	payload  []byte
+	accepts  int // accept4 calls that returned connections
+	accepted int // connections they carried
+}
+
+func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, error) {
+	srvApp, err := d.InstallApp(android.AppSpec{Package: "com.netserver.echo"})
+	if err != nil {
+		return nil, err
+	}
+	server, err := d.Launch(srvApp)
+	if err != nil {
+		return nil, err
+	}
+	cliApp, err := d.InstallApp(android.AppSpec{Package: "com.netserver.client"})
+	if err != nil {
+		return nil, err
+	}
+	client, err := d.Launch(cliApp)
+	if err != nil {
+		return nil, err
+	}
+
+	rig := &netServerRig{
+		d:       d,
+		server:  server,
+		client:  client,
+		payload: make([]byte, cfg.ReqBytes),
+	}
+	for i := range rig.payload {
+		rig.payload[i] = byte('a' + i%26)
+	}
+	rig.epfd, err = server.EpollCreate()
+	if err != nil {
+		return nil, fmt.Errorf("epoll_create: %w", err)
+	}
+	for lane := 0; lane < cfg.Lanes; lane++ {
+		addr := fmt.Sprintf("echo.cvm:%d", 9000+lane)
+		fd, err := server.Socket(netstack.AFInet, netstack.SockStream, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := server.Bind(fd, addr); err != nil {
+			return nil, fmt.Errorf("bind %s: %w", addr, err)
+		}
+		if err := server.Listen(fd, 0); err != nil {
+			return nil, fmt.Errorf("listen %s: %w", addr, err)
+		}
+		if err := server.EpollCtl(rig.epfd, 1 /* EPOLL_CTL_ADD */, fd); err != nil {
+			return nil, fmt.Errorf("epoll_ctl %s: %w", addr, err)
+		}
+		rig.listen = append(rig.listen, fd)
+		rig.addrs = append(rig.addrs, addr)
+	}
+	return rig, nil
+}
+
+// openSession starts one client session: connect to a lane and send the
+// request. The reply is collected by drain after the server turn.
+func (r *netServerRig) openSession(lane int) (int, error) {
+	fd, err := r.client.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err != nil {
+		return -1, err
+	}
+	if err := r.client.Connect(fd, r.addrs[lane%len(r.addrs)]); err != nil {
+		return -1, err
+	}
+	if _, err := r.client.Send(fd, r.payload); err != nil {
+		return -1, err
+	}
+	return fd, nil
+}
+
+// serveTurn runs the server's event loop once: a single epoll_wait
+// gathers every ready lane in one batched completion, then each lane's
+// accept backlog drains in accept4 batches and every connection is
+// echoed. One pass suffices — the wave's connects all precede the poll —
+// and never polling an idle set keeps the scheduler-quantum sleep out of
+// the service cost.
+func (r *netServerRig) serveTurn() error {
+	ready, err := r.server.EpollWait(r.epfd, 0)
+	if err != nil {
+		return fmt.Errorf("epoll_wait: %w", err)
+	}
+	for _, lfd := range ready {
+		for {
+			conns, err := r.server.AcceptBatch(lfd, 0)
+			if err != nil {
+				break // EAGAIN: lane drained
+			}
+			r.accepts++
+			r.accepted += len(conns)
+			for _, cfd := range conns {
+				req, err := r.server.Recv(cfd, len(r.payload))
+				if err != nil {
+					return fmt.Errorf("server recv: %w", err)
+				}
+				if _, err := r.server.Send(cfd, req); err != nil {
+					return fmt.Errorf("server send: %w", err)
+				}
+				if err := r.server.Close(cfd); err != nil {
+					return fmt.Errorf("server close: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// drain finishes one client session: receive the echo and close.
+func (r *netServerRig) drain(fd int) error {
+	resp, err := r.client.Recv(fd, len(r.payload))
+	if err != nil {
+		return fmt.Errorf("client recv: %w", err)
+	}
+	if len(resp) != len(r.payload) {
+		return fmt.Errorf("echo truncated: %d of %d bytes", len(resp), len(r.payload))
+	}
+	return r.client.Close(fd)
+}
+
+// runWave pushes one wave of sessions through open→serve→drain and
+// returns each session's completion time.
+func (r *netServerRig) runWave(count int, startLane int) ([]time.Duration, error) {
+	fds := make([]int, 0, count)
+	for i := 0; i < count; i++ {
+		fd, err := r.openSession(startLane + i)
+		if err != nil {
+			return nil, err
+		}
+		fds = append(fds, fd)
+	}
+	if err := r.serveTurn(); err != nil {
+		return nil, err
+	}
+	done := make([]time.Duration, 0, count)
+	for _, fd := range fds {
+		if err := r.drain(fd); err != nil {
+			return nil, err
+		}
+		done = append(done, r.d.Clock.Now())
+	}
+	return done, nil
+}
+
+// RunNetServer boots a device in the given mode, runs the open-loop
+// traffic workload, and reports latency percentiles and throughput. The
+// caller's opts select the transport under test (sync channel, ring,
+// ring+grants); Mode and DisableTrace are forced.
+func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConfig) (NetServerStats, error) {
+	cfg.applyDefaults()
+	opts.Mode = mode
+	opts.DisableTrace = true
+	if opts.CallDeadline == 0 {
+		opts.CallDeadline = time.Hour
+	}
+	d, err := anception.NewDevice(opts)
+	if err != nil {
+		return NetServerStats{}, err
+	}
+	defer d.Close()
+	rig, err := bootNetServer(d, &cfg)
+	if err != nil {
+		return NetServerStats{}, fmt.Errorf("boot net server: %w", err)
+	}
+
+	// Waves keep enough sessions in flight for accept batches to form
+	// without outrunning a lane's backlog bookkeeping.
+	wave := cfg.Lanes * anception.DefaultNetBatch
+	if wave > cfg.Sessions {
+		wave = cfg.Sessions
+	}
+
+	// Phase 1 — calibrate: closed-loop waves measure the per-session
+	// service cost on this transport.
+	calib := cfg.CalibrationSessions
+	calStart := d.Clock.Now()
+	for n := 0; n < calib; n += wave {
+		k := wave
+		if calib-n < k {
+			k = calib - n
+		}
+		if _, err := rig.runWave(k, n); err != nil {
+			return NetServerStats{}, fmt.Errorf("calibration: %w", err)
+		}
+	}
+	perSession := (d.Clock.Now() - calStart) / time.Duration(calib)
+	if perSession <= 0 {
+		perSession = time.Microsecond
+	}
+
+	// Phase 2 — open loop: arrivals at a fixed gap sized for the target
+	// utilization. arrival_i is fixed up front; a behind-schedule server
+	// accumulates the deficit as queueing delay in the percentiles.
+	gap := time.Duration(float64(perSession) / cfg.Utilization)
+	start := d.Clock.Now()
+	latencies := make([]time.Duration, 0, cfg.Sessions)
+	for n := 0; n < cfg.Sessions; n += wave {
+		k := wave
+		if cfg.Sessions-n < k {
+			k = cfg.Sessions - n
+		}
+		// Scheduled arrival of the wave's last session; if the server is
+		// ahead of the arrival process, it idles until then (the open
+		// loop never sends early).
+		waveArrival := start + time.Duration(n+k-1)*gap
+		if now := d.Clock.Now(); now < waveArrival {
+			d.Clock.Advance(waveArrival - now)
+		}
+		done, err := rig.runWave(k, n)
+		if err != nil {
+			return NetServerStats{}, fmt.Errorf("session %d: %w", n, err)
+		}
+		for i, completed := range done {
+			arrival := start + time.Duration(n+i)*gap
+			latencies = append(latencies, completed-arrival)
+		}
+	}
+	elapsed := d.Clock.Now() - start
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(latencies)-1))
+		return latencies[idx]
+	}
+	st := NetServerStats{
+		Mode:         mode,
+		Sessions:     cfg.Sessions,
+		Clients:      cfg.Clients,
+		Lanes:        cfg.Lanes,
+		P50:          pct(0.50),
+		P99:          pct(0.99),
+		P999:         pct(0.999),
+		Max:          latencies[len(latencies)-1],
+		Interarrival: gap,
+		ThinkTime:    time.Duration(cfg.Clients) * gap,
+		Elapsed:      elapsed,
+	}
+	if elapsed > 0 {
+		st.OpsPerSimSec = float64(cfg.Sessions) / elapsed.Seconds()
+	}
+	if rig.accepts > 0 {
+		st.AvgAcceptBatch = float64(rig.accepted) / float64(rig.accepts)
+	}
+	if mode == anception.ModeAnception {
+		st.DgramDrops = d.Guest.Net().DgramDrops()
+	} else {
+		st.DgramDrops = d.AppKernel().Net().DgramDrops()
+	}
+	return st, nil
+}
+
+// String renders a result row.
+func (s NetServerStats) String() string {
+	return fmt.Sprintf("%-12s %7d sessions (%d clients, think %v): p50=%v p99=%v p999=%v  %.0f ops/sim-s  batch=%.1f",
+		s.Mode, s.Sessions, s.Clients, s.ThinkTime.Round(time.Millisecond),
+		s.P50, s.P99, s.P999, s.OpsPerSimSec, s.AvgAcceptBatch)
+}

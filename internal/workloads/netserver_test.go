@@ -1,0 +1,73 @@
+package workloads
+
+import (
+	"testing"
+
+	"anception/internal/anception"
+)
+
+// TestNetServerWorkload runs the open-loop echo-server traffic workload
+// small on each transport and checks its invariants: ordered
+// percentiles, formed accept batches, and the ring beating the
+// synchronous channel (the full floors are enforced by evaluate -exp
+// network in CI).
+func TestNetServerWorkload(t *testing.T) {
+	cfg := NetServerConfig{Sessions: 1500}
+	ring, err := RunNetServer(anception.ModeAnception, anception.Options{
+		RingDepth:      64,
+		RingWorkers:    4,
+		GrantThreshold: 16384,
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := RunNetServer(anception.ModeAnception, anception.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := RunNetServer(anception.ModeNative, anception.Options{}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, st := range []NetServerStats{ring, sync, native} {
+		if st.Sessions != cfg.Sessions || st.OpsPerSimSec <= 0 {
+			t.Fatalf("%s: degenerate run: %+v", st.Mode, st)
+		}
+		if st.P50 <= 0 || st.P50 > st.P99 || st.P99 > st.P999 || st.P999 > st.Max {
+			t.Fatalf("%s: percentiles out of order: %+v", st.Mode, st)
+		}
+		if st.AvgAcceptBatch < 2 {
+			t.Fatalf("%s: accept batching never formed: avg %.2f", st.Mode, st.AvgAcceptBatch)
+		}
+		if st.DgramDrops != 0 {
+			t.Fatalf("%s: stream workload counted dgram drops: %d", st.Mode, st.DgramDrops)
+		}
+	}
+	if ring.OpsPerSimSec < 2*sync.OpsPerSimSec {
+		t.Fatalf("ring sockets %.0f ops/sim-s, sync %.0f: want >= 2x",
+			ring.OpsPerSimSec, sync.OpsPerSimSec)
+	}
+	if native.OpsPerSimSec <= ring.OpsPerSimSec {
+		t.Fatalf("native %.0f ops/sim-s should exceed redirected ring %.0f",
+			native.OpsPerSimSec, ring.OpsPerSimSec)
+	}
+}
+
+// TestNetServerDeterminism extends the reproducibility promise to the
+// traffic workload: identical runs produce identical percentiles.
+func TestNetServerDeterminism(t *testing.T) {
+	cfg := NetServerConfig{Sessions: 600}
+	opts := anception.Options{RingDepth: 32, RingWorkers: 2}
+	a, err := RunNetServer(anception.ModeAnception, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunNetServer(anception.ModeAnception, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.P50 != b.P50 || a.P99 != b.P99 || a.P999 != b.P999 || a.OpsPerSimSec != b.OpsPerSimSec {
+		t.Errorf("runs differ: %+v vs %+v", a, b)
+	}
+}
