@@ -1,9 +1,7 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"anception/internal/abi"
 	"anception/internal/anception"
@@ -43,6 +41,9 @@ type benchReport struct {
 	// Binder holds the sync/session/pipelined/cached bridge sweep
 	// (-exp binder), merged the same way.
 	Binder []binderRow `json:"binder,omitempty"`
+	// Autotune holds the adaptive-data-plane macro-workload sweep
+	// (-exp autotune), merged the same way.
+	Autotune []autotuneRow `json:"autotune,omitempty"`
 }
 
 // networkJSONFile is where -exp network writes the redirected-network
@@ -86,11 +87,7 @@ type networkReport struct {
 }
 
 func writeNetworkReport(report *networkReport) error {
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(networkJSONFile, append(blob, '\n'), 0o644)
+	return writeReport(networkJSONFile, report)
 }
 
 // benchDevice boots a quiet platform and a benchmark app for bench-json.
@@ -202,6 +199,7 @@ func benchJSON() error {
 	if prev, ok := loadBenchReport(); ok {
 		report.Zerocopy = prev.Zerocopy
 		report.Binder = prev.Binder
+		report.Autotune = prev.Autotune
 	}
 	if err := writeBenchReport(&report); err != nil {
 		return err

@@ -18,6 +18,7 @@
 //	evaluate -exp zerocopy  copy vs grant vs grant+ring transfer sweep -> BENCH_redirection.json
 //	evaluate -exp binder    sync vs session vs pipelined vs cached binder bridge sweep -> BENCH_redirection.json
 //	evaluate -exp network   sockets over the ring + open-loop 100k-client traffic -> BENCH_network.json
+//	evaluate -exp autotune  adaptive data plane vs hand-tuned knob configs -> BENCH_redirection.json
 //	evaluate -exp all       everything (default)
 package main
 
@@ -36,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, network, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, network, autotune, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -62,9 +63,10 @@ func run(exp string) error {
 		"zerocopy":    zerocopy,
 		"binder":      binderExp,
 		"network":     networkExp,
+		"autotune":    autotuneExp,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder", "network"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder", "network", "autotune"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+)
+
+// Shared JSON report plumbing: every experiment that persists a report
+// document (BENCH_redirection.json, BENCH_network.json) loads and writes
+// it through these two helpers, so merge semantics — read the existing
+// document, replace only your section, write the whole thing back — are
+// implemented once.
+
+// loadReport reads a JSON report document into a zero value of T,
+// reporting ok=false when the file is missing or unparsable (callers
+// then start from an empty document).
+func loadReport[T any](path string) (T, bool) {
+	var report T
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return report, false
+	}
+	if json.Unmarshal(blob, &report) != nil {
+		var zero T
+		return zero, false
+	}
+	return report, true
+}
+
+// writeReport writes a report document as indented JSON with a trailing
+// newline — the exact shape CI archives and diffs.
+func writeReport[T any](path string, report *T) error {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

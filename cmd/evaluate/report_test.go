@@ -1,0 +1,63 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportRoundTrip pins the shared report helpers' merge contract:
+// load what you wrote byte-for-byte equal after a round trip, absent and
+// corrupt files report ok=false (so experiments start from an empty
+// document), and a section-merge via load-modify-write preserves the
+// sections it did not touch.
+func TestReportRoundTrip(t *testing.T) {
+	type doc struct {
+		Iterations int      `json:"iterations"`
+		Rows       []string `json:"rows,omitempty"`
+		Extra      []string `json:"extra,omitempty"`
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+
+	if _, ok := loadReport[doc](path); ok {
+		t.Fatal("missing file must load ok=false")
+	}
+
+	want := doc{Iterations: 3, Rows: []string{"a", "b"}}
+	if err := writeReport(path, &want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := loadReport[doc](path)
+	if !ok {
+		t.Fatal("round trip load failed")
+	}
+	if got.Iterations != want.Iterations || len(got.Rows) != 2 || got.Rows[1] != "b" {
+		t.Fatalf("round trip mangled the document: %+v", got)
+	}
+
+	// Section merge: touch Extra, leave Rows alone.
+	got.Extra = []string{"merged"}
+	if err := writeReport(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	merged, ok := loadReport[doc](path)
+	if !ok || len(merged.Rows) != 2 || len(merged.Extra) != 1 {
+		t.Fatalf("merge clobbered a section: %+v (ok=%v)", merged, ok)
+	}
+
+	// The written file ends in exactly one newline (the shape CI diffs).
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(blob) < 2 || blob[len(blob)-1] != '\n' || blob[len(blob)-2] == '\n' {
+		t.Fatalf("report file must end in exactly one newline: %q", blob[len(blob)-4:])
+	}
+
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := loadReport[doc](path); ok {
+		t.Fatal("corrupt file must load ok=false")
+	}
+}

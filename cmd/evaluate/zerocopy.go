@@ -1,10 +1,8 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"math"
-	"os"
 	"sync"
 	"time"
 
@@ -298,26 +296,14 @@ func zcCheckPinned(report *benchReport) error {
 }
 
 // loadBenchReport reads the existing BENCH_redirection.json, so the
-// bench-json and zerocopy experiments merge into one document instead of
-// clobbering each other's sections.
+// bench-json, zerocopy, binder, and autotune experiments merge into one
+// document instead of clobbering each other's sections.
 func loadBenchReport() (benchReport, bool) {
-	var report benchReport
-	blob, err := os.ReadFile(benchJSONFile)
-	if err != nil {
-		return report, false
-	}
-	if json.Unmarshal(blob, &report) != nil {
-		return benchReport{}, false
-	}
-	return report, true
+	return loadReport[benchReport](benchJSONFile)
 }
 
 func writeBenchReport(report *benchReport) error {
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(benchJSONFile, append(blob, '\n'), 0o644)
+	return writeReport(benchJSONFile, report)
 }
 
 // zerocopy is the -exp zerocopy experiment: the copy vs grant vs

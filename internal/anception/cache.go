@@ -157,6 +157,14 @@ func newRedirCache(cfg redirCacheConfig, gen int) *redirCache {
 	}
 }
 
+// hitMiss reports the hit count and total lookups so far — the cost
+// model's cache-worth-it inputs.
+func (c *redirCache) hitMiss() (hits, lookups int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return int64(c.stats.Hits), int64(c.stats.Hits + c.stats.Misses)
+}
+
 // snapshot returns a copy of the counters.
 func (c *redirCache) snapshot() CacheStats {
 	c.mu.Lock()
@@ -384,29 +392,44 @@ func (l *Layer) cacheBypassed(st *layerState) bool {
 // cachedFDCall intercepts descriptor calls on a remote fd when the cache
 // is enabled. It either serves the call (handled=true) or performs the
 // coherence flush and lets the caller forward normally (handled=false).
+// The cache-vs-passthrough decision is the policy's: static
+// configurations always serve; under AutoTune a collapsed hit rate (or
+// a forced-sync override) routes around the cache, and the coherence
+// flush below still runs so buffered data reaches the guest before the
+// forwarded call.
 func (l *Layer) cachedFDCall(st *layerState, t *kernel.Task, e *kernel.FDEntry, args *kernel.Args) (kernel.Result, bool) {
 	c := l.cache
 	switch args.Nr {
 	case abi.SysPread64:
-		return l.cachedPread(st, t, e, args)
+		if l.serveFromCache(c) {
+			return l.cachedPread(st, t, e, args)
+		}
 	case abi.SysPwrite64:
-		return l.cachedPwrite(st, t, e, args)
-	default:
-		// Coherence rule: everything else sees the guest's view, so any
-		// buffered data for this descriptor is written back first. No
-		// entry is created here — sockets and such never get one.
-		c.mu.Lock()
-		var res kernel.Result
-		var failed bool
-		if fc, ok := c.fds[e]; ok {
-			res, failed = l.flushLocked(st, t, fc)
+		if l.serveFromCache(c) {
+			return l.cachedPwrite(st, t, e, args)
 		}
-		c.mu.Unlock()
-		if failed && !res.Ok() {
-			return res, true
-		}
-		return kernel.Result{}, false
 	}
+	// Coherence rule: every call not served above sees the guest's view,
+	// so any buffered data for this descriptor is written back first. No
+	// entry is created here — sockets and such never get one.
+	c.mu.Lock()
+	var res kernel.Result
+	var failed bool
+	if fc, ok := c.fds[e]; ok {
+		res, failed = l.flushLocked(st, t, fc)
+	}
+	c.mu.Unlock()
+	if failed && !res.Ok() {
+		return res, true
+	}
+	return kernel.Result{}, false
+}
+
+// serveFromCache asks the policy whether this call should be served
+// from the cache, feeding it the observed hit rate.
+func (l *Layer) serveFromCache(c *redirCache) bool {
+	hits, lookups := c.hitMiss()
+	return l.policy.serveCache(hits, lookups)
 }
 
 // cachedPread serves a positioned read from host memory, fetching with
@@ -803,7 +826,10 @@ func (l *Layer) noteForwardedFDOp(e *kernel.FDEntry, nr abi.SyscallNr) {
 		return
 	}
 	switch nr {
-	case abi.SysWrite, abi.SysFtruncate:
+	case abi.SysWrite, abi.SysFtruncate, abi.SysPwrite64, abi.SysWritev, abi.SysPwritev:
+		// Pwrite64 lands here only when the policy routed it around the
+		// cache; the vectored writes always forward. Either way the file
+		// changed beneath any clean pages.
 		c.mu.Lock()
 		if fc, ok := c.fds[e]; ok {
 			c.dropPagesLocked(fc)
@@ -861,6 +887,13 @@ func attrMutates(nr abi.SyscallNr) bool {
 // must forward; it then reports the outcome via notePathResult.
 func (l *Layer) cachedPathCall(st *layerState, t *kernel.Task, args *kernel.Args, p string) (kernel.Result, bool) {
 	c := l.cache
+	// A forced-sync override pins the uncached path: no attribute is
+	// served or charged for. Nothing was cached under the override
+	// either (notePathResult is gated the same way), so the skipped
+	// mutating-call flush below has nothing to write back.
+	if l.policy.forceSync() {
+		return kernel.Result{}, false
+	}
 	if !attrCacheable(args.Nr) {
 		if attrMutates(args.Nr) {
 			// Content-changing path ops write back any buffered data for
@@ -908,7 +941,7 @@ func (l *Layer) cachedPathCall(st *layerState, t *kernel.Task, args *kernel.Args
 // invalidated by a mutating path call.
 func (l *Layer) notePathResult(args *kernel.Args, p string, res kernel.Result) {
 	c := l.cache
-	if c == nil {
+	if c == nil || l.policy.forceSync() {
 		return
 	}
 	if attrCacheable(args.Nr) {

@@ -1,0 +1,309 @@
+package anception
+
+import (
+	"math/bits"
+	"sync"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+)
+
+// This file is the online cost model behind the adaptive data plane
+// (DESIGN.md §15). It learns, per call class and payload size, which arm
+// of each dispatch decision — sync vs ring transport, copy vs grant
+// payload strategy, cache vs passthrough — is currently cheaper, from
+// the same sim-clock latencies the benchmarks measure. All state is
+// host-side Go bookkeeping: updating it costs zero sim time, and every
+// decision is a pure function of counters so runs stay deterministic
+// (no wall clock, no randomness — exploration is counter-scheduled).
+
+// opClass buckets redirected calls for per-class latency EWMAs. Classes
+// are deliberately coarse: the model needs enough samples per class to
+// converge within a workload's first few hundred calls.
+type opClass int
+
+const (
+	// classMeta is small fixed-cost traffic: path calls, attr calls,
+	// fd plumbing — anything that isn't bulk data movement.
+	classMeta opClass = iota
+	// classBulk is the read/write family (incl. vectored forms), where
+	// payload size dominates and the copy-vs-grant decision lives.
+	classBulk
+	// classSock is the socket family, which rides sockop frames and has
+	// its own fixed costs.
+	classSock
+	numOpClasses
+)
+
+// Dispatch arms observed by the model. armSync and armRing compete for
+// the transport decision; armGrant competes with the bulk copy cost for
+// the payload decision.
+const (
+	armSync = iota
+	armRing
+	armGrant
+	numArms
+)
+
+const (
+	// Payload-size histogram buckets are log2-spaced: bucket b covers
+	// [64<<b, 64<<(b+1)) bytes, so 16 buckets span 64 B up to 2 MiB —
+	// comfortably past every benchmarked transfer size.
+	minSizeBucketBytes = 64
+	numSizeBuckets     = 16
+
+	// autoGrantCrossover seeds the copy-vs-grant cutover with the
+	// measured crossover from BENCH_redirection.json (-exp zerocopy):
+	// copy wins through 4K, grants win from 16K. Retuning clamps to
+	// [minGrantCrossover, maxGrantCrossover] so a noisy run can never
+	// push the cutover somewhere absurd.
+	autoGrantCrossover = 16 << 10
+	minGrantCrossover  = 8 << 10
+	maxGrantCrossover  = 1 << 20
+
+	// ewmaAlphaShift sets the EWMA smoothing factor to 1/8: new
+	// observations move the estimate an eighth of the way, so ~16
+	// samples converge it while one outlier barely dents it.
+	ewmaAlphaShift = 3
+	// ewmaMinSamples is how many observations an arm needs before the
+	// model trusts its EWMA over the seeded default.
+	ewmaMinSamples = 8
+	// explorePeriod schedules deterministic exploration: every Nth
+	// decision in a class takes the currently-losing arm so its EWMA
+	// keeps tracking reality. 1/64 keeps the overhead in the noise.
+	explorePeriod = 64
+	// retunePeriod is how many bulk observations accumulate between
+	// copy-vs-grant crossover retunes.
+	retunePeriod = 256
+
+	// cacheProbeMinLookups is the burn-in before the cache-vs-
+	// passthrough decision activates: below it the cache always serves,
+	// because a hit rate over a handful of lookups is noise.
+	cacheProbeMinLookups = 512
+	// cacheMinHitRate is the floor under which caching is judged not
+	// worth its lookup overhead and the policy passes through, re-
+	// probing every explorePeriod-th call so a workload shift that
+	// makes the cache useful again is noticed.
+	cacheMinHitRate = 0.05
+)
+
+// ewma is one exponentially-weighted latency estimate in sim
+// nanoseconds.
+type ewma struct {
+	val float64
+	n   int64
+}
+
+func (e *ewma) observe(v float64) {
+	if e.n == 0 {
+		e.val = v
+	} else {
+		e.val += (v - e.val) / (1 << ewmaAlphaShift)
+	}
+	e.n++
+}
+
+// costModel is the mutable model state. One instance per Layer, built
+// only when Options.AutoTune is set; a nil model means every decision
+// falls back to the static knob semantics.
+type costModel struct {
+	mu sync.Mutex
+
+	// transport[class][armSync|armRing] tracks per-class round-trip
+	// latency on each transport.
+	transport [numOpClasses][2]ewma
+	// transportCalls schedules per-class exploration.
+	transportCalls [numOpClasses]int64
+
+	// copyCost/grantCost track bulk-call latency per size bucket for
+	// each payload strategy; sizeHist is the observed payload-size
+	// histogram (surfaced via LayerStats for operators and tests).
+	copyCost  [numSizeBuckets]ewma
+	grantCost [numSizeBuckets]ewma
+	sizeHist  [numSizeBuckets]int64
+
+	// crossover is the current copy-vs-grant cutover in bytes; bulk
+	// payloads at or above it take the grant path.
+	crossover int
+	// bulkDecisions schedules boundary exploration; bulkObs schedules
+	// crossover retunes.
+	bulkDecisions int64
+	bulkObs       int64
+
+	// cacheProbes schedules the passthrough re-probe when the hit rate
+	// has collapsed.
+	cacheProbes int64
+}
+
+func newCostModel() *costModel {
+	return &costModel{crossover: autoGrantCrossover}
+}
+
+// opClassOf classifies a redirected call for the model. Socket calls
+// are matched first: Send/Recv are bulk-shaped but ride sockop frames
+// with their own fixed costs.
+func opClassOf(args *kernel.Args) opClass {
+	if isSockCall(args.Nr) {
+		return classSock
+	}
+	switch args.Nr {
+	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
+		abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev:
+		return classBulk
+	default:
+		return classMeta
+	}
+}
+
+// payloadLen is the byte count a call moves (0 for non-bulk calls).
+func payloadLen(args *kernel.Args) int {
+	if len(args.Iov) > 0 {
+		return grantIovTotal(args.Iov)
+	}
+	if len(args.Buf) > 0 {
+		return len(args.Buf)
+	}
+	return args.Size
+}
+
+// sizeBucket maps a payload length to its log2 histogram bucket.
+func sizeBucket(n int) int {
+	if n < minSizeBucketBytes {
+		return 0
+	}
+	b := bits.Len(uint(n)) - bits.Len(uint(minSizeBucketBytes))
+	if b >= numSizeBuckets {
+		return numSizeBuckets - 1
+	}
+	return b
+}
+
+// bucketFloorBytes is the smallest payload length in a bucket.
+func bucketFloorBytes(b int) int {
+	return minSizeBucketBytes << b
+}
+
+// observe records one completed call's sim latency under the arm that
+// served it. Bulk observations also feed the per-size copy/grant EWMAs
+// and, periodically, retune the crossover.
+func (m *costModel) observe(class opClass, arm int, size int, elapsed time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v := float64(elapsed)
+	switch arm {
+	case armGrant:
+		m.grantCost[sizeBucket(size)].observe(v)
+	default:
+		m.transport[class][arm].observe(v)
+		if class == classBulk {
+			m.copyCost[sizeBucket(size)].observe(v)
+		}
+	}
+	if class == classBulk || arm == armGrant {
+		m.sizeHist[sizeBucket(size)]++
+		m.bulkObs++
+		if m.bulkObs%retunePeriod == 0 {
+			m.retuneLocked()
+		}
+	}
+}
+
+// preferRing decides the transport arm for one call. With other guest
+// calls in flight the ring wins outright: its coalesced doorbells
+// amortize across the batch (the measured 2.68× at 16 threads). The
+// sequential seed is also the ring — the concurrency sweep in
+// BENCH_redirection.json measures the ring at or above the sync
+// channel at every thread count, one included — and the seed only
+// yields once both per-class EWMAs have enough samples to compare.
+// Scheduled exploration takes the other arm every Nth call, which both
+// feeds the sync EWMA toward convergence and keeps the losing arm's
+// estimate tracking reality after a workload shift.
+func (m *costModel) preferRing(class opClass, inflight int64) (ring, explored bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.transportCalls[class]++
+	if inflight > 0 {
+		return true, false
+	}
+	s, r := &m.transport[class][armSync], &m.transport[class][armRing]
+	want := true
+	if s.n >= ewmaMinSamples && r.n >= ewmaMinSamples {
+		want = r.val < s.val
+	}
+	if m.transportCalls[class]%explorePeriod == 0 {
+		return !want, true
+	}
+	return want, false
+}
+
+// shouldGrant decides the payload arm for one bulk call by comparing
+// its size against the learned crossover. Calls in the buckets adjacent
+// to the crossover explore the losing arm on schedule so both EWMAs at
+// the boundary keep tracking reality.
+func (m *costModel) shouldGrant(size int) (grant, explored bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bulkDecisions++
+	want := size >= m.crossover
+	b, cb := sizeBucket(size), sizeBucket(m.crossover)
+	if (b == cb || b+1 == cb || b == cb+1) && m.bulkDecisions%explorePeriod == 0 {
+		return !want, true
+	}
+	return want, false
+}
+
+// retuneLocked moves the crossover to the smallest size bucket where
+// the grant EWMA beats the copy EWMA (both arms sufficiently sampled),
+// clamped to the sane range. If grants never win, the crossover stays.
+func (m *costModel) retuneLocked() {
+	for b := 0; b < numSizeBuckets; b++ {
+		c, g := &m.copyCost[b], &m.grantCost[b]
+		if c.n < ewmaMinSamples || g.n < ewmaMinSamples {
+			continue
+		}
+		if g.val < c.val {
+			cross := bucketFloorBytes(b)
+			if cross < minGrantCrossover {
+				cross = minGrantCrossover
+			}
+			if cross > maxGrantCrossover {
+				cross = maxGrantCrossover
+			}
+			m.crossover = cross
+			return
+		}
+	}
+}
+
+// cacheWorthIt decides cache-vs-passthrough from the observed hit rate.
+// During burn-in the cache always serves; after that, a collapsed hit
+// rate routes around the cache, with a scheduled re-probe so the model
+// notices when the workload becomes cacheable again.
+func (m *costModel) cacheWorthIt(hits, lookups int64) bool {
+	if lookups < cacheProbeMinLookups {
+		return true
+	}
+	if float64(hits) >= cacheMinHitRate*float64(lookups) {
+		return true
+	}
+	m.mu.Lock()
+	m.cacheProbes++
+	probe := m.cacheProbes%explorePeriod == 0
+	m.mu.Unlock()
+	return probe
+}
+
+// crossoverBytes snapshots the current copy-vs-grant cutover.
+func (m *costModel) crossoverBytes() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.crossover
+}
+
+// sizeHistogram snapshots the observed bulk payload-size histogram.
+func (m *costModel) sizeHistogram() [numSizeBuckets]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sizeHist
+}

@@ -42,6 +42,10 @@ const (
 	ModeClassicalVM
 )
 
+// autoTuneRingDepth is the async ring depth the adaptive data plane
+// mounts when Options.AutoTune is set without an explicit RingDepth.
+const autoTuneRingDepth = 64
+
 // String names the mode.
 func (m Mode) String() string {
 	switch m {
@@ -152,6 +156,22 @@ type Options struct {
 	// invalidated by any mutating transaction to the same service, by CVM
 	// restart, and bypassed in degraded mode. Off by default.
 	BinderReplyCache bool
+
+	// AutoTune enables the adaptive data plane (DESIGN.md §15): every
+	// fast path boots — the async ring (plus a synchronous fallback
+	// channel), the redirection cache, the zero-copy grant path, binder
+	// sessions and the reply cache — and one cost-model-driven policy
+	// decides per call between sync and ring transport, copy and grant
+	// payload movement, and cache and passthrough, seeded with the
+	// measured crossovers from BENCH_redirection.json and tuned online
+	// from observed latencies, payload sizes, and hit rates. Knobs set
+	// alongside it become forced overrides: RingDepth sizes the ring and
+	// pins the transport to it, GrantThreshold pins the exact cutover,
+	// RedirCache pins the cache to always serve. SocketTransport is
+	// ignored under AutoTune. Layer.SetPolicyOverride can still force
+	// individual calls onto the uncached synchronous path (the pinned
+	// paper rows). Off by default.
+	AutoTune bool
 
 	// SnapshotInterval > 0 enables hypervisor checkpoints (DESIGN.md §13):
 	// the supervisor seals a copy-on-write snapshot of the healthy CVM at
@@ -360,23 +380,48 @@ func (d *Device) bootAnception() error {
 	proxies.SetNaiveDispatch(d.Opts.NaiveDispatch)
 
 	var transport marshal.Transport
+	var syncFallback marshal.Transport
 	switch {
-	case d.Opts.RingDepth > 0:
-		ring := marshal.NewRingChannel(cvm, d.Clock, d.Model, d.Trace, d.Opts.RingDepth, d.Opts.ChunkSize)
-		if d.Opts.RingReapBatch > 0 {
+	case d.Opts.RingDepth > 0 || d.Opts.AutoTune:
+		depth := d.Opts.RingDepth
+		if depth <= 0 {
+			depth = autoTuneRingDepth
+		}
+		ring := marshal.NewRingChannel(cvm, d.Clock, d.Model, d.Trace, depth, d.Opts.ChunkSize)
+		switch {
+		case d.Opts.RingReapBatch > 0:
 			ring.SetReapBatch(d.Opts.RingReapBatch)
+		case d.Opts.AutoTune:
+			// The throughput sweeps reap at full depth (fewer, larger CQ
+			// sweeps win); the adaptive plane defaults to the same.
+			ring.SetReapBatch(depth)
 		}
 		d.ring = ring
-		d.ringPool = proxy.NewPool(ring, d.Opts.RingWorkers, d.Clock, d.Model)
+		workers := d.Opts.RingWorkers
+		if workers <= 0 && d.Opts.AutoTune {
+			// One hot proxy worker. Worker count never changes modeled
+			// throughput under concurrency (handlers charge the shared sim
+			// clock either way), but sharding interleaved keys across cold
+			// workers pays a ProxyDispatch wakeup per shard switch, so the
+			// adaptive plane keeps a single shard warm.
+			workers = 1
+		}
+		d.ringPool = proxy.NewPool(ring, workers, d.Clock, d.Model)
 		d.ringPool.Start()
 		transport = ring
+		if d.Opts.AutoTune {
+			// The adaptive plane mounts a synchronous fallback channel
+			// alongside the ring so the policy can route sequential calls
+			// off it; both channels share the CVM's mapped channel pages.
+			syncFallback = marshal.NewPageChannel(cvm, d.Clock, d.Model, d.Opts.ChunkSize)
+		}
 	case d.Opts.SocketTransport:
 		transport = marshal.NewSocketChannel(cvm, d.Clock, d.Model)
 	default:
 		transport = marshal.NewPageChannel(cvm, d.Clock, d.Model, d.Opts.ChunkSize)
 	}
 
-	if d.Opts.GrantThreshold > 0 {
+	if d.Opts.GrantThreshold > 0 || d.Opts.AutoTune {
 		d.grants = hypervisor.NewGrantTable(cvm)
 	}
 
@@ -399,7 +444,7 @@ func (d *Device) bootAnception() error {
 		KeepFSOnHost: d.Opts.KeepFSOnHost,
 		CallDeadline: d.Opts.CallDeadline,
 
-		RedirCache:       d.Opts.RedirCache,
+		RedirCache:       d.Opts.RedirCache || d.Opts.AutoTune,
 		ReadAheadPages:   d.Opts.ReadAheadPages,
 		CacheBudgetBytes: d.Opts.CacheBudgetBytes,
 		CacheFlushDelay:  d.Opts.CacheFlushDelay,
@@ -407,10 +452,15 @@ func (d *Device) bootAnception() error {
 		GrantTable:     d.grants,
 		GrantThreshold: d.Opts.GrantThreshold,
 
-		BinderSessions:   d.Opts.BinderSessions,
-		BinderReplyCache: d.Opts.BinderReplyCache,
+		BinderSessions:   d.Opts.BinderSessions || d.Opts.AutoTune,
+		BinderReplyCache: d.Opts.BinderReplyCache || d.Opts.AutoTune,
 
 		NetBatch: d.Opts.NetBatch,
+
+		AutoTune:      d.Opts.AutoTune,
+		SyncTransport: syncFallback,
+		RingForced:    d.Opts.RingDepth > 0,
+		CacheForced:   d.Opts.RedirCache,
 	})
 	if err != nil {
 		return err
@@ -659,57 +709,19 @@ func (d *Device) rebuildGuest() (*kernel.Kernel, *android.Services, *proxy.Manag
 	return guest, svcs, proxies, nil
 }
 
-// DrainRing re-arms the async redirection ring to the CVM's current boot
-// generation: every slot still in flight against an older boot completes
-// with EHOSTDOWN instead of leaking. ReplaceGuest already does this
-// implicitly on restart; the supervisor also calls it explicitly (via the
-// RingDrainer hook) after each successful restart, mirroring
-// InvalidateRedirCache. No-op on the synchronous channel.
-func (d *Device) DrainRing() {
-	if d.ring == nil || d.CVM == nil {
-		return
-	}
-	d.ring.Rearm(d.CVM.Generation())
-}
-
-// RevokeGrants drops every outstanding zero-copy grant and clears the
-// layer's live-extent registry. ReplaceGuest already does this on
-// restart; the supervisor also calls it explicitly (via the GrantRevoker
-// hook) after each successful restart, mirroring DrainRing and
-// InvalidateRedirCache. No-op when the grant path is disabled.
-func (d *Device) RevokeGrants() {
-	if d.Layer == nil {
-		return
-	}
-	d.Layer.RevokeGrants()
-}
-
-// DrainBinder rolls the binder fast path to the CVM's current boot
-// generation: every pinned session handle and cached idempotent reply is
-// dropped, and ring slots still carrying binder transactions against the
-// old boot fail EHOSTDOWN via the ring's generation check. ReplaceGuest
-// already does this on restart; the supervisor also calls it explicitly
-// (via the BinderDrainer hook) after each successful restart, mirroring
-// DrainRing. No-op when the fast path is disabled.
-func (d *Device) DrainBinder() {
+// AdvanceEpoch rolls every fast path's warm state to the CVM's current
+// boot generation in one pinned pass (grants → ring → sockets → binder →
+// cache; see Layer.AdvanceEpoch for the ordering contract). ReplaceGuest
+// already does this implicitly on restart; the supervisor also calls it
+// explicitly (via the EpochAdvancer hook) after each successful restart
+// so no warm state can survive into the new container even if the
+// restart path changes. Each participant no-ops when its fast path is
+// disabled.
+func (d *Device) AdvanceEpoch() {
 	if d.Layer == nil || d.CVM == nil {
 		return
 	}
-	d.Layer.drainBinder(d.CVM.Generation())
-}
-
-// DrainSockets rolls the network fast path to the CVM's current boot
-// generation: ring slots still carrying socket ops against the old boot
-// fail EHOSTDOWN, and the fresh guest stack's generation is rolled so
-// surviving sockets re-run the current ConnectPolicy on next use.
-// ReplaceGuest already does this on restart; the supervisor also calls
-// it explicitly (via the SocketDrainer hook) after each successful
-// restart, ordered between the ring and binder drains.
-func (d *Device) DrainSockets() {
-	if d.Layer == nil || d.CVM == nil {
-		return
-	}
-	d.Layer.DrainSockets(d.CVM.Generation())
+	d.Layer.AdvanceEpoch(d.CVM.Generation())
 }
 
 // NetStats snapshots the network fast-path counters.
@@ -754,18 +766,6 @@ func (d *Device) Close() {
 	}
 	d.ring.Close()
 	d.ringPool.Wait()
-}
-
-// InvalidateRedirCache drops every redirection-cache entry, re-keying the
-// cache to the CVM's current boot generation. ReplaceGuest already does
-// this implicitly; the supervisor also calls it explicitly after each
-// successful restart so no stale page can survive into the new container
-// even if the restart path changes. No-op when the cache is disabled.
-func (d *Device) InvalidateRedirCache() {
-	if d.Layer == nil || d.CVM == nil {
-		return
-	}
-	d.Layer.invalidateRedirCache(d.CVM.Generation())
 }
 
 // Probe sends one supervisor heartbeat through the Anception layer's data

@@ -112,20 +112,25 @@ func (g *layerGrants) clearLive() {
 }
 
 // grantEligible reports whether a call should take the zero-copy path:
-// grants enabled, a bulk I/O call, and at least threshold bytes moving.
+// grants enabled, a bulk I/O call, and the policy picking the grant
+// arm. A non-zero GrantThreshold knob keeps its exact static cutover;
+// with the knob unset under AutoTune the cost model's learned
+// crossover decides.
 func (l *Layer) grantEligible(args *kernel.Args) bool {
 	if l.grants == nil {
 		return false
 	}
+	var n int
 	switch args.Nr {
 	case abi.SysRead, abi.SysWrite, abi.SysPread64, abi.SysPwrite64,
 		abi.SysSend, abi.SysSendto, abi.SysRecv, abi.SysRecvfrom:
-		return len(args.Buf) >= l.grants.threshold
+		n = len(args.Buf)
 	case abi.SysReadv, abi.SysWritev, abi.SysPreadv, abi.SysPwritev:
-		return grantIovTotal(args.Iov) >= l.grants.threshold
+		n = grantIovTotal(args.Iov)
 	default:
 		return false
 	}
+	return l.policy.useGrant(n, l.grants.threshold)
 }
 
 func grantIovTotal(iov [][]byte) int {
@@ -197,7 +202,15 @@ func (l *Layer) forwardGrantFD(st *layerState, t *kernel.Task, e *kernel.FDEntry
 	}
 	fwd := *args
 	fwd.FD = e.GuestFD
+	m := l.policy.model
+	var start time.Duration
+	if m != nil {
+		start = l.clock.Now()
+	}
 	res := l.forwardGrant(st, t, &fwd)
+	if m != nil {
+		m.observe(classBulk, armGrant, int(grantPayloadLen(args)), l.clock.Now()-start)
+	}
 	if writeStyle {
 		l.grants.unregister(liveID)
 		if res.Ok() {

@@ -41,6 +41,13 @@ type Layer struct {
 	// binder is the binder bridge fast path (DESIGN.md §12); nil unless
 	// Options.BinderSessions or BinderReplyCache is set.
 	binder *binderFastPath
+	// policy is the adaptive dispatch plane (DESIGN.md §15): one
+	// per-call decision for transport, payload strategy, and caching.
+	// Always non-nil; inert unless Options.AutoTune.
+	policy *dispatchPolicy
+	// epoch is the generation-keyed drain protocol every fast path
+	// registers with at boot; AdvanceEpoch rolls them in pinned order.
+	epoch layerEpoch
 
 	keepFSOnHost bool
 	// deadline is the sim-clock budget of one redirected round-trip: a
@@ -80,6 +87,10 @@ type layerState struct {
 	guest     *kernel.Kernel
 	proxies   *proxy.Manager
 	transport marshal.Transport
+	// sync is the synchronous fallback channel mounted alongside an
+	// async ring under Options.AutoTune; nil otherwise. The policy
+	// routes sequential calls here when the ring's slot overhead loses.
+	sync marshal.Transport
 	// degraded is the circuit-breaker fail-fast mode: forwarded calls
 	// return EAGAIN immediately; UI and host classes are untouched.
 	degraded bool
@@ -165,6 +176,12 @@ type LayerStats struct {
 	Net NetPathStats
 	// Restore holds the snapshot-restore and live-upgrade counters.
 	Restore RestoreStats
+	// Policy counts adaptive-dispatch decisions (AutoTune reports false
+	// when the plane is inert and knob semantics apply verbatim).
+	Policy PolicyStats
+	// Epoch describes the epoch/drain protocol: advances, the boot
+	// generation of the last advance, and the pinned participant order.
+	Epoch EpochStats
 }
 
 // RestoreStats counts snapshot-restore and live-upgrade recoveries plus
@@ -236,6 +253,20 @@ type LayerConfig struct {
 	// NetBatch caps the descriptors one batched accept4/epoll_wait
 	// completion may carry (0 = DefaultNetBatch).
 	NetBatch int
+	// AutoTune enables the adaptive data plane (DESIGN.md §15):
+	// dispatch decisions come from the online cost model instead of the
+	// static knob rules. The grant path then activates even with
+	// GrantThreshold == 0 (the model supplies the crossover).
+	AutoTune bool
+	// SyncTransport, when set alongside an async Transport under
+	// AutoTune, mounts a synchronous fallback channel so the policy can
+	// pick the transport per call.
+	SyncTransport marshal.Transport
+	// RingForced / CacheForced mark knobs the caller set explicitly;
+	// under AutoTune they stay forced overrides instead of advisory
+	// inputs to the model.
+	RingForced  bool
+	CacheForced bool
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -270,6 +301,7 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 		guest:     cfg.Guest,
 		proxies:   cfg.Proxies,
 		transport: cfg.Transport,
+		sync:      cfg.SyncTransport,
 	})
 	if cfg.RedirCache {
 		gen := 1
@@ -282,7 +314,7 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 			flushDelay: cfg.CacheFlushDelay,
 		}, gen)
 	}
-	if cfg.GrantTable != nil && cfg.GrantThreshold > 0 {
+	if cfg.GrantTable != nil && (cfg.GrantThreshold > 0 || cfg.AutoTune) {
 		l.grants = newLayerGrants(cfg.GrantTable, cfg.GrantThreshold)
 	}
 	if cfg.BinderSessions || cfg.BinderReplyCache {
@@ -292,10 +324,43 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 		}
 		l.binder = newBinderFastPath(cfg.BinderSessions, cfg.BinderReplyCache, gen)
 	}
+	l.policy = newDispatchPolicy(cfg.AutoTune, cfg.RingForced, cfg.CacheForced)
+	// Every fast path enrolls in the epoch protocol unconditionally —
+	// a participant whose path is off no-ops, but the pinned order is
+	// always complete (see AdvanceEpoch for the ordering rationale).
+	l.epoch.participants = []epochParticipant{
+		{"grants", func(int) { l.RevokeGrants() }},
+		{"ring", l.rearmRing},
+		{"sockets", l.DrainSockets},
+		{"binder", l.drainBinder},
+		{"cache", l.invalidateRedirCache},
+	}
 	if ls, ok := cfg.Transport.(marshal.LivenessSetter); ok {
 		ls.SetLiveness(l.guestAlive)
 	}
+	if ls, ok := cfg.SyncTransport.(marshal.LivenessSetter); ok {
+		ls.SetLiveness(l.guestAlive)
+	}
 	return l, nil
+}
+
+// rearmRing is the ring's epoch participant: slots submitted against
+// the old container complete with EHOSTDOWN instead of leaking (or
+// executing against the fresh guest).
+func (l *Layer) rearmRing(gen int) {
+	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
+		ring.Rearm(gen)
+	}
+}
+
+// syncTransport picks the synchronous channel for a call the policy
+// routed off the ring; outside AutoTune there is no fallback channel
+// and the mounted transport serves.
+func (l *Layer) syncTransport(st *layerState) marshal.Transport {
+	if st.sync != nil {
+		return st.sync
+	}
+	return st.transport
 }
 
 // currentState loads the hot-path snapshot.
@@ -343,24 +408,10 @@ func (l *Layer) ReplaceGuest(guest *kernel.Kernel, proxies *proxy.Manager) {
 	if l.cvm != nil {
 		gen = l.cvm.Generation()
 	}
-	l.invalidateRedirCache(gen)
-	// Roll the binder fast path: pinned session handles and cached
-	// replies died with the old container.
-	l.drainBinder(gen)
-	// Re-key the ring to the new boot generation: slots submitted against
-	// the old container complete with EHOSTDOWN instead of leaking (or
-	// executing against the fresh guest).
-	if ring, ok := l.currentState().transport.(marshal.AsyncTransport); ok {
-		ring.Rearm(gen)
-	}
-	// Roll the network fast path: in-flight socket slots fail EHOSTDOWN
-	// with the re-arm above, and the fresh guest stack is keyed to the
-	// new generation so ConnectPolicy re-checks fire.
-	l.DrainSockets(gen)
-	// Revoke every zero-copy grant: the guest mappings died with the old
-	// container, and refs tagged with its boot generation must fail
-	// EHOSTDOWN instead of touching host pages the app may have reused.
-	l.RevokeGrants()
+	// One epoch advance drains every fast path's warm state in the
+	// pinned order — nothing keyed to the old boot generation may ever
+	// be served against the new one.
+	l.AdvanceEpoch(gen)
 	if l.trace != nil {
 		l.trace.Record(sim.EvWatchdog, "guest replaced after CVM restart #%d", n)
 	}
@@ -595,6 +646,8 @@ func (l *Layer) Stats() LayerStats {
 		RepliesKept:    int(l.counters.repliesKept.Load()),
 		GrantsKept:     int(l.counters.grantsKept.Load()),
 	}
+	s.Policy = l.policy.snapshot()
+	s.Epoch = l.epochStats()
 	return s
 }
 
@@ -1025,10 +1078,41 @@ func (l *Layer) forward(t *kernel.Task, args *kernel.Args) kernel.Result {
 // forwarded call runs under the layer's sim-clock deadline: a hung or
 // lossy transport surfaces as ETIMEDOUT at the deadline instead of
 // blocking the app forever, and a dead container as EHOSTDOWN.
+//
+// This is the transport decision point of the adaptive data plane:
+// with only one transport mounted it routes there (static knob
+// semantics, unchanged); with a sync fallback mounted alongside the
+// ring (AutoTune) the policy picks per call, and the sim latency of
+// whichever arm served feeds the cost model.
 func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) kernel.Result {
-	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
-		return l.forwardRing(st, ring, t, args)
+	ring, async := st.transport.(marshal.AsyncTransport)
+	useRing := async
+	if async && st.sync != nil && !l.policy.useRing(opClassOf(args), l.guestCalls.Load()) {
+		useRing = false
 	}
+	m := l.policy.model
+	var start time.Duration
+	if m != nil {
+		start = l.clock.Now()
+	}
+	var res kernel.Result
+	if useRing {
+		res = l.forwardRing(st, ring, t, args)
+	} else {
+		res = l.forwardSyncOn(st, l.syncTransport(st), t, args)
+	}
+	if m != nil {
+		arm := armSync
+		if useRing {
+			arm = armRing
+		}
+		m.observe(opClassOf(args), arm, payloadLen(args), l.clock.Now()-start)
+	}
+	return res
+}
+
+// forwardSyncOn moves one call over a synchronous channel.
+func (l *Layer) forwardSyncOn(st *layerState, tr marshal.Transport, t *kernel.Task, args *kernel.Args) kernel.Result {
 	if !l.enterGuestCall(st) {
 		l.counters.failedFast.Add(1)
 		return kernel.Result{Ret: -1, Err: fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN)}
@@ -1057,7 +1141,7 @@ func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) ker
 	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
 
 	start := l.clock.Now()
-	respBytes, terr := st.transport.RoundTrip(payload, func(req []byte) []byte {
+	respBytes, terr := tr.RoundTrip(payload, func(req []byte) []byte {
 		decoded, derr := marshal.DecodeArgs(req)
 		if derr != nil {
 			return marshal.EncodeResult(kernel.Result{Ret: -1, Err: abi.EINVAL})
@@ -1095,7 +1179,9 @@ func (l *Layer) forwardOn(st *layerState, t *kernel.Task, args *kernel.Args) ker
 // batch frame, the proxy is dispatched once, and each call pays only its
 // own guest-side trap entry. Results come back positionally.
 func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Args) ([]kernel.Result, error) {
-	if ring, ok := st.transport.(marshal.AsyncTransport); ok {
+	// Batches always prefer the ring (one slot already amortizes the
+	// whole batch); only a forced-sync override routes them off it.
+	if ring, ok := st.transport.(marshal.AsyncTransport); ok && !l.policy.forceSync() {
 		return l.forwardBatchRing(st, ring, t, calls)
 	}
 	if !l.enterGuestCall(st) {
@@ -1118,7 +1204,7 @@ func (l *Layer) forwardBatch(st *layerState, t *kernel.Task, calls []*kernel.Arg
 	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
 
 	start := l.clock.Now()
-	respBytes, terr := st.transport.RoundTrip(payload, func(req []byte) []byte {
+	respBytes, terr := l.syncTransport(st).RoundTrip(payload, func(req []byte) []byte {
 		decoded, derr := marshal.DecodeArgsBatch(req)
 		if derr != nil {
 			return marshal.EncodeResultBatch([]kernel.Result{{Ret: -1, Err: abi.EINVAL}})

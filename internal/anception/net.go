@@ -88,7 +88,9 @@ func (l *Layer) forwardSock(st *layerState, t *kernel.Task, args *kernel.Args) k
 // which is exactly the pinned uncached baseline.
 func (l *Layer) forwardSockInner(st *layerState, t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
 	ring, async := st.transport.(marshal.AsyncTransport)
-	if !async {
+	if !async || l.policy.forceSync() {
+		// forwardOn routes to the synchronous channel under a forced-sync
+		// override (the fallback channel when both are mounted).
 		res := l.forwardOn(st, t, args)
 		return res, sockTransportFailure(res.Err)
 	}

@@ -1,0 +1,279 @@
+package anception
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the policy-driven dispatch plane (DESIGN.md §15): one
+// per-call decision point for transport (sync vs ring), payload
+// strategy (copy vs grant), and caching (cache vs passthrough), plus
+// the generation-keyed epoch/drain protocol that replaced the five
+// ad-hoc supervisor restart hooks.
+//
+// With Options.AutoTune off the policy is inert: every decision
+// reduces to exactly the static knob semantics the paper rows and the
+// ablation tests pin, so existing configurations are byte-identical.
+// With AutoTune on, all four fast paths boot and the decisions come
+// from the online costModel; any knob the caller also set becomes a
+// forced override for that decision.
+
+// PolicyOverride forces dispatch decisions per call, regardless of
+// knobs or the cost model. Tests and the pinned paper rows use it to
+// reach the uncached synchronous path on a device that booted every
+// fast path.
+type PolicyOverride struct {
+	// ForceSyncUncached routes every call over the synchronous channel
+	// with no cache serving, no grants, and no binder fast path —
+	// byte-identical to a plain uncached device.
+	ForceSyncUncached bool
+}
+
+// PolicyStats counts dispatch decisions, surfaced via
+// LayerStats.Policy.
+type PolicyStats struct {
+	// AutoTune reports whether the cost model is live.
+	AutoTune bool
+	// RingChosen / SyncChosen count transport decisions (only calls
+	// where both transports were available are counted).
+	RingChosen int64
+	SyncChosen int64
+	// GrantChosen / CopyChosen count payload-strategy decisions for
+	// grant-shaped bulk calls.
+	GrantChosen int64
+	CopyChosen  int64
+	// CacheServed / CacheSkipped count cache-vs-passthrough decisions.
+	CacheServed  int64
+	CacheSkipped int64
+	// Explorations counts decisions where the model deliberately took
+	// the currently-losing arm to keep its estimate fresh.
+	Explorations int64
+	// GrantCrossoverBytes is the model's current copy-vs-grant cutover
+	// (0 when auto-tuning is off).
+	GrantCrossoverBytes int
+	// SizeHistogram is the observed bulk payload-size histogram in
+	// log2 buckets from 64 B (zero-valued when auto-tuning is off).
+	SizeHistogram [numSizeBuckets]int64
+}
+
+// EpochStats describes the epoch/drain protocol state, surfaced via
+// LayerStats.Epoch.
+type EpochStats struct {
+	// Advances counts AdvanceEpoch calls since boot.
+	Advances int
+	// Generation is the boot generation of the last advance.
+	Generation int
+	// Order is the pinned participant drain order.
+	Order []string
+}
+
+// dispatchPolicy is the per-layer decision state. Counters are atomic:
+// decisions happen on the lock-free hot path.
+type dispatchPolicy struct {
+	// autoTune mirrors Options.AutoTune; model is non-nil iff set.
+	autoTune bool
+	model    *costModel
+	// ringForced / cacheForced record knobs the caller set alongside
+	// AutoTune: an explicit RingDepth pins the transport to the ring, an
+	// explicit RedirCache pins the cache to always serve.
+	ringForced  bool
+	cacheForced bool
+	override    atomic.Pointer[PolicyOverride]
+
+	ringChosen   atomic.Int64
+	syncChosen   atomic.Int64
+	grantChosen  atomic.Int64
+	copyChosen   atomic.Int64
+	cacheServed  atomic.Int64
+	cacheSkipped atomic.Int64
+	explorations atomic.Int64
+}
+
+func newDispatchPolicy(autoTune, ringForced, cacheForced bool) *dispatchPolicy {
+	p := &dispatchPolicy{autoTune: autoTune, ringForced: ringForced, cacheForced: cacheForced}
+	if autoTune {
+		p.model = newCostModel()
+	}
+	return p
+}
+
+// forceSync reports whether an override pins this call to the
+// uncached synchronous path.
+func (p *dispatchPolicy) forceSync() bool {
+	ov := p.override.Load()
+	return ov != nil && ov.ForceSyncUncached
+}
+
+// useRing decides the transport arm for a call when both transports
+// are mounted (AutoTune boots the ring plus a synchronous fallback
+// channel). Forced-sync overrides win; otherwise the cost model picks,
+// biased to the ring whenever other guest calls are in flight.
+func (p *dispatchPolicy) useRing(class opClass, inflight int64) bool {
+	if p.forceSync() {
+		p.syncChosen.Add(1)
+		return false
+	}
+	if p.ringForced || p.model == nil {
+		// No model (static ring configuration), or the RingDepth knob was
+		// set alongside AutoTune: the knob forced the ring.
+		p.ringChosen.Add(1)
+		return true
+	}
+	// inflight counts this call too: >1 means genuine overlap.
+	ring, explored := p.model.preferRing(class, inflight-1)
+	if explored {
+		p.explorations.Add(1)
+	}
+	if ring {
+		p.ringChosen.Add(1)
+	} else {
+		p.syncChosen.Add(1)
+	}
+	return ring
+}
+
+// useGrant decides the payload arm for a grant-shaped bulk call. A
+// non-zero GrantThreshold knob keeps its exact static semantics; with
+// the knob unset under AutoTune the model's learned crossover decides.
+func (p *dispatchPolicy) useGrant(size, knob int) bool {
+	if p.forceSync() {
+		return false
+	}
+	var grant bool
+	switch {
+	case knob > 0:
+		grant = size >= knob
+	case p.model == nil:
+		return false
+	default:
+		var explored bool
+		grant, explored = p.model.shouldGrant(size)
+		if explored {
+			p.explorations.Add(1)
+		}
+	}
+	if grant {
+		p.grantChosen.Add(1)
+	} else {
+		p.copyChosen.Add(1)
+	}
+	return grant
+}
+
+// serveCache decides cache-vs-passthrough for a descriptor call.
+// Static configurations always serve (the RedirCache knob asked for
+// it); under AutoTune the model gates on the observed hit rate, and a
+// forced-sync override always passes through.
+func (p *dispatchPolicy) serveCache(hits, lookups int64) bool {
+	if p.forceSync() {
+		p.cacheSkipped.Add(1)
+		return false
+	}
+	if p.cacheForced || p.model == nil {
+		p.cacheServed.Add(1)
+		return true
+	}
+	if p.model.cacheWorthIt(hits, lookups) {
+		p.cacheServed.Add(1)
+		return true
+	}
+	p.cacheSkipped.Add(1)
+	return false
+}
+
+// snapshot copies the decision counters for LayerStats.
+func (p *dispatchPolicy) snapshot() PolicyStats {
+	s := PolicyStats{
+		AutoTune:     p.autoTune,
+		RingChosen:   p.ringChosen.Load(),
+		SyncChosen:   p.syncChosen.Load(),
+		GrantChosen:  p.grantChosen.Load(),
+		CopyChosen:   p.copyChosen.Load(),
+		CacheServed:  p.cacheServed.Load(),
+		CacheSkipped: p.cacheSkipped.Load(),
+		Explorations: p.explorations.Load(),
+	}
+	if p.model != nil {
+		s.GrantCrossoverBytes = p.model.crossoverBytes()
+		s.SizeHistogram = p.model.sizeHistogram()
+	}
+	return s
+}
+
+// epochParticipant is one fast path enrolled in the epoch/drain
+// protocol: a name (for the pinned order) and the generation-keyed
+// advance that drains/fails/reconciles its warm state.
+type epochParticipant struct {
+	name    string
+	advance func(gen int)
+}
+
+// layerEpoch tracks epoch advances. The participant list is fixed at
+// boot; only the counters need the lock.
+type layerEpoch struct {
+	participants []epochParticipant
+
+	mu       sync.Mutex
+	advances int
+	gen      int
+}
+
+// AdvanceEpoch rolls every fast path's warm state to the new boot
+// generation in one pinned pass. This is the single drain entry point
+// that replaced the five per-path supervisor restart hooks; the order
+// is a contract, asserted by tests:
+//
+//  1. grants — first, so every stale page-flipping ref fails fast
+//     before any other drain step can complete work that would resolve
+//     a grant against host pages the app may already be reusing.
+//  2. ring — second: with grants gone, re-arming the ring makes
+//     in-flight slots fail EHOSTDOWN cleanly; re-arming before the
+//     grant sweep would let a slot complete against a grant that is
+//     about to be revoked underneath it.
+//  3. sockets — third: socket ops ride ring slots like file I/O, so
+//     the network fast path rolls only after the ring is keyed to the
+//     new generation; rolling it also re-keys the fresh guest stack so
+//     surviving sockets re-run the current ConnectPolicy, which must
+//     happen before any later participant could forward a socket op.
+//  4. binder — fourth: binder sessions pipeline transactions through
+//     ring slots, so sessions are dropped only after the ring is keyed
+//     to the new generation — a drained session can then never re-pin
+//     its handle against the old boot.
+//  5. cache — last: the cache's fetch and flush paths forward through
+//     the ring, grant, and binder paths above; invalidating after all
+//     of them guarantees nothing can re-populate the cache from a
+//     pre-drain code path, so no stale page survives the sweep.
+//
+// The snapshot-restore path deliberately does NOT advance the epoch:
+// RestoreGuest reconciles warm state generation-aware (entries
+// provably unchanged since the checkpoint survive), and these
+// wholesale sweeps would destroy exactly the state the restore path
+// exists to preserve.
+func (l *Layer) AdvanceEpoch(gen int) {
+	for _, p := range l.epoch.participants {
+		p.advance(gen)
+	}
+	l.epoch.mu.Lock()
+	l.epoch.advances++
+	l.epoch.gen = gen
+	l.epoch.mu.Unlock()
+}
+
+// SetPolicyOverride installs (or, with nil, clears) a per-call
+// dispatch override. Takes effect on the next call; callers switching
+// a warm device to ForceSyncUncached should FlushRedirCache first if
+// they need buffered writes on the guest.
+func (l *Layer) SetPolicyOverride(ov *PolicyOverride) {
+	l.policy.override.Store(ov)
+}
+
+// epochStats snapshots the epoch protocol state.
+func (l *Layer) epochStats() EpochStats {
+	order := make([]string, len(l.epoch.participants))
+	for i, p := range l.epoch.participants {
+		order[i] = p.name
+	}
+	l.epoch.mu.Lock()
+	defer l.epoch.mu.Unlock()
+	return EpochStats{Advances: l.epoch.advances, Generation: l.epoch.gen, Order: order}
+}

@@ -1,0 +1,456 @@
+package anception
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/netstack"
+)
+
+// bootPolicyDevice boots a quiet Anception device with the given knobs.
+func bootPolicyDevice(t *testing.T, opts Options) *Device {
+	t.Helper()
+	opts.Mode = ModeAnception
+	opts.DisableTrace = true
+	d, err := NewDevice(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestEpochDrainOrder pins the epoch/drain protocol's participant order —
+// grants before ring before sockets before binder before cache, the one
+// ordering the five deleted per-path supervisor hooks used to encode
+// (grant revocation must precede the ring re-arm that could recycle its
+// slots; the cache invalidation runs last so flush attempts during
+// earlier drains cannot repopulate it). The supervisor's
+// TestPostRestartEpochAdvance asserts the single AdvanceEpoch call; this
+// test owns the order within it.
+func TestEpochDrainOrder(t *testing.T) {
+	d := bootPolicyDevice(t, Options{
+		RedirCache: true, RingDepth: 8, GrantThreshold: abi.PageSize,
+		BinderSessions: true, BinderReplyCache: true,
+	})
+	want := []string{"grants", "ring", "sockets", "binder", "cache"}
+	st := d.Layer.Stats()
+	if len(st.Epoch.Order) != len(want) {
+		t.Fatalf("epoch order = %v, want %v", st.Epoch.Order, want)
+	}
+	for i, name := range want {
+		if st.Epoch.Order[i] != name {
+			t.Fatalf("epoch order[%d] = %q, want %q (full order %v)", i, st.Epoch.Order[i], name, st.Epoch.Order)
+		}
+	}
+	if st.Epoch.Advances != 0 {
+		t.Fatalf("fresh device has %d epoch advances, want 0", st.Epoch.Advances)
+	}
+
+	// Warm the cache so the advance has something observable to drain.
+	p := installAndLaunch(t, d, "com.policy.epoch")
+	fd := mustOpen(t, p, "epoch.dat", abi.ORdWr|abi.OCreat)
+	data := []byte("drained by the epoch")
+	mustPwrite(t, p, fd, data, 0)
+	if got := mustPread(t, p, fd, len(data), 0); !bytes.Equal(got, data) {
+		t.Fatalf("warm read = %q", got)
+	}
+	before := d.Layer.Stats()
+
+	d.AdvanceEpoch()
+
+	after := d.Layer.Stats()
+	if after.Epoch.Advances != before.Epoch.Advances+1 {
+		t.Fatalf("advances %d -> %d, want one step", before.Epoch.Advances, after.Epoch.Advances)
+	}
+	if after.Epoch.Generation != d.CVM.Generation() {
+		t.Fatalf("epoch generation = %d, want boot generation %d", after.Epoch.Generation, d.CVM.Generation())
+	}
+	if after.Cache.Invalidations == before.Cache.Invalidations {
+		t.Fatal("epoch advance did not invalidate the redirection cache")
+	}
+	if after.Ring.Rearms == before.Ring.Rearms {
+		t.Fatal("epoch advance did not re-arm the ring")
+	}
+	if after.Net.Drains == before.Net.Drains {
+		t.Fatal("epoch advance did not drain the socket path")
+	}
+}
+
+// TestForceSyncUncachedMatchesPlainDevice is the Table I regression for
+// the adaptive plane: with AutoTune on but a ForceSyncUncached override
+// installed, every microbenchmark row must charge byte-identically to a
+// plain uncached device — same read 305.03 us, same write 384.45 us,
+// same 31.0/31.3 ms binder rows — because the override routes onto the
+// same synchronous channel with every fast path gated off.
+func TestForceSyncUncachedMatchesPlainDevice(t *testing.T) {
+	plain := bootPolicyDevice(t, Options{})
+	auto := bootPolicyDevice(t, Options{AutoTune: true})
+	auto.Layer.SetPolicyOverride(&PolicyOverride{ForceSyncUncached: true})
+
+	type bench struct {
+		name string
+		run  func(d *Device, p *Proc, fd, bfd int) time.Duration
+	}
+	page := make([]byte, abi.PageSize)
+	benches := []bench{
+		{"getpid", func(d *Device, p *Proc, _, _ int) time.Duration {
+			return measureOnce(d, func() { p.Getpid() })
+		}},
+		{"write4k", func(d *Device, p *Proc, fd, _ int) time.Duration {
+			return measureOnce(d, func() { _, _ = p.Pwrite(fd, page, 0) })
+		}},
+		{"read4k", func(d *Device, p *Proc, fd, _ int) time.Duration {
+			return measureOnce(d, func() { _, _ = p.Pread(fd, abi.PageSize, 0) })
+		}},
+		{"binder128", func(d *Device, p *Proc, _, bfd int) time.Duration {
+			return measureOnce(d, func() {
+				_, _ = p.BinderCall(bfd, "location", android.CodeGetLocation, make([]byte, 128))
+			})
+		}},
+		{"binder256", func(d *Device, p *Proc, _, bfd int) time.Duration {
+			return measureOnce(d, func() {
+				_, _ = p.BinderCall(bfd, "location", android.CodeGetLocation, make([]byte, 256))
+			})
+		}},
+	}
+
+	prep := func(d *Device) (*Proc, int, int) {
+		p := installAndLaunch(t, d, "com.policy.tablei")
+		fd := mustOpen(t, p, "t1.dat", abi.ORdWr|abi.OCreat)
+		mustPwrite(t, p, fd, page, 0)
+		bfd, err := p.OpenBinder()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, fd, bfd
+	}
+	pp, pfd, pbfd := prep(plain)
+	ap, afd, abfd := prep(auto)
+
+	for _, b := range benches {
+		got := b.run(auto, ap, afd, abfd)
+		want := b.run(plain, pp, pfd, pbfd)
+		if got != want {
+			t.Errorf("%s: override device charged %v, plain device %v — must be byte-identical", b.name, got, want)
+		}
+	}
+
+	// The absolute values stay pinned to the paper's Table I.
+	within(t, "read4k", measureOnce(auto, func() { _, _ = ap.Pread(afd, abi.PageSize, 0) }),
+		305030*time.Nanosecond, 0.03)
+	within(t, "binder 128B", measureOnce(auto, func() {
+		_, _ = ap.BinderCall(abfd, "location", android.CodeGetLocation, make([]byte, 128))
+	}), 31*time.Millisecond, 0.01)
+	within(t, "binder 256B", measureOnce(auto, func() {
+		_, _ = ap.BinderCall(abfd, "location", android.CodeGetLocation, make([]byte, 256))
+	}), 31300*time.Microsecond, 0.01)
+
+	// And no fast path leaked through the override.
+	st := auto.Layer.Stats()
+	if st.Ring.Submitted != 0 || st.Grants.Calls != 0 || st.Cache.Hits+st.Cache.Misses != 0 || st.Binder.Submitted != 0 {
+		t.Fatalf("fast-path traffic under ForceSyncUncached: ring=%d grants=%d cacheLookups=%d binder=%d",
+			st.Ring.Submitted, st.Grants.Calls, st.Cache.Hits+st.Cache.Misses, st.Binder.Submitted)
+	}
+}
+
+// TestDegradedMatrix is the one table-driven breaker test: every fast
+// path — redirection cache, async ring, grants, binder sessions, binder
+// reply cache, socket ring — must stop serving while the circuit breaker
+// is open, and resume once it closes. It replaces scattered per-path
+// assertions with a single matrix.
+func TestDegradedMatrix(t *testing.T) {
+	page := make([]byte, abi.PageSize)
+	big := make([]byte, 4*abi.PageSize)
+
+	rows := []struct {
+		name string
+		opts Options
+		// prepare warms the fast path and returns the redirected op to
+		// probe plus the fast-path counter the breaker must freeze.
+		prepare func(t *testing.T, d *Device, p *Proc) (op func() error, fastPath func(LayerStats) int64)
+		// servesDegraded marks the binder reply cache: its uncached sync
+		// bridge predates the breaker and still answers — but the cache
+		// itself must neither serve nor store.
+		servesDegraded bool
+	}{
+		{
+			name: "cache",
+			opts: Options{RedirCache: true},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				fd := mustOpen(t, p, "m.dat", abi.ORdWr|abi.OCreat)
+				mustPwrite(t, p, fd, page, 0)
+				mustPread(t, p, fd, abi.PageSize, 0)
+				return func() error { _, err := p.Pread(fd, abi.PageSize, 0); return err },
+					func(s LayerStats) int64 { return int64(s.Cache.Hits + s.Cache.Misses) }
+			},
+		},
+		{
+			name: "ring",
+			opts: Options{RingDepth: 8},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				fd := mustOpen(t, p, "m.dat", abi.ORdWr|abi.OCreat)
+				return func() error { _, err := p.Pwrite(fd, page, 0); return err },
+					func(s LayerStats) int64 { return int64(s.Ring.Submitted) }
+			},
+		},
+		{
+			name: "grant",
+			opts: Options{GrantThreshold: abi.PageSize},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				fd := mustOpen(t, p, "m.dat", abi.ORdWr|abi.OCreat)
+				mustPwrite(t, p, fd, big, 0)
+				return func() error { _, err := p.Pwrite(fd, big, 0); return err },
+					func(s LayerStats) int64 { return int64(s.Grants.Calls) }
+			},
+		},
+		{
+			name: "binder-session",
+			opts: Options{BinderSessions: true},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				bfd, err := p.OpenBinder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := p.BinderCall(bfd, "location", android.CodeGetLocation, nil); err != nil {
+					t.Fatal(err)
+				}
+				return func() error {
+						_, err := p.BinderCall(bfd, "location", android.CodeGetLocation, nil)
+						return err
+					},
+					func(s LayerStats) int64 { return int64(s.Binder.Submitted) }
+			},
+		},
+		{
+			name: "binder-reply-cache",
+			opts: Options{BinderReplyCache: true},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				bfd, err := p.OpenBinder()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := p.BinderCall(bfd, "location", android.CodeGetLocation, nil); err != nil {
+					t.Fatal(err)
+				}
+				return func() error {
+						_, err := p.BinderCall(bfd, "location", android.CodeGetLocation, nil)
+						return err
+					},
+					func(s LayerStats) int64 { return int64(s.Binder.ReplyHits + s.Binder.ReplyStores) }
+			},
+			servesDegraded: true,
+		},
+		{
+			name: "socket-ring",
+			opts: Options{RingDepth: 8},
+			prepare: func(t *testing.T, d *Device, p *Proc) (func() error, func(LayerStats) int64) {
+				d.RegisterRemote("echo:1", func(req []byte) []byte { return req })
+				sock, err := p.Socket(netstack.AFInet, netstack.SockStream, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := p.Connect(sock, "echo:1"); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := p.Send(sock, []byte("warm frame")); err != nil {
+					t.Fatal(err)
+				}
+				return func() error { _, err := p.Send(sock, []byte("probe frame")); return err },
+					func(s LayerStats) int64 { return s.Net.RingOps }
+			},
+		},
+	}
+
+	for _, row := range rows {
+		t.Run(row.name, func(t *testing.T) {
+			d := bootPolicyDevice(t, row.opts)
+			p := installAndLaunch(t, d, fmt.Sprintf("com.degraded.%s", row.name))
+			op, fastPath := row.prepare(t, d, p)
+
+			before := d.Layer.Stats()
+			if fastPath(before) == 0 {
+				t.Fatalf("warm-up did not exercise the %s fast path", row.name)
+			}
+
+			d.SetDegraded(true)
+			err := op()
+			if row.servesDegraded {
+				if err != nil {
+					t.Fatalf("degraded %s op: %v, want the pre-breaker sync bridge to serve", row.name, err)
+				}
+			} else if !errors.Is(err, abi.EAGAIN) {
+				t.Fatalf("degraded %s op err = %v, want EAGAIN", row.name, err)
+			}
+			if got, was := fastPath(d.Layer.Stats()), fastPath(before); got != was {
+				t.Fatalf("breaker open but %s fast path advanced: %d -> %d", row.name, was, got)
+			}
+
+			d.SetDegraded(false)
+			if err := op(); err != nil {
+				t.Fatalf("post-recovery %s op: %v", row.name, err)
+			}
+			if got, was := fastPath(d.Layer.Stats()), fastPath(before); got <= was {
+				t.Fatalf("%s fast path did not resume after recovery: %d -> %d", row.name, was, got)
+			}
+		})
+	}
+}
+
+// TestPolicyKnobsForceOverridesUnderAutoTune pins the knob contract from
+// the README: a knob set alongside AutoTune is a forced override, not a
+// hint. RingDepth pins the transport to the ring, RedirCache pins the
+// cache to always serve, GrantThreshold keeps its exact cutover.
+func TestPolicyKnobsForceOverridesUnderAutoTune(t *testing.T) {
+	forced := newDispatchPolicy(true, true, true)
+	for i := int64(0); i < 200; i++ {
+		if !forced.useRing(classMeta, 1) {
+			t.Fatal("RingForced policy routed off the ring")
+		}
+		if !forced.serveCache(0, i) {
+			t.Fatal("CacheForced policy skipped the cache")
+		}
+	}
+	if s := forced.snapshot(); s.SyncChosen != 0 || s.CacheSkipped != 0 {
+		t.Fatalf("forced policy recorded losing arms: %+v", s)
+	}
+
+	// An explicit GrantThreshold keeps exact knob semantics: no model
+	// exploration ever flips a decision across the cutover.
+	knob := abi.PageSize
+	model := newDispatchPolicy(true, false, false)
+	for i := 0; i < 200; i++ {
+		if model.useGrant(knob-1, knob) {
+			t.Fatal("payload below the knob took the grant path")
+		}
+		if !model.useGrant(knob, knob) {
+			t.Fatal("payload at the knob took the copy path")
+		}
+	}
+
+	// Without the knob the learned crossover decides (seeded at 16 KiB).
+	if model.useGrant(4<<10, 0) {
+		t.Fatal("4 KiB payload granted below the seeded crossover")
+	}
+	if !model.useGrant(64<<10, 0) {
+		t.Fatal("64 KiB payload copied above the seeded crossover")
+	}
+}
+
+// TestCostModelPreferRing pins the transport decision: inflight traffic
+// rides the ring outright; the sequential seed is the ring (the measured
+// concurrency sweep has it at or above sync at every thread count); the
+// EWMA compare takes over once both arms are sampled; and scheduled
+// exploration keeps the losing arm's estimate fresh.
+func TestCostModelPreferRing(t *testing.T) {
+	m := newCostModel()
+	if ring, _ := m.preferRing(classMeta, 3); !ring {
+		t.Fatal("inflight calls must ride the ring")
+	}
+	if ring, _ := m.preferRing(classMeta, 0); !ring {
+		t.Fatal("sequential seed must be the ring")
+	}
+
+	// Converge the EWMAs: sync measures cheaper for this class.
+	for i := 0; i < ewmaMinSamples; i++ {
+		m.observe(classMeta, armSync, 0, 100*time.Microsecond)
+		m.observe(classMeta, armRing, 0, 300*time.Microsecond)
+	}
+	var rings, explorations int
+	for i := 0; i < explorePeriod; i++ {
+		ring, explored := m.preferRing(classMeta, 0)
+		if ring {
+			rings++
+		}
+		if explored {
+			explorations++
+			if !ring {
+				t.Fatal("exploration must take the losing arm (the ring here)")
+			}
+		}
+	}
+	if explorations != 1 {
+		t.Fatalf("explorations = %d over one period, want exactly 1", explorations)
+	}
+	if rings != explorations {
+		t.Fatalf("converged sync-cheaper model chose the ring %d times beyond exploration", rings-explorations)
+	}
+
+	// Classes are independent: bulk still rides the seeded ring.
+	if ring, _ := m.preferRing(classBulk, 0); !ring {
+		t.Fatal("bulk class must keep its own seed")
+	}
+}
+
+// TestCostModelRetune pins crossover retuning: when grants measure
+// cheaper than copies down to a smaller bucket, the crossover moves to
+// that bucket's floor, clamped to the sane range.
+func TestCostModelRetune(t *testing.T) {
+	m := newCostModel()
+	if m.crossoverBytes() != autoGrantCrossover {
+		t.Fatalf("seed crossover = %d, want %d", m.crossoverBytes(), autoGrantCrossover)
+	}
+	size := 32 << 10
+	for i := 0; i < ewmaMinSamples; i++ {
+		m.observe(classBulk, armSync, size, 400*time.Microsecond) // copy arm
+		m.observe(classBulk, armGrant, size, 100*time.Microsecond)
+	}
+	m.mu.Lock()
+	m.retuneLocked()
+	m.mu.Unlock()
+	if got := m.crossoverBytes(); got != size {
+		t.Fatalf("crossover = %d after grants win the 32 KiB bucket, want %d", got, size)
+	}
+	hist := m.sizeHistogram()
+	if hist[sizeBucket(size)] != 2*ewmaMinSamples {
+		t.Fatalf("size histogram bucket = %d, want %d", hist[sizeBucket(size)], 2*ewmaMinSamples)
+	}
+}
+
+// TestCostModelCacheWorthIt pins the cache gate: optimistic during
+// burn-in, bypassing once the hit rate collapses, with a scheduled
+// re-probe so a newly cacheable workload is noticed.
+func TestCostModelCacheWorthIt(t *testing.T) {
+	m := newCostModel()
+	if !m.cacheWorthIt(0, cacheProbeMinLookups-1) {
+		t.Fatal("burn-in lookups must serve optimistically")
+	}
+	if !m.cacheWorthIt(cacheProbeMinLookups, cacheProbeMinLookups) {
+		t.Fatal("a perfect hit rate must serve")
+	}
+	probes := 0
+	for i := 0; i < explorePeriod; i++ {
+		if m.cacheWorthIt(0, cacheProbeMinLookups) {
+			probes++
+		}
+	}
+	if probes != 1 {
+		t.Fatalf("collapsed hit rate re-probed %d times per period, want exactly 1", probes)
+	}
+}
+
+// BenchmarkPolicyUseRing measures the adaptive transport decision plus
+// its observation on the lock-free hot path.
+func BenchmarkPolicyUseRing(b *testing.B) {
+	p := newDispatchPolicy(true, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.useRing(classBulk, 1)
+		p.model.observe(classBulk, armRing, abi.PageSize, 100*time.Microsecond)
+	}
+}
+
+// BenchmarkPolicyUseGrant measures the payload-strategy decision against
+// the learned crossover.
+func BenchmarkPolicyUseGrant(b *testing.B) {
+	p := newDispatchPolicy(true, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.useGrant(64<<10, 0)
+	}
+}

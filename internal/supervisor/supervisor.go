@@ -22,48 +22,18 @@ type Target interface {
 	GuestServiceAlive(name string) bool
 }
 
-// CacheInvalidator is implemented by targets that keep a host-side
-// redirection cache. After every successful restart the supervisor tells
-// the target to drop it, so nothing cached against the old container boot
-// can ever be served against the new one.
-type CacheInvalidator interface {
-	InvalidateRedirCache()
-}
-
-// RingDrainer is implemented by targets with an asynchronous redirection
-// ring. After every successful restart the supervisor re-arms the ring to
-// the new boot generation so slots still in flight against the old
-// container fail fast with EHOSTDOWN instead of leaking (or replaying
-// into the fresh guest).
-type RingDrainer interface {
-	DrainRing()
-}
-
-// GrantRevoker is implemented by targets with a zero-copy grant table.
-// After every successful restart the supervisor revokes every
-// outstanding grant: the guest mappings died with the old container, and
-// any straggler reference tagged with the old boot generation must fail
-// EHOSTDOWN rather than touch host pages the app may have reused.
-type GrantRevoker interface {
-	RevokeGrants()
-}
-
-// SocketDrainer is implemented by targets with a redirected network fast
-// path. After every successful restart the supervisor rolls it to the
-// new boot generation: ring slots still carrying socket ops against the
-// old container fail EHOSTDOWN, and the fresh guest stack is keyed so
-// surviving sockets re-run the current ConnectPolicy on their next use.
-type SocketDrainer interface {
-	DrainSockets()
-}
-
-// BinderDrainer is implemented by targets with a binder bridge fast path.
-// After every successful restart the supervisor rolls it to the new boot
-// generation: pinned session handles and cached idempotent replies from
-// the old container are dropped, and in-flight pipelined transactions
-// fail EHOSTDOWN instead of replaying into the fresh guest.
-type BinderDrainer interface {
-	DrainBinder()
+// EpochAdvancer is implemented by targets with warm fast-path state
+// keyed to the container's boot generation (grants, async ring, socket
+// and binder fast paths, redirection cache). After every successful
+// restart the supervisor advances the target's epoch once; the target
+// drains every fast path in its own pinned order so nothing warmed
+// against the old container boot can ever be served against the new one.
+// This single hook replaced the five per-path drain hooks
+// (GrantRevoker, RingDrainer, SocketDrainer, BinderDrainer,
+// CacheInvalidator); the ordering contract now lives with the target —
+// see anception.Layer.AdvanceEpoch.
+type EpochAdvancer interface {
+	AdvanceEpoch()
 }
 
 // SnapshotRestorer is implemented by targets with a hypervisor snapshot
@@ -72,9 +42,10 @@ type BinderDrainer interface {
 // no reboot, no backoff, and warm state provably unchanged since the
 // checkpoint survives. RestoreFromSnapshot must leave the target fully
 // reconciled (ring re-armed, stale grants swept, binder and cache rolled)
-// — the supervisor runs none of its post-restart drain hooks on the
-// restore path. A failed restore (corrupt image, staleness) falls back to
-// the cold path in the same tick.
+// — the supervisor does not advance the target's epoch on the restore
+// path (a wholesale drain would destroy exactly the warm state the
+// restore preserved). A failed restore (corrupt image, staleness) falls
+// back to the cold path in the same tick.
 type SnapshotRestorer interface {
 	SnapshotUsable() bool
 	RestoreFromSnapshot() error
@@ -375,50 +346,17 @@ func (s *Supervisor) Tick() bool {
 }
 
 // runPostRestartHooks rolls the target's warm state to the new boot
-// generation after every successful cold restart. The order is a
-// contract, asserted by tests:
-//
-//  1. GrantRevoker — first, so every stale page-flipping ref fails fast
-//     before any other drain step can complete work that would resolve a
-//     grant against host pages the app may already be reusing.
-//  2. RingDrainer — second: with grants gone, re-arming the ring makes
-//     in-flight slots fail EHOSTDOWN cleanly; re-arming before the grant
-//     sweep would let a slot complete against a grant that is about to
-//     be revoked underneath it.
-//  3. SocketDrainer — third: socket ops ride ring slots like file I/O,
-//     so the network fast path rolls only after the ring is keyed to the
-//     new generation; rolling it also re-keys the fresh guest stack so
-//     surviving sockets re-run the current ConnectPolicy, which must
-//     happen before any later hook could forward a socket op.
-//  4. BinderDrainer — fourth: binder sessions pipeline transactions
-//     through ring slots, so sessions are dropped only after the ring is
-//     keyed to the new generation — a drained session can then never
-//     re-pin its handle against the old boot.
-//  5. CacheInvalidator — last: the cache's fetch and flush paths forward
-//     through the ring, grant, and binder paths above; invalidating after
-//     all of them guarantees nothing can re-populate the cache from a
-//     pre-drain code path, so no stale page survives the sweep.
-//
-// The snapshot-restore path deliberately does NOT run these hooks: the
-// target's RestoreFromSnapshot reconciles its own warm state generation-
-// aware (entries provably unchanged since the checkpoint survive), and
-// these wholesale sweeps would destroy exactly the state the restore
-// path exists to preserve.
+// generation after every successful cold restart via the target's single
+// epoch entry point. The per-path drain ordering (grants → ring →
+// sockets → binder → cache) is the target's contract now — see
+// anception.Layer.AdvanceEpoch for the rationale and the tests that pin
+// it. The snapshot-restore path deliberately does NOT advance the epoch:
+// RestoreFromSnapshot reconciles warm state generation-aware, and a
+// wholesale sweep would destroy exactly the state the restore path
+// exists to preserve.
 func (s *Supervisor) runPostRestartHooks() {
-	if gr, ok := s.target.(GrantRevoker); ok {
-		gr.RevokeGrants()
-	}
-	if rd, ok := s.target.(RingDrainer); ok {
-		rd.DrainRing()
-	}
-	if sd, ok := s.target.(SocketDrainer); ok {
-		sd.DrainSockets()
-	}
-	if bd, ok := s.target.(BinderDrainer); ok {
-		bd.DrainBinder()
-	}
-	if inv, ok := s.target.(CacheInvalidator); ok {
-		inv.InvalidateRedirCache()
+	if ea, ok := s.target.(EpochAdvancer); ok {
+		ea.AdvanceEpoch()
 	}
 }
 

@@ -6,38 +6,8 @@ import (
 
 	"anception/internal/anception"
 	"anception/internal/android"
-	"anception/internal/sim"
 	"anception/internal/supervisor"
 )
-
-// binderTarget is fakeTarget plus the BinderDrainer surface.
-type binderTarget struct {
-	fakeTarget
-	drains int
-}
-
-func (b *binderTarget) DrainBinder() { b.drains++ }
-
-// TestSupervisorDrainsBinderAfterRestart: a target exposing DrainBinder
-// gets it called exactly once per successful restart — and never when the
-// restart itself failed — mirroring the ring and grant hooks.
-func TestSupervisorDrainsBinderAfterRestart(t *testing.T) {
-	bt := &binderTarget{fakeTarget: fakeTarget{healthy: false}}
-	sup := supervisor.New(bt, sim.NewClock(), nil, supervisor.Config{})
-	if sup.Tick() != true {
-		t.Fatal("restart should have recovered the target within the tick")
-	}
-	if bt.restarts != 1 || bt.drains != 1 {
-		t.Fatalf("restarts=%d drains=%d, want 1/1", bt.restarts, bt.drains)
-	}
-
-	broken := &binderTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
-	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
-	sup2.Tick()
-	if broken.drains != 0 {
-		t.Fatalf("failed restart must not drain the binder fast path: %d", broken.drains)
-	}
-}
 
 // TestSupervisedRestartDrainsBinderSessions is the end-to-end drill: panic
 // a container carrying live binder sessions, let the watchdog recover it,

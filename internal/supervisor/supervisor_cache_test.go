@@ -15,10 +15,10 @@ import (
 // fakeTarget is a minimal supervisor target recording what the watchdog
 // asked of it.
 type fakeTarget struct {
-	healthy       bool
-	failRestart   bool
-	restarts      int
-	invalidations int
+	healthy     bool
+	failRestart bool
+	restarts    int
+	epochs      int
 }
 
 func (f *fakeTarget) Probe() error {
@@ -39,26 +39,27 @@ func (f *fakeTarget) RestartCVM() error {
 
 func (f *fakeTarget) SetDegraded(bool)              {}
 func (f *fakeTarget) GuestServiceAlive(string) bool { return true }
-func (f *fakeTarget) InvalidateRedirCache()         { f.invalidations++ }
+func (f *fakeTarget) AdvanceEpoch()                 { f.epochs++ }
 
-// TestSupervisorInvalidatesCacheAfterRestart: a target exposing
-// InvalidateRedirCache gets it called exactly once per successful restart,
-// and never when the restart itself failed.
-func TestSupervisorInvalidatesCacheAfterRestart(t *testing.T) {
+// TestSupervisorAdvancesEpochAfterRestart: a target exposing AdvanceEpoch
+// (the single drain entry point that replaced the five per-path hooks)
+// gets it called exactly once per successful restart, and never when the
+// restart itself failed.
+func TestSupervisorAdvancesEpochAfterRestart(t *testing.T) {
 	ft := &fakeTarget{healthy: false}
 	sup := supervisor.New(ft, sim.NewClock(), nil, supervisor.Config{})
 	if sup.Tick() != true {
 		t.Fatal("restart should have recovered the target within the tick")
 	}
-	if ft.restarts != 1 || ft.invalidations != 1 {
-		t.Fatalf("restarts=%d invalidations=%d, want 1/1", ft.restarts, ft.invalidations)
+	if ft.restarts != 1 || ft.epochs != 1 {
+		t.Fatalf("restarts=%d epochs=%d, want 1/1", ft.restarts, ft.epochs)
 	}
 
 	broken := &fakeTarget{healthy: false, failRestart: true}
 	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
 	sup2.Tick()
-	if broken.invalidations != 0 {
-		t.Fatalf("failed restart must not invalidate the cache: %d", broken.invalidations)
+	if broken.epochs != 0 {
+		t.Fatalf("failed restart must not advance the epoch: %d", broken.epochs)
 	}
 }
 

@@ -8,38 +8,8 @@ import (
 	"anception/internal/abi"
 	"anception/internal/anception"
 	"anception/internal/android"
-	"anception/internal/sim"
 	"anception/internal/supervisor"
 )
-
-// grantTarget is fakeTarget plus the GrantRevoker surface.
-type grantTarget struct {
-	fakeTarget
-	revocations int
-}
-
-func (g *grantTarget) RevokeGrants() { g.revocations++ }
-
-// TestSupervisorRevokesGrantsAfterRestart: a target exposing RevokeGrants
-// gets it called exactly once per successful restart — and never when the
-// restart itself failed — mirroring the cache and ring hooks.
-func TestSupervisorRevokesGrantsAfterRestart(t *testing.T) {
-	gt := &grantTarget{fakeTarget: fakeTarget{healthy: false}}
-	sup := supervisor.New(gt, sim.NewClock(), nil, supervisor.Config{})
-	if sup.Tick() != true {
-		t.Fatal("restart should have recovered the target within the tick")
-	}
-	if gt.restarts != 1 || gt.revocations != 1 {
-		t.Fatalf("restarts=%d revocations=%d, want 1/1", gt.restarts, gt.revocations)
-	}
-
-	broken := &grantTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
-	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
-	sup2.Tick()
-	if broken.revocations != 0 {
-		t.Fatalf("failed restart must not revoke grants: %d", broken.revocations)
-	}
-}
 
 // TestSupervisedRestartRevokesDeviceGrants is the end-to-end drill: panic
 // a grant-enabled container, let the watchdog recover it, and verify the

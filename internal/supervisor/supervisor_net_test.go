@@ -11,38 +11,8 @@ import (
 	"anception/internal/anception"
 	"anception/internal/android"
 	"anception/internal/netstack"
-	"anception/internal/sim"
 	"anception/internal/supervisor"
 )
-
-// socketTarget is fakeTarget plus the SocketDrainer surface.
-type socketTarget struct {
-	fakeTarget
-	drains int
-}
-
-func (s *socketTarget) DrainSockets() { s.drains++ }
-
-// TestSupervisorDrainsSocketsAfterRestart: a target exposing DrainSockets
-// gets it called exactly once per successful restart — and never when the
-// restart itself failed — mirroring the ring, grant, and binder hooks.
-func TestSupervisorDrainsSocketsAfterRestart(t *testing.T) {
-	st := &socketTarget{fakeTarget: fakeTarget{healthy: false}}
-	sup := supervisor.New(st, sim.NewClock(), nil, supervisor.Config{})
-	if sup.Tick() != true {
-		t.Fatal("restart should have recovered the target within the tick")
-	}
-	if st.restarts != 1 || st.drains != 1 {
-		t.Fatalf("restarts=%d drains=%d, want 1/1", st.restarts, st.drains)
-	}
-
-	broken := &socketTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
-	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
-	sup2.Tick()
-	if broken.drains != 0 {
-		t.Fatalf("failed restart must not drain the socket fast path: %d", broken.drains)
-	}
-}
 
 // TestSupervisedRestartRollsSocketGeneration is the end-to-end regression
 // drill for the boot-generation rollover: after a supervised restart the

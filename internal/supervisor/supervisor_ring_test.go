@@ -6,38 +6,8 @@ import (
 	"anception/internal/abi"
 	"anception/internal/anception"
 	"anception/internal/android"
-	"anception/internal/sim"
 	"anception/internal/supervisor"
 )
-
-// ringTarget is fakeTarget plus the RingDrainer surface.
-type ringTarget struct {
-	fakeTarget
-	drains int
-}
-
-func (r *ringTarget) DrainRing() { r.drains++ }
-
-// TestSupervisorDrainsRingAfterRestart: a target exposing DrainRing gets it
-// called exactly once per successful restart — and never when the restart
-// itself failed — mirroring the cache-invalidation hook.
-func TestSupervisorDrainsRingAfterRestart(t *testing.T) {
-	rt := &ringTarget{fakeTarget: fakeTarget{healthy: false}}
-	sup := supervisor.New(rt, sim.NewClock(), nil, supervisor.Config{})
-	if sup.Tick() != true {
-		t.Fatal("restart should have recovered the target within the tick")
-	}
-	if rt.restarts != 1 || rt.drains != 1 {
-		t.Fatalf("restarts=%d drains=%d, want 1/1", rt.restarts, rt.drains)
-	}
-
-	broken := &ringTarget{fakeTarget: fakeTarget{healthy: false, failRestart: true}}
-	sup2 := supervisor.New(broken, sim.NewClock(), nil, supervisor.Config{})
-	sup2.Tick()
-	if broken.drains != 0 {
-		t.Fatalf("failed restart must not drain the ring: %d", broken.drains)
-	}
-}
 
 // TestSupervisedRestartRearmsRing is the end-to-end drill on a ring device:
 // panic the container, let the watchdog recover it, and verify the ring was

@@ -32,11 +32,7 @@ func (f *scriptTarget) Probe() error {
 func (f *scriptTarget) RestartCVM() error             { f.calls = append(f.calls, "restart"); return nil }
 func (f *scriptTarget) SetDegraded(bool)              {}
 func (f *scriptTarget) GuestServiceAlive(string) bool { return true }
-func (f *scriptTarget) RevokeGrants()                 { f.calls = append(f.calls, "grants") }
-func (f *scriptTarget) DrainRing()                    { f.calls = append(f.calls, "ring") }
-func (f *scriptTarget) DrainSockets()                 { f.calls = append(f.calls, "sockets") }
-func (f *scriptTarget) DrainBinder()                  { f.calls = append(f.calls, "binder") }
-func (f *scriptTarget) InvalidateRedirCache()         { f.calls = append(f.calls, "cache") }
+func (f *scriptTarget) AdvanceEpoch()                 { f.calls = append(f.calls, "epoch") }
 
 // scriptRestorer adds the SnapshotRestorer surface to scriptTarget.
 type scriptRestorer struct {
@@ -60,24 +56,20 @@ func (f *scriptRestorer) RestoreFromSnapshot() error {
 
 var errDown = fmt.Errorf("probe: %w", abi.EHOSTDOWN)
 
-// TestPostRestartHookOrder pins the documented contract: after every
-// successful cold restart the supervisor drains warm state in exactly the
-// order GrantRevoker, RingDrainer, SocketDrainer, BinderDrainer,
-// CacheInvalidator.
-func TestPostRestartHookOrder(t *testing.T) {
+// TestPostRestartEpochAdvance pins the collapsed contract: after every
+// successful cold restart the supervisor makes exactly one AdvanceEpoch
+// call — the per-path drain order (grants → ring → sockets → binder →
+// cache) now lives with the target and is pinned by
+// anception's TestEpochDrainOrder.
+func TestPostRestartEpochAdvance(t *testing.T) {
 	ft := &scriptTarget{probeErrs: []error{errDown}}
 	sup := supervisor.New(ft, sim.NewClock(), nil, supervisor.Config{})
 	if !sup.Tick() {
 		t.Fatalf("tick did not recover: %v", sup.LastError())
 	}
-	want := []string{"restart", "grants", "ring", "sockets", "binder", "cache"}
-	if len(ft.calls) != len(want) {
+	want := []string{"restart", "epoch"}
+	if fmt.Sprint(ft.calls) != fmt.Sprint(want) {
 		t.Fatalf("calls = %v, want %v", ft.calls, want)
-	}
-	for i := range want {
-		if ft.calls[i] != want[i] {
-			t.Fatalf("hook order violated at %d: calls = %v, want %v", i, ft.calls, want)
-		}
 	}
 }
 
@@ -98,7 +90,7 @@ func TestRestoreFirstPolicy(t *testing.T) {
 	}
 	for _, c := range fr.calls {
 		if c != "restore" {
-			t.Fatalf("restore path ran %q: calls = %v (drain hooks must not run)", c, fr.calls)
+			t.Fatalf("restore path ran %q: calls = %v (epoch must not advance)", c, fr.calls)
 		}
 	}
 	// No backoff on the restore path: the tick consumed only its heartbeat.
@@ -108,7 +100,8 @@ func TestRestoreFirstPolicy(t *testing.T) {
 }
 
 // TestRestoreFailureFallsBackColdSameTick: a failed restore (e.g. corrupt
-// image) escalates to a cold restart within the same tick, hooks and all.
+// image) escalates to a cold restart within the same tick, epoch advance
+// and all.
 func TestRestoreFailureFallsBackColdSameTick(t *testing.T) {
 	fr := &scriptRestorer{
 		scriptTarget: scriptTarget{probeErrs: []error{errDown}},
@@ -123,7 +116,7 @@ func TestRestoreFailureFallsBackColdSameTick(t *testing.T) {
 	if st.RestoreFailures != 1 || st.Restores != 0 || st.Restarts != 1 {
 		t.Fatalf("stats = %+v, want 1 restore failure then 1 cold restart", st)
 	}
-	want := []string{"restore", "restart", "grants", "ring", "sockets", "binder", "cache"}
+	want := []string{"restore", "restart", "epoch"}
 	if fmt.Sprint(fr.calls) != fmt.Sprint(want) {
 		t.Fatalf("calls = %v, want %v", fr.calls, want)
 	}

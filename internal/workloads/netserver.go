@@ -42,6 +42,11 @@ type NetServerConfig struct {
 	// ReqBytes is the request/response payload size (default 128 — small
 	// enough to ride an inline ring slot).
 	ReqBytes int
+	// MixedSizes replaces the single ReqBytes payload with the request-
+	// size mix real RPC traffic shows: 60% 256 B, 30% 4 KiB, 10% 64 KiB,
+	// assigned deterministically by session index (i%10: 0–5 small, 6–8
+	// page, 9 bulk) so runs stay reproducible.
+	MixedSizes bool
 	// Utilization is the target fraction of measured capacity the
 	// arrival rate aims at (default 0.8): high enough to queue, low
 	// enough to be stable.
@@ -101,6 +106,22 @@ type NetServerStats struct {
 	DgramDrops int64
 }
 
+// mixedSizeTiers is the MixedSizes request-size mix, smallest first.
+var mixedSizeTiers = []int{256, 4 << 10, 64 << 10}
+
+// mixedTierFor deterministically assigns a session index to a tier:
+// 60% small, 30% page-sized, 10% bulk.
+func mixedTierFor(idx int) int {
+	switch m := idx % 10; {
+	case m < 6:
+		return 0
+	case m < 9:
+		return 1
+	default:
+		return 2
+	}
+}
+
 // netServerRig is the booted echo server: one server app with lane
 // listeners behind one epoll instance, and one client app per lane.
 type netServerRig struct {
@@ -111,8 +132,10 @@ type netServerRig struct {
 	listen   []int // lane listener fds (server side)
 	addrs    []string
 	payload  []byte
-	accepts  int // accept4 calls that returned connections
-	accepted int // connections they carried
+	tiers    [][]byte    // MixedSizes payloads, indexed by tier
+	expect   map[int]int // client fd -> expected echo length
+	accepts  int         // accept4 calls that returned connections
+	accepted int         // connections they carried
 }
 
 func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, error) {
@@ -138,9 +161,19 @@ func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, er
 		server:  server,
 		client:  client,
 		payload: make([]byte, cfg.ReqBytes),
+		expect:  make(map[int]int),
 	}
 	for i := range rig.payload {
 		rig.payload[i] = byte('a' + i%26)
+	}
+	if cfg.MixedSizes {
+		for _, size := range mixedSizeTiers {
+			tier := make([]byte, size)
+			for i := range tier {
+				tier[i] = byte('a' + i%26)
+			}
+			rig.tiers = append(rig.tiers, tier)
+		}
 	}
 	rig.epfd, err = server.EpollCreate()
 	if err != nil {
@@ -167,19 +200,40 @@ func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, er
 	return rig, nil
 }
 
+// payloadFor picks the session's request payload: the fixed ReqBytes
+// buffer, or its deterministic size tier under MixedSizes.
+func (r *netServerRig) payloadFor(idx int) []byte {
+	if r.tiers == nil {
+		return r.payload
+	}
+	return r.tiers[mixedTierFor(idx)]
+}
+
+// maxReq is the largest request a server recv must accommodate.
+func (r *netServerRig) maxReq() int {
+	if r.tiers == nil {
+		return len(r.payload)
+	}
+	return len(r.tiers[len(r.tiers)-1])
+}
+
 // openSession starts one client session: connect to a lane and send the
-// request. The reply is collected by drain after the server turn.
-func (r *netServerRig) openSession(lane int) (int, error) {
+// request. The reply is collected by drain after the server turn. idx is
+// the global session index — it picks both the lane and, under
+// MixedSizes, the payload tier.
+func (r *netServerRig) openSession(idx int) (int, error) {
+	payload := r.payloadFor(idx)
 	fd, err := r.client.Socket(netstack.AFInet, netstack.SockStream, 0)
 	if err != nil {
 		return -1, err
 	}
-	if err := r.client.Connect(fd, r.addrs[lane%len(r.addrs)]); err != nil {
+	if err := r.client.Connect(fd, r.addrs[idx%len(r.addrs)]); err != nil {
 		return -1, err
 	}
-	if _, err := r.client.Send(fd, r.payload); err != nil {
+	if _, err := r.client.Send(fd, payload); err != nil {
 		return -1, err
 	}
+	r.expect[fd] = len(payload)
 	return fd, nil
 }
 
@@ -203,7 +257,7 @@ func (r *netServerRig) serveTurn() error {
 			r.accepts++
 			r.accepted += len(conns)
 			for _, cfd := range conns {
-				req, err := r.server.Recv(cfd, len(r.payload))
+				req, err := r.server.Recv(cfd, r.maxReq())
 				if err != nil {
 					return fmt.Errorf("server recv: %w", err)
 				}
@@ -221,12 +275,14 @@ func (r *netServerRig) serveTurn() error {
 
 // drain finishes one client session: receive the echo and close.
 func (r *netServerRig) drain(fd int) error {
-	resp, err := r.client.Recv(fd, len(r.payload))
+	want := r.expect[fd]
+	delete(r.expect, fd)
+	resp, err := r.client.Recv(fd, want)
 	if err != nil {
 		return fmt.Errorf("client recv: %w", err)
 	}
-	if len(resp) != len(r.payload) {
-		return fmt.Errorf("echo truncated: %d of %d bytes", len(resp), len(r.payload))
+	if len(resp) != want {
+		return fmt.Errorf("echo truncated: %d of %d bytes", len(resp), want)
 	}
 	return r.client.Close(fd)
 }

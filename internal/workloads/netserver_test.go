@@ -71,3 +71,49 @@ func TestNetServerDeterminism(t *testing.T) {
 		t.Errorf("runs differ: %+v vs %+v", a, b)
 	}
 }
+
+// TestNetServerMixedSizes runs the request-size-mix variant: the tier
+// assignment is deterministic (60% 256 B, 30% 4 KiB, 10% 64 KiB by
+// session index), every echo comes back full length (drain checks it),
+// and bulk tiers make the mixed run cost more sim time per session than
+// the uniform 256 B run on the same transport.
+func TestNetServerMixedSizes(t *testing.T) {
+	counts := [3]int{}
+	for i := 0; i < 1000; i++ {
+		counts[mixedTierFor(i)]++
+	}
+	if counts != [3]int{600, 300, 100} {
+		t.Fatalf("tier mix over 1000 sessions = %v, want [600 300 100]", counts)
+	}
+
+	opts := anception.Options{RingDepth: 64, RingWorkers: 4, GrantThreshold: 16384}
+	mixed, err := RunNetServer(anception.ModeAnception, opts, NetServerConfig{Sessions: 1000, MixedSizes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := RunNetServer(anception.ModeAnception, opts, NetServerConfig{Sessions: 1000, ReqBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []NetServerStats{mixed, uniform} {
+		if st.Sessions != 1000 || st.OpsPerSimSec <= 0 {
+			t.Fatalf("degenerate run: %+v", st)
+		}
+		if st.P50 <= 0 || st.P50 > st.P99 || st.P99 > st.P999 || st.P999 > st.Max {
+			t.Fatalf("percentiles out of order: %+v", st)
+		}
+	}
+	if mixed.OpsPerSimSec >= uniform.OpsPerSimSec {
+		t.Fatalf("mixed sizes %.0f ops/sim-s should cost more than uniform 256 B %.0f",
+			mixed.OpsPerSimSec, uniform.OpsPerSimSec)
+	}
+
+	// The mix is part of the reproducibility promise too.
+	again, err := RunNetServer(anception.ModeAnception, opts, NetServerConfig{Sessions: 1000, MixedSizes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.P50 != again.P50 || mixed.P99 != again.P99 || mixed.OpsPerSimSec != again.OpsPerSimSec {
+		t.Fatalf("mixed run not deterministic: %+v vs %+v", mixed, again)
+	}
+}

@@ -81,10 +81,21 @@ func benchDevice(mode anception.Mode) (*anception.Device, error) {
 
 // MeasureOn runs one workload on one platform mode.
 func MeasureOn(mode anception.Mode, w Workload) (Measurement, error) {
-	d, err := benchDevice(mode)
+	return MeasureOnOpts(mode, anception.Options{}, w)
+}
+
+// MeasureOnOpts runs one workload on one platform mode with the given
+// device options, so the evaluate harness can replay the same workload
+// across transport configurations (sync, cached, ring, auto-tuned).
+// Mode and DisableTrace are forced.
+func MeasureOnOpts(mode anception.Mode, opts anception.Options, w Workload) (Measurement, error) {
+	opts.Mode = mode
+	opts.DisableTrace = true
+	d, err := anception.NewDevice(opts)
 	if err != nil {
 		return Measurement{}, err
 	}
+	defer d.Close()
 	app, err := d.InstallApp(android.AppSpec{Package: "com.bench." + w.Name})
 	if err != nil {
 		return Measurement{}, err
