@@ -952,3 +952,62 @@ func BenchmarkSocket_AcceptBatch(b *testing.B) {
 		b.ReportMetric(float64(st.BatchedFDs)/float64(st.Batches), "fds/batch")
 	}
 }
+
+// --- CVM fleet (DESIGN.md §16) ---
+
+// benchFleetMix runs the mixed page/bulk/socket/binder fleet workload
+// at a given shard count. Fleet elapsed is the slowest shard's clock,
+// so the ops/sim-s metric scales with the shard count (the scaling
+// floor itself is enforced by evaluate -exp fleet in CI).
+func benchFleetMix(b *testing.B, size int) {
+	var last workloads.FleetMixStats
+	for i := 0; i < b.N; i++ {
+		st, err := workloads.RunFleetMix(workloads.FleetMixConfig{
+			FleetSize: size, Apps: 8, OpsPerApp: 16, WarmupOps: 8,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = st
+	}
+	b.ReportMetric(last.OpsPerSimSec, "ops/sim-s")
+	b.ReportMetric(float64(last.Elapsed)/float64(time.Millisecond), "sim-ms/run")
+}
+
+func BenchmarkFleetMix_1CVM(b *testing.B) { benchFleetMix(b, 1) }
+func BenchmarkFleetMix_4CVM(b *testing.B) { benchFleetMix(b, 4) }
+
+// BenchmarkFleetMigration measures one app migration between two warm
+// shards: flush, gate, per-CVM epoch drain, data-directory copy,
+// re-enroll, relaunch. Cost is summed across both shard clocks.
+func BenchmarkFleetMigration(b *testing.B) {
+	f, err := anception.NewFleet(anception.Options{
+		FleetSize: 2, RedirCache: true, RingDepth: 64,
+		GrantThreshold: 16 << 10, DisableTrace: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	app, err := f.InstallApp(android.AppSpec{Package: "com.bench.mover"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := app.Proc()
+	fd, err := p.Open("state.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Pwrite(fd, make([]byte, abi.PageSize), 0); err != nil {
+		b.Fatal(err)
+	}
+	start := f.Shard(0).Dev.Clock.Now() + f.Shard(1).Dev.Clock.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := f.Migrate(app, (app.Shard()+1)%2); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := f.Shard(0).Dev.Clock.Now() + f.Shard(1).Dev.Clock.Now() - start
+	b.ReportMetric(float64(elapsed)/float64(b.N)/1e3, "sim-us/op")
+}

@@ -59,6 +59,7 @@ type netWorkloadRow struct {
 	Transport      string  `json:"transport"`
 	Sessions       int     `json:"sessions"`
 	Clients        int     `json:"clients"`
+	ServerApps     int     `json:"server_apps,omitempty"`
 	Lanes          int     `json:"lanes"`
 	P50SimUs       float64 `json:"p50_sim_us"`
 	P99SimUs       float64 `json:"p99_sim_us"`
@@ -67,6 +68,17 @@ type netWorkloadRow struct {
 	OpsPerSimSec   float64 `json:"ops_per_sim_s"`
 	ThinkTimeMs    float64 `json:"think_time_ms"`
 	AvgAcceptBatch float64 `json:"avg_accept_batch"`
+	// PerApp breaks the percentiles down by server app when the row ran
+	// more than one server sharing the sockop ring.
+	PerApp []netAppRow `json:"per_app,omitempty"`
+}
+
+// netAppRow is one server app's slice of a multi-app workload row.
+type netAppRow struct {
+	Package  string  `json:"package"`
+	Sessions int     `json:"sessions"`
+	P50SimUs float64 `json:"p50_sim_us"`
+	P99SimUs float64 `json:"p99_sim_us"`
 }
 
 // networkReport is the -exp network output document.

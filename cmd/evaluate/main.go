@@ -37,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, network, autotune, all)")
+	exp := flag.String("exp", "all", "experiment to run (table1, fig6, fig7, sqlite, study, surface, loc, memory, profile, session, recovery, concurrency, bench-json, zerocopy, binder, network, autotune, fleet, all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {
 		fmt.Fprintln(os.Stderr, "evaluate:", err)
@@ -64,9 +64,10 @@ func run(exp string) error {
 		"binder":      binderExp,
 		"network":     networkExp,
 		"autotune":    autotuneExp,
+		"fleet":       fleetExp,
 	}
 	if exp == "all" {
-		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder", "network", "autotune"} {
+		for _, name := range []string{"table1", "fig6", "fig7", "sqlite", "study", "surface", "loc", "memory", "profile", "session", "recovery", "concurrency", "zerocopy", "binder", "network", "autotune", "fleet"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

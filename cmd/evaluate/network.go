@@ -260,7 +260,7 @@ func netWorkloadConfigs() []struct {
 
 func netWorkloadRowFrom(name string, st workloads.NetServerStats) netWorkloadRow {
 	us := func(d time.Duration) float64 { return float64(d) / 1e3 }
-	return netWorkloadRow{
+	row := netWorkloadRow{
 		Transport:      name,
 		Sessions:       st.Sessions,
 		Clients:        st.Clients,
@@ -273,6 +273,18 @@ func netWorkloadRowFrom(name string, st workloads.NetServerStats) netWorkloadRow
 		ThinkTimeMs:    float64(st.ThinkTime) / 1e6,
 		AvgAcceptBatch: st.AvgAcceptBatch,
 	}
+	if st.ServerApps > 1 {
+		row.ServerApps = st.ServerApps
+		for _, per := range st.PerApp {
+			row.PerApp = append(row.PerApp, netAppRow{
+				Package:  per.Package,
+				Sessions: per.Sessions,
+				P50SimUs: us(per.P50),
+				P99SimUs: us(per.P99),
+			})
+		}
+	}
+	return row
 }
 
 // networkFloors enforces the acceptance criteria: ring sockets at least
@@ -359,6 +371,29 @@ func networkExp() error {
 	}
 	if syncOps > 0 {
 		report.WorkloadSpeedup = ringOps / syncOps
+	}
+
+	// Million-client, multi-tenant row: four server apps share the one
+	// sockop ring under a modeled 1M-client population with the mixed
+	// request-size distribution. Per-app percentiles ride along so ring
+	// sharing shows up as fairness, not just aggregate throughput.
+	million, err := workloads.RunNetServer(anception.ModeAnception, anception.Options{
+		RingDepth: 64, RingWorkers: 4, GrantThreshold: 16 << 10,
+	}, workloads.NetServerConfig{
+		Clients: 1_000_000, ServerApps: 4, MixedSizes: true,
+	})
+	if err != nil {
+		return fmt.Errorf("workload ring-4apps-1m: %w", err)
+	}
+	fmt.Printf("  %-8s %s\n", "ring-4x", million)
+	for _, per := range million.PerApp {
+		fmt.Printf("           %-22s %6d sessions  p50=%v p99=%v\n", per.Package, per.Sessions, per.P50, per.P99)
+	}
+	report.Workload = append(report.Workload, netWorkloadRowFrom("ring-4apps-1m", million))
+	for _, per := range million.PerApp {
+		if per.Sessions == 0 || per.P50 <= 0 {
+			return fmt.Errorf("multi-app row: server %s saw no traffic", per.Package)
+		}
 	}
 	fmt.Printf("  speedups: echo %.2fx, workload %.2fx, grant 64k send overhead %.2fx\n",
 		report.EchoSpeedup, report.WorkloadSpeedup, report.GrantSendSpeedup)

@@ -100,6 +100,12 @@ type redirCache struct {
 type fdCache struct {
 	guestFD int
 	path    string
+	// owner is the last host task that touched this descriptor through
+	// the cache. Forwarded flushes must ride the owner's guest proxy —
+	// the guest fd number only resolves in that proxy's table — so a
+	// layer-wide flush (migration, explicit sync) writes each
+	// descriptor back through its own task rather than the caller's.
+	owner *kernel.Task
 	// pages maps page index -> *list.Element whose value is *cachedPage.
 	pages map[int64]*list.Element
 	// dirty holds buffered write extents, sorted by offset, disjoint.
@@ -254,14 +260,17 @@ func (l *Layer) rekeyRedirCache(gen int) (pagesKept, attrsKept, dirtyDropped int
 	return pagesKept, attrsKept, dirtyDropped
 }
 
-// fdLocked returns (creating if needed) the per-descriptor state.
-func (c *redirCache) fdLocked(e *kernel.FDEntry) *fdCache {
+// fdLocked returns (creating if needed) the per-descriptor state,
+// refreshing the owning task.
+func (c *redirCache) fdLocked(e *kernel.FDEntry, t *kernel.Task) *fdCache {
 	if fc, ok := c.fds[e]; ok {
+		fc.owner = t
 		return fc
 	}
 	fc := &fdCache{
 		guestFD: e.GuestFD,
 		path:    e.Path,
+		owner:   t,
 		pages:   make(map[int64]*list.Element),
 	}
 	c.fds[e] = fc
@@ -450,7 +459,7 @@ func (l *Layer) cachedPread(st *layerState, t *kernel.Task, e *kernel.FDEntry, a
 	c := l.cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fc := c.fdLocked(e)
+	fc := c.fdLocked(e, t)
 	l.maybeFlushByDeadlineLocked(st, t, fc)
 
 	if out, ok := fc.composeLocked(c, args.Off, n); ok {
@@ -499,7 +508,7 @@ func (l *Layer) cachedPwrite(st *layerState, t *kernel.Task, e *kernel.FDEntry, 
 	c := l.cache
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	fc := c.fdLocked(e)
+	fc := c.fdLocked(e, t)
 
 	if len(fc.dirty) == 0 {
 		fc.dirtySince = l.clock.Now()
@@ -1006,8 +1015,11 @@ func pagesSpanned(off int64, n int) int {
 	return int(last - first + 1)
 }
 
-// FlushRedirCache writes back every buffered extent (tests and explicit
-// sync points). It is a no-op when the cache is off.
+// FlushRedirCache writes back every buffered extent (tests, explicit
+// sync points, and migration's pre-drain write-back). Each descriptor
+// flushes through the task that last touched it — its guest fd only
+// resolves in that task's proxy — falling back to t for entries with no
+// recorded owner. It is a no-op when the cache is off.
 func (l *Layer) FlushRedirCache(t *kernel.Task) error {
 	c := l.cache
 	if c == nil {
@@ -1017,7 +1029,11 @@ func (l *Layer) FlushRedirCache(t *kernel.Task) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, fc := range c.fds {
-		if res, flushed := l.flushLocked(st, t, fc); flushed && !res.Ok() {
+		owner := fc.owner
+		if owner == nil {
+			owner = t
+		}
+		if res, flushed := l.flushLocked(st, owner, fc); flushed && !res.Ok() {
 			return res.Err
 		}
 	}

@@ -307,3 +307,30 @@ func (m *costModel) sizeHistogram() [numSizeBuckets]int64 {
 	defer m.mu.Unlock()
 	return m.sizeHist
 }
+
+// classCosts snapshots the per-class expected service cost in sim
+// nanoseconds: the better transport arm's EWMA, or whichever arm has
+// samples. Zero means the class has not been observed. The fleet's
+// placement scheduler consumes these as load signals — a shard whose
+// calls are getting slower scores as more loaded than one with the same
+// inflight count but faster per-op estimates.
+func (m *costModel) classCosts() [numOpClasses]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out [numOpClasses]float64
+	for c := opClass(0); c < numOpClasses; c++ {
+		s, r := m.transport[c][armSync], m.transport[c][armRing]
+		switch {
+		case s.n > 0 && r.n > 0:
+			out[c] = s.val
+			if r.val < s.val {
+				out[c] = r.val
+			}
+		case s.n > 0:
+			out[c] = s.val
+		case r.n > 0:
+			out[c] = r.val
+		}
+	}
+	return out
+}

@@ -190,6 +190,19 @@ type Options struct {
 
 	// DisableTrace turns off event recording (benchmarks).
 	DisableTrace bool
+
+	// Label names this device's container in traces and fleet
+	// bookkeeping (NewFleet stamps "shard-N"); empty means "cvm".
+	Label string
+
+	// FleetSize > 1 is consumed by NewFleet: the number of CVM shards
+	// the fleet boots, each a full service domain (own channels, ring,
+	// grant table, boot generation, supervisor). NewDevice ignores it —
+	// a Device is always exactly one CVM.
+	FleetSize int
+	// FleetPlacement selects the fleet's placement scheduler policy
+	// (least-loaded, hashed, per-user). NewDevice ignores it.
+	FleetPlacement PlacementPolicy
 }
 
 func (o *Options) applyDefaults() {
@@ -357,6 +370,7 @@ func (d *Device) bootAnception() error {
 		MemoryBytes:        d.Opts.CVMMemoryBytes,
 		KernelReserveBytes: d.Opts.GuestKernelReserveBytes,
 		ChannelPages:       d.Opts.ChannelPages,
+		Label:              d.Opts.Label,
 	})
 	if err != nil {
 		return err
@@ -766,6 +780,15 @@ func (d *Device) Close() {
 	}
 	d.ring.Close()
 	d.ringPool.Wait()
+}
+
+// Label names this device's container ("cvm", or "shard-N" under a
+// fleet).
+func (d *Device) Label() string {
+	if d.Opts.Label == "" {
+		return "cvm"
+	}
+	return d.Opts.Label
 }
 
 // Probe sends one supervisor heartbeat through the Anception layer's data

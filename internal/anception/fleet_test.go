@@ -1,0 +1,395 @@
+package anception
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/kernel"
+	"anception/internal/netstack"
+)
+
+// fleetTestOpts turns every fast path on so all five epoch participants
+// have observable warm state.
+func fleetTestOpts(size int, policy PlacementPolicy) Options {
+	return Options{
+		Mode: ModeAnception, DisableTrace: true,
+		RedirCache: true, RingDepth: 8, GrantThreshold: abi.PageSize,
+		BinderSessions: true, BinderReplyCache: true,
+		FleetSize: size, FleetPlacement: policy,
+	}
+}
+
+func bootFleet(t *testing.T, size int, policy PlacementPolicy) *Fleet {
+	t.Helper()
+	f, err := NewFleet(fleetTestOpts(size, policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(f.Close)
+	return f
+}
+
+// warmShardApp drives one fleet app through every fast path: a bulk
+// write (grant path), a page write+read (ring + redirection cache), a
+// socket echo (sockop path), and a binder transaction (session path).
+func warmShardApp(t *testing.T, f *Fleet, a *FleetApp) {
+	t.Helper()
+	p := a.Proc()
+	fd, err := p.Open("warm.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatalf("%s: open: %v", a.Pkg, err)
+	}
+	bulk := make([]byte, 64<<10)
+	if _, err := p.Pwrite(fd, bulk, 0); err != nil {
+		t.Fatalf("%s: bulk pwrite: %v", a.Pkg, err)
+	}
+	page := make([]byte, abi.PageSize)
+	if _, err := p.Pwrite(fd, page, 0); err != nil {
+		t.Fatalf("%s: pwrite: %v", a.Pkg, err)
+	}
+	if _, err := p.Pread(fd, abi.PageSize, 0); err != nil {
+		t.Fatalf("%s: pread: %v", a.Pkg, err)
+	}
+	sock, err := p.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err != nil {
+		t.Fatalf("%s: socket: %v", a.Pkg, err)
+	}
+	if err := p.Connect(sock, "echo.fleettest:80"); err != nil {
+		t.Fatalf("%s: connect: %v", a.Pkg, err)
+	}
+	if _, err := p.Send(sock, []byte("ping")); err != nil {
+		t.Fatalf("%s: send: %v", a.Pkg, err)
+	}
+	if _, err := p.Recv(sock, 4); err != nil {
+		t.Fatalf("%s: recv: %v", a.Pkg, err)
+	}
+	bfd, err := p.OpenBinder()
+	if err != nil {
+		t.Fatalf("%s: open binder: %v", a.Pkg, err)
+	}
+	if _, err := p.BinderCall(bfd, "location", android.CodeGetLocation, page[:128]); err != nil {
+		t.Fatalf("%s: binder: %v", a.Pkg, err)
+	}
+}
+
+func registerFleetEcho(f *Fleet) {
+	for _, sh := range f.Shards() {
+		sh.Dev.RegisterRemote("echo.fleettest:80", func(req []byte) []byte { return req })
+	}
+}
+
+func TestFleetBasics(t *testing.T) {
+	f := bootFleet(t, 4, "")
+	if f.Size() != 4 {
+		t.Fatalf("size = %d, want 4", f.Size())
+	}
+	if f.Policy() != PlaceLeastLoaded {
+		t.Fatalf("default policy = %q, want %q", f.Policy(), PlaceLeastLoaded)
+	}
+	for i, sh := range f.Shards() {
+		want := "shard-" + string(rune('0'+i))
+		if got := sh.Dev.Label(); got != want {
+			t.Fatalf("shard %d label = %q, want %q", i, got, want)
+		}
+	}
+	// Least-loaded placement spreads 8 apps 2 per shard: the fleet is
+	// idle, so the score reduces to the population term.
+	for i := 0; i < 8; i++ {
+		if _, err := f.InstallApp(android.AppSpec{Package: "com.fleet.basic" + string(rune('0'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range f.Loads() {
+		if l.Apps != 2 {
+			t.Fatalf("shard %d has %d apps, want 2 (loads %+v)", l.Shard, l.Apps, f.Loads())
+		}
+	}
+	// Duplicate install is rejected.
+	if _, err := f.InstallApp(android.AppSpec{Package: "com.fleet.basic0"}); err == nil {
+		t.Fatal("duplicate install succeeded")
+	}
+	// A non-anception fleet is rejected.
+	if _, err := NewFleet(Options{Mode: ModeNative, FleetSize: 2}); err == nil {
+		t.Fatal("native-mode fleet succeeded")
+	}
+}
+
+func TestFleetPlacementPolicies(t *testing.T) {
+	t.Run("hashed", func(t *testing.T) {
+		f := bootFleet(t, 4, PlaceHashed)
+		a, err := f.InstallApp(android.AppSpec{Package: "com.fleet.hashed"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Same package hashes to the same shard in a fresh fleet.
+		g := bootFleet(t, 4, PlaceHashed)
+		b, err := g.InstallApp(android.AppSpec{Package: "com.fleet.hashed"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Shard() != b.Shard() {
+			t.Fatalf("hashed placement unstable: %d vs %d", a.Shard(), b.Shard())
+		}
+	})
+	t.Run("per-user", func(t *testing.T) {
+		f := bootFleet(t, 3, PlaceByUser)
+		for user := 0; user < 6; user++ {
+			a, err := f.InstallAppForUser(android.AppSpec{Package: "com.fleet.user" + string(rune('0'+user))}, user)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Shard() != user%3 {
+				t.Fatalf("user %d placed on shard %d, want %d", user, a.Shard(), user%3)
+			}
+			if a.UserID != user {
+				t.Fatalf("user id = %d, want %d", a.UserID, user)
+			}
+		}
+	})
+	t.Run("invalid", func(t *testing.T) {
+		if _, err := NewFleet(fleetTestOpts(2, PlacementPolicy("bogus"))); err == nil {
+			t.Fatal("bogus policy accepted")
+		}
+	})
+}
+
+func TestFleetMigration(t *testing.T) {
+	f := bootFleet(t, 2, "")
+	registerFleetEcho(f)
+	a, err := f.InstallApp(android.AppSpec{Package: "com.fleet.mover"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := a.Shard()
+	warmShardApp(t, f, a)
+
+	// Durable state written before the move must survive it.
+	p := a.Proc()
+	fd, err := p.Open("keep.dat", abi.OWrOnly|abi.OCreat, 0o600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("migrated bytes stay intact")
+	if _, err := p.Pwrite(fd, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	target := 1 - src
+	if err := f.Migrate(a, target); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	if a.Shard() != target {
+		t.Fatalf("app on shard %d after migrate, want %d", a.Shard(), target)
+	}
+	if a.Proc() == p {
+		t.Fatal("migration kept the old proc")
+	}
+	if p.Task.State != kernel.TaskDead {
+		t.Fatalf("old task state = %v, want dead", p.Task.State)
+	}
+	if f.Migrations() != 1 || a.Moves() != 1 {
+		t.Fatalf("migrations = %d, moves = %d, want 1/1", f.Migrations(), a.Moves())
+	}
+
+	np := a.Proc()
+	nfd, err := np.Open("keep.dat", abi.ORdOnly, 0)
+	if err != nil {
+		t.Fatalf("open on target shard: %v", err)
+	}
+	got, err := np.Pread(nfd, len(payload), 0)
+	if err != nil {
+		t.Fatalf("read on target shard: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("data after migration = %q, want %q", got, payload)
+	}
+
+	// Migrating back is idempotent re-install on the original shard.
+	if err := f.Migrate(a, src); err != nil {
+		t.Fatalf("migrate back: %v", err)
+	}
+	if a.Shard() != src || a.Moves() != 2 {
+		t.Fatalf("after return: shard %d moves %d, want %d/2", a.Shard(), a.Moves(), src)
+	}
+	// Same-shard migration is a no-op.
+	if err := f.Migrate(a, src); err != nil {
+		t.Fatalf("same-shard migrate: %v", err)
+	}
+	if a.Moves() != 2 {
+		t.Fatalf("same-shard migrate counted a move")
+	}
+}
+
+func TestFleetEvacuateAndRebalance(t *testing.T) {
+	f := bootFleet(t, 2, "")
+	registerFleetEcho(f)
+	for i := 0; i < 4; i++ {
+		if _, err := f.InstallApp(android.AppSpec{Package: "com.fleet.evac" + string(rune('0'+i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moved, err := f.EvacuateShard(0)
+	if err != nil {
+		t.Fatalf("evacuate: %v", err)
+	}
+	if moved != 2 {
+		t.Fatalf("evacuated %d apps, want 2", moved)
+	}
+	if n := f.Shard(0).appCount(); n != 0 {
+		t.Fatalf("shard 0 holds %d apps after evacuation", n)
+	}
+	// Rebalance pulls the population back toward even.
+	moved, err = f.Rebalance()
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing off the hot shard")
+	}
+	if n := f.Shard(0).appCount(); n == 0 {
+		t.Fatal("rebalance left shard 0 empty")
+	}
+}
+
+// TestFleetEpochIsolation is the per-CVM epoch keying drill: advancing
+// one shard's epoch drains exactly that shard's participants — grants,
+// ring, sockets, binder, cache, in the pinned order — and leaves every
+// sibling's warm state untouched. Table-driven over the participants,
+// and run with sibling traffic concurrent with the advance so the race
+// detector patrols the isolation boundary.
+func TestFleetEpochIsolation(t *testing.T) {
+	f := bootFleet(t, 3, PlaceByUser)
+	registerFleetEcho(f)
+	apps := make([]*FleetApp, 3)
+	for i := range apps {
+		a, err := f.InstallAppForUser(android.AppSpec{Package: "com.fleet.epoch" + string(rune('0'+i))}, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Shard() != i {
+			t.Fatalf("app %d on shard %d, want %d", i, a.Shard(), i)
+		}
+		warmShardApp(t, f, a)
+		apps[i] = a
+	}
+
+	// Evidence counters: each participant's drain leaves a distinct mark.
+	participants := []struct {
+		name    string
+		observe func(LayerStats) int
+	}{
+		{"grants", func(s LayerStats) int { return s.Grants.Table.Revokes }},
+		{"ring", func(s LayerStats) int { return s.Ring.Rearms }},
+		{"sockets", func(s LayerStats) int { return int(s.Net.Drains) }},
+		{"binder", func(s LayerStats) int { return s.Binder.DrainedSessions }},
+		{"cache", func(s LayerStats) int { return s.Cache.Invalidations }},
+	}
+
+	// Phase 1 — quiescent isolation: advance the middle shard's epoch
+	// with the siblings idle, so any sibling counter movement could only
+	// come from the advance itself.
+	const drained = 1
+	before := make([]LayerStats, 3)
+	for i := range before {
+		before[i] = f.Shard(i).Dev.Layer.Stats()
+	}
+	f.Shard(drained).Dev.AdvanceEpoch()
+	after := make([]LayerStats, 3)
+	for i := range after {
+		after[i] = f.Shard(i).Dev.Layer.Stats()
+	}
+
+	// The drained shard stepped its epoch and every participant left
+	// drain evidence.
+	if after[drained].Epoch.Advances != before[drained].Epoch.Advances+1 {
+		t.Fatalf("drained shard advances %d -> %d, want one step",
+			before[drained].Epoch.Advances, after[drained].Epoch.Advances)
+	}
+	for _, p := range participants {
+		t.Run(p.name, func(t *testing.T) {
+			if got, was := p.observe(after[drained]), p.observe(before[drained]); got <= was {
+				t.Errorf("shard %d %s evidence %d -> %d, want an increase", drained, p.name, was, got)
+			}
+			// Siblings: no drain evidence at all (their counters only move
+			// on their own epoch advances, and none happened).
+			for _, sib := range []int{0, 2} {
+				if got, was := p.observe(after[sib]), p.observe(before[sib]); got != was {
+					t.Errorf("sibling shard %d %s evidence moved %d -> %d during shard %d's advance",
+						sib, p.name, was, got, drained)
+				}
+			}
+		})
+	}
+	for _, sib := range []int{0, 2} {
+		if after[sib].Epoch.Advances != before[sib].Epoch.Advances {
+			t.Errorf("sibling shard %d epoch advanced", sib)
+		}
+	}
+
+	// Phase 2 — race patrol: siblings keep serving while the middle
+	// shard's epoch advances repeatedly. Shards are independent service
+	// domains, so this must be data-race free (the CI -race run patrols
+	// the boundary) and the siblings' traffic must never fail.
+	var wg sync.WaitGroup
+	for _, sib := range []int{0, 2} {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := apps[i].Proc()
+			fd, err := p.Open("during.dat", abi.ORdWr|abi.OCreat, 0o600)
+			if err != nil {
+				t.Errorf("sibling %d open: %v", i, err)
+				return
+			}
+			page := make([]byte, abi.PageSize)
+			for k := 0; k < 16; k++ {
+				if _, err := p.Pwrite(fd, page, 0); err != nil {
+					t.Errorf("sibling %d pwrite: %v", i, err)
+					return
+				}
+				if _, err := p.Pread(fd, abi.PageSize, 0); err != nil {
+					t.Errorf("sibling %d pread: %v", i, err)
+					return
+				}
+			}
+		}(sib)
+	}
+	for k := 0; k < 4; k++ {
+		f.Shard(drained).Dev.AdvanceEpoch()
+	}
+	wg.Wait()
+
+	// The drained shard's app re-faults and keeps working; its warm
+	// cache went cold (invalidation), siblings' caches stayed warm.
+	warmShardApp(t, f, apps[drained])
+}
+
+// TestFleetElapsedIsMaxShardClock pins the fleet time model: shards run
+// on private clocks, so fleet elapsed time is the slowest shard, not
+// the sum.
+func TestFleetElapsedIsMaxShardClock(t *testing.T) {
+	f := bootFleet(t, 2, "")
+	registerFleetEcho(f)
+	a, err := f.InstallApp(android.AppSpec{Package: "com.fleet.clock"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmShardApp(t, f, a)
+	var max, sum int64
+	for _, sh := range f.Shards() {
+		now := int64(sh.Dev.Clock.Now())
+		sum += now
+		if now > max {
+			max = now
+		}
+	}
+	if got := int64(f.Elapsed()); got != max {
+		t.Fatalf("fleet elapsed %d, want max shard clock %d (sum %d)", got, max, sum)
+	}
+	if max == sum {
+		t.Fatal("both shards burned identical nonzero time; drill is vacuous")
+	}
+}

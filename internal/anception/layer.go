@@ -438,6 +438,12 @@ func (l *Layer) enterGuestCall(st *layerState) bool {
 // exitGuestCall balances a successful enterGuestCall.
 func (l *Layer) exitGuestCall() { l.guestCalls.Add(-1) }
 
+// Inflight reports how many redirected calls are currently inside a
+// guest-touching span. The fleet placement scheduler reads it as the
+// shard's instantaneous load; it is also the quiesce barrier's count, so
+// zero means a gated shard has fully drained.
+func (l *Layer) Inflight() int64 { return l.guestCalls.Load() }
+
 // QuiesceGuestCalls blocks until no redirected call is touching the
 // container. The caller must gate new submissions first (SetDegraded(true))
 // or this may never terminate. In-flight calls drain to completion —

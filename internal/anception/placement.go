@@ -1,0 +1,167 @@
+package anception
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// Placement scheduler for the CVM fleet (DESIGN.md §16): decides which
+// shard an app enrolls on, and which apps move when a shard overloads.
+// Placement consumes the shard's observable load signals — the layer's
+// instantaneous inflight count, the async ring's queue depth, the app
+// population, and the adaptive data plane's per-class latency EWMAs and
+// size histogram (LayerStats.Policy) — so a shard whose calls are
+// getting slower scores as more loaded than a sibling with the same
+// population but healthier per-op estimates.
+
+// PlacementPolicy selects the fleet's app-to-shard assignment strategy.
+type PlacementPolicy string
+
+const (
+	// PlaceLeastLoaded (the default) scores every shard's load signals
+	// at install time and picks the minimum.
+	PlaceLeastLoaded PlacementPolicy = "least-loaded"
+	// PlaceHashed assigns by package-name hash: stateless, stable across
+	// restarts, no load feedback — the classic hashed-pool shape.
+	PlaceHashed PlacementPolicy = "hashed"
+	// PlaceByUser keys placement on the app's Android user
+	// (internal/android/multiuser): all of one user's apps share a
+	// shard, so mutually-trusting apps co-locate and distinct users are
+	// hardware-isolated from each other's compromised shards.
+	PlaceByUser PlacementPolicy = "per-user"
+)
+
+// valid reports whether p names a known policy.
+func (p PlacementPolicy) valid() bool {
+	switch p {
+	case PlaceLeastLoaded, PlaceHashed, PlaceByUser:
+		return true
+	}
+	return false
+}
+
+// Load-score weights. The score is denominated in "queued calls": one
+// inflight call counts 1, a ring-queued slot counts 1, and a resident
+// app contributes the equivalent of carrying one expected call whose
+// cost is the shard's observed per-op EWMA normalized against
+// loadBaselineCost (so EWMAs only modulate the population term — an
+// idle fleet still balances by population, and a shard whose calls run
+// 2× slower weighs its apps 2×).
+const (
+	// loadBaselineCostNs normalizes the per-class EWMA signal: the
+	// rough sim cost of one uncached redirected page call.
+	loadBaselineCostNs = 300_000.0
+	// loadMaxCostFactor caps the EWMA multiplier so one pathological
+	// estimate cannot make a shard look infinitely loaded.
+	loadMaxCostFactor = 8.0
+)
+
+// ShardLoad is one shard's placement-visible load snapshot.
+type ShardLoad struct {
+	Shard int
+	Label string
+	// Apps is the resident app population.
+	Apps int
+	// Inflight is the layer's instantaneous guest-call count.
+	Inflight int64
+	// RingQueued is submitted-but-unresolved async ring slots.
+	RingQueued int
+	// CostFactor is the per-class EWMA signal normalized to the
+	// baseline call cost (1.0 when the model is cold or auto-tune off).
+	CostFactor float64
+	// Score is the composite the scheduler minimizes.
+	Score float64
+	// Elapsed is the shard's own sim clock — shards are independent
+	// service domains, so this is per-shard, not fleet-wide.
+	Elapsed time.Duration
+}
+
+// loadOf snapshots one shard's placement signals.
+func loadOf(sh *Shard) ShardLoad {
+	st := sh.Dev.Layer.Stats()
+	l := ShardLoad{
+		Shard:      sh.ID,
+		Label:      sh.Dev.Label(),
+		Apps:       sh.appCount(),
+		Inflight:   sh.Dev.Layer.Inflight(),
+		CostFactor: 1,
+		Elapsed:    sh.Dev.Clock.Now(),
+	}
+	if q := st.Ring.Submitted - st.Ring.Completed - st.Ring.Failed; q > 0 {
+		l.RingQueued = q
+	}
+	// Fold the policy EWMAs into a single expected-cost factor: the
+	// histogram-weighted mean of the observed per-class costs, against
+	// the baseline. Only observed classes count.
+	var costSum, n float64
+	for _, c := range st.Policy.ClassCostSimNs {
+		if c > 0 {
+			costSum += c
+			n++
+		}
+	}
+	if n > 0 {
+		f := costSum / n / loadBaselineCostNs
+		if f < 1 {
+			f = 1
+		}
+		if f > loadMaxCostFactor {
+			f = loadMaxCostFactor
+		}
+		l.CostFactor = f
+	}
+	l.Score = float64(l.Inflight) + float64(l.RingQueued) + float64(l.Apps)*l.CostFactor
+	return l
+}
+
+// pickShard chooses the shard for a new app under the fleet's policy.
+func (f *Fleet) pickShard(pkg string, userID int) *Shard {
+	switch f.policy {
+	case PlaceHashed:
+		h := fnv.New32a()
+		h.Write([]byte(pkg))
+		return f.shards[int(h.Sum32())%len(f.shards)]
+	case PlaceByUser:
+		if userID < 0 {
+			userID = 0
+		}
+		return f.shards[userID%len(f.shards)]
+	default: // PlaceLeastLoaded
+		best := f.shards[0]
+		bestScore := loadOf(best).Score
+		for _, sh := range f.shards[1:] {
+			if s := loadOf(sh).Score; s < bestScore {
+				best, bestScore = sh, s
+			}
+		}
+		return best
+	}
+}
+
+// Loads snapshots every shard's placement signals, in shard order.
+func (f *Fleet) Loads() []ShardLoad {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]ShardLoad, 0, len(f.shards))
+	for _, sh := range f.shards {
+		out = append(out, loadOf(sh))
+	}
+	return out
+}
+
+// imbalance returns the most and least loaded shards by score.
+func (f *Fleet) imbalance() (hot, cold *Shard, hotScore, coldScore float64) {
+	hot, cold = f.shards[0], f.shards[0]
+	hotScore = loadOf(hot).Score
+	coldScore = hotScore
+	for _, sh := range f.shards[1:] {
+		s := loadOf(sh).Score
+		if s > hotScore {
+			hot, hotScore = sh, s
+		}
+		if s < coldScore {
+			cold, coldScore = sh, s
+		}
+	}
+	return hot, cold, hotScore, coldScore
+}

@@ -54,7 +54,17 @@ type PolicyStats struct {
 	// SizeHistogram is the observed bulk payload-size histogram in
 	// log2 buckets from 64 B (zero-valued when auto-tuning is off).
 	SizeHistogram [numSizeBuckets]int64
+	// ClassCostSimNs is the model's per-class expected service cost in
+	// sim nanoseconds (meta, bulk, socket — see OpClassNames), the
+	// better transport arm's EWMA. Zero-valued when auto-tuning is off
+	// or the class is unobserved. The fleet placement scheduler reads
+	// these as load signals.
+	ClassCostSimNs [numOpClasses]float64
 }
+
+// OpClassNames names the per-class slots of PolicyStats.ClassCostSimNs,
+// in index order.
+func OpClassNames() []string { return []string{"meta", "bulk", "sock"} }
 
 // EpochStats describes the epoch/drain protocol state, surfaced via
 // LayerStats.Epoch.
@@ -196,6 +206,7 @@ func (p *dispatchPolicy) snapshot() PolicyStats {
 	if p.model != nil {
 		s.GrantCrossoverBytes = p.model.crossoverBytes()
 		s.SizeHistogram = p.model.sizeHistogram()
+		s.ClassCostSimNs = p.model.classCosts()
 	}
 	return s
 }

@@ -26,6 +26,7 @@ type CVM struct {
 	clock  *sim.Clock
 	model  sim.LatencyModel
 	trace  *sim.Trace
+	label  string
 
 	mu       sync.Mutex
 	nChannel int
@@ -54,6 +55,9 @@ type Config struct {
 	KernelReserveBytes int64
 	// ChannelPages is the size of the shared data channel in pages.
 	ChannelPages int
+	// Label names the container in traces and fleet bookkeeping
+	// (e.g. "shard-3"); empty means the lone-CVM default "cvm".
+	Label string
 }
 
 // Launch reserves the guest's memory region and sets up the communication
@@ -67,12 +71,17 @@ func Launch(phys *kernel.Physical, cfg Config) (*CVM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("launch cvm: %w", err)
 	}
+	label := cfg.Label
+	if label == "" {
+		label = "cvm"
+	}
 	c := &CVM{
 		phys:          phys,
 		region:        region,
 		clock:         cfg.Clock,
 		model:         cfg.Model,
 		trace:         cfg.Trace,
+		label:         label,
 		nChannel:      cfg.ChannelPages,
 		kernelReserve: int(cfg.KernelReserveBytes / abi.PageSize),
 		generation:    1,
@@ -224,6 +233,10 @@ func (c *CVM) Hypercall() {
 		c.trace.Record(sim.EvWorldSwitch, "guest->host (hypercall)")
 	}
 }
+
+// Label names the container: "cvm" for the lone-CVM configuration,
+// "shard-N" under a fleet.
+func (c *CVM) Label() string { return c.label }
 
 // Generation reports how many times this container has booted: 1 after
 // Launch, incremented by each Relaunch.

@@ -1,0 +1,145 @@
+package supervisor
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Group ticks a set of per-shard supervisors as one unit. Each shard of
+// a CVM fleet is an independent service domain — its own container, data
+// channel, sim clock, and watchdog — so a Group deliberately does NOT
+// serialize or couple the members: Tick() runs every shard's watchdog
+// cycle independently, and one shard's outage never delays, drains, or
+// restarts a sibling. What the Group adds is the fleet-level view:
+// aggregate counters, worst-case MTTR, and "is every shard healthy"
+// predicates the fleet drills assert against.
+type Group struct {
+	mu   sync.Mutex
+	sups []*Supervisor
+}
+
+// GroupStats aggregates the member supervisors' counters.
+type GroupStats struct {
+	// Shards is the member count; PerShard holds each member's stats in
+	// Add order.
+	Shards   int
+	PerShard []Stats
+	// Totals across every member.
+	Probes        int
+	ProbeFailures int
+	Restarts      int
+	Restores      int
+	Recoveries    int
+	BreakerTrips  int
+	// MaxMTTR is the worst single recovery across the fleet; MaxMeanMTTR
+	// the worst per-shard mean. Fleet floors gate on these: sharding must
+	// not make any one shard's recovery slower.
+	MaxMTTR     time.Duration
+	MaxMeanMTTR time.Duration
+}
+
+// NewGroup builds a group over the given supervisors.
+func NewGroup(sups ...*Supervisor) *Group {
+	g := &Group{}
+	g.sups = append(g.sups, sups...)
+	return g
+}
+
+// Add appends one more shard supervisor.
+func (g *Group) Add(s *Supervisor) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.sups = append(g.sups, s)
+}
+
+// Members returns the supervisors in Add order.
+func (g *Group) Members() []*Supervisor {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]*Supervisor, len(g.sups))
+	copy(out, g.sups)
+	return out
+}
+
+// Tick runs one watchdog cycle on every member and reports whether all
+// of them came out healthy. Members advance their own shard clocks —
+// there is no fleet-wide barrier, so a restarting shard burns only its
+// own sim time.
+func (g *Group) Tick() bool {
+	all := true
+	for _, s := range g.Members() {
+		if !s.Tick() {
+			all = false
+		}
+	}
+	return all
+}
+
+// Healthy reports whether every member's last probe succeeded.
+func (g *Group) Healthy() bool {
+	for _, s := range g.Members() {
+		if !s.Healthy() {
+			return false
+		}
+	}
+	return true
+}
+
+// UnhealthyCount counts members whose last probe failed — the observed
+// blast radius of a fault drill.
+func (g *Group) UnhealthyCount() int {
+	n := 0
+	for _, s := range g.Members() {
+		if !s.Healthy() {
+			n++
+		}
+	}
+	return n
+}
+
+// RunUntilAllHealthy ticks until every member is healthy or maxTicks
+// cycles pass. Already-healthy members keep probing (their heartbeat is
+// real sim time on their own clocks); only still-down members pay
+// restart costs.
+func (g *Group) RunUntilAllHealthy(maxTicks int) error {
+	for n := 0; n < maxTicks; n++ {
+		if g.Tick() {
+			return nil
+		}
+	}
+	down := 0
+	var last error
+	for _, s := range g.Members() {
+		if !s.Healthy() {
+			down++
+			if err := s.LastError(); err != nil {
+				last = err
+			}
+		}
+	}
+	return fmt.Errorf("%d shard(s) not healthy after %d ticks: %w", down, maxTicks, errLast(last))
+}
+
+// Stats aggregates every member's counters.
+func (g *Group) Stats() GroupStats {
+	members := g.Members()
+	out := GroupStats{Shards: len(members)}
+	for _, s := range members {
+		st := s.Stats()
+		out.PerShard = append(out.PerShard, st)
+		out.Probes += st.Probes
+		out.ProbeFailures += st.ProbeFailures
+		out.Restarts += st.Restarts
+		out.Restores += st.Restores
+		out.Recoveries += st.Recoveries
+		out.BreakerTrips += st.BreakerTrips
+		if st.LastMTTR > out.MaxMTTR {
+			out.MaxMTTR = st.LastMTTR
+		}
+		if m := st.MeanMTTR(); m > out.MaxMeanMTTR {
+			out.MaxMeanMTTR = m
+		}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package supervisor_test
+
+import (
+	"testing"
+	"time"
+
+	"anception/internal/supervisor"
+)
+
+// bootShardFleet builds n independent supervised devices and groups
+// their watchdogs — the supervisor half of the CVM fleet.
+func bootShardFleet(t *testing.T, n int) ([]*rig, *supervisor.Group) {
+	t.Helper()
+	group := supervisor.NewGroup()
+	rigs := make([]*rig, 0, n)
+	for i := 0; i < n; i++ {
+		r := bootSupervised(t, supervisor.Config{}, true)
+		t.Cleanup(r.d.Close)
+		rigs = append(rigs, r)
+		group.Add(r.sup)
+	}
+	return rigs, group
+}
+
+func TestGroupHealthyFleet(t *testing.T) {
+	rigs, group := bootShardFleet(t, 3)
+	if !group.Tick() {
+		t.Fatal("healthy fleet tick reported unhealthy")
+	}
+	if !group.Healthy() || group.UnhealthyCount() != 0 {
+		t.Fatalf("healthy fleet: healthy=%v unhealthy=%d", group.Healthy(), group.UnhealthyCount())
+	}
+	st := group.Stats()
+	if st.Shards != 3 || len(st.PerShard) != 3 {
+		t.Fatalf("stats shards = %d/%d, want 3", st.Shards, len(st.PerShard))
+	}
+	if st.Probes < 3 {
+		t.Fatalf("probes = %d, want at least one per shard", st.Probes)
+	}
+	if st.Restarts != 0 || st.MaxMTTR != 0 {
+		t.Fatalf("healthy fleet recorded restarts=%d mttr=%v", st.Restarts, st.MaxMTTR)
+	}
+	_ = rigs
+}
+
+// TestGroupBlastRadiusOneShard panics one shard's guest and asserts the
+// group view: exactly one member unhealthy, exactly one member pays
+// restart work, and recovery leaves the siblings' counters untouched.
+func TestGroupBlastRadiusOneShard(t *testing.T) {
+	rigs, group := bootShardFleet(t, 3)
+	const bad = 1
+	rigs[bad].d.InjectGuestPanic("group drill")
+
+	group.Tick()
+	if n := group.UnhealthyCount(); n > 1 {
+		t.Fatalf("blast radius = %d shards, want at most 1", n)
+	}
+	if err := group.RunUntilAllHealthy(100); err != nil {
+		t.Fatalf("fleet never recovered: %v", err)
+	}
+	st := group.Stats()
+	if st.Restarts+st.Restores == 0 {
+		t.Fatal("no recovery work recorded anywhere")
+	}
+	for i, per := range st.PerShard {
+		if i == bad {
+			if per.Restarts+per.Restores == 0 {
+				t.Fatalf("bad shard %d recorded no recovery work", i)
+			}
+			continue
+		}
+		if per.Restarts != 0 || per.Restores != 0 {
+			t.Fatalf("sibling shard %d restarted (%d restarts, %d restores)", i, per.Restarts, per.Restores)
+		}
+	}
+	if st.MaxMTTR <= 0 {
+		t.Fatalf("MaxMTTR = %v, want positive", st.MaxMTTR)
+	}
+	if st.MaxMTTR != st.PerShard[bad].LastMTTR {
+		t.Fatalf("MaxMTTR %v != bad shard MTTR %v", st.MaxMTTR, st.PerShard[bad].LastMTTR)
+	}
+}
+
+// TestGroupIndependentClocks pins that one shard's recovery burns only
+// its own sim time: the siblings' clocks advance by heartbeat probes
+// alone, not by the wedged shard's restart backoff.
+func TestGroupIndependentClocks(t *testing.T) {
+	rigs, group := bootShardFleet(t, 2)
+	rigs[0].inj.Wedge()
+
+	before := []time.Duration{rigs[0].d.Clock.Now(), rigs[1].d.Clock.Now()}
+	if err := group.RunUntilAllHealthy(100); err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	burn0 := rigs[0].d.Clock.Now() - before[0]
+	burn1 := rigs[1].d.Clock.Now() - before[1]
+	if burn0 <= burn1 {
+		t.Fatalf("wedged shard burned %v, healthy sibling %v — recovery cost leaked across shards", burn0, burn1)
+	}
+}
+
+// TestGroupAllShardsDown exercises the failure path: every member down,
+// RunUntilAllHealthy still converges, and the group error path reports
+// the count when it cannot.
+func TestGroupAllShardsDown(t *testing.T) {
+	rigs, group := bootShardFleet(t, 2)
+	for _, r := range rigs {
+		r.d.InjectGuestPanic("total outage")
+	}
+	group.Tick()
+	if err := group.RunUntilAllHealthy(200); err != nil {
+		t.Fatalf("fleet never recovered from total outage: %v", err)
+	}
+	if !group.Healthy() {
+		t.Fatal("group not healthy after recovery")
+	}
+	st := group.Stats()
+	for i, per := range st.PerShard {
+		if per.Restarts+per.Restores == 0 {
+			t.Fatalf("shard %d recorded no recovery work after total outage", i)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package workloads
+
+import (
+	"testing"
+)
+
+// TestFleetMixScaling runs the mixed many-app workload at 1 and 4
+// shards and asserts the scaling claim in miniature: with the
+// population divided evenly, 4 CVMs serve the same op count in close
+// to a quarter of the slowest-shard time (the full 1→16 sweep with the
+// 0.8x-linear floor at 8 CVMs runs in evaluate -exp fleet).
+func TestFleetMixScaling(t *testing.T) {
+	one, err := RunFleetMix(FleetMixConfig{FleetSize: 1, Apps: 16, OpsPerApp: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := RunFleetMix(FleetMixConfig{FleetSize: 4, Apps: 16, OpsPerApp: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range []FleetMixStats{one, four} {
+		if st.Ops != 16*24 || st.Elapsed <= 0 || st.OpsPerSimSec <= 0 {
+			t.Fatalf("degenerate run: %+v", st)
+		}
+	}
+	// Placement spread the population evenly.
+	for id, n := range four.PerShardApps {
+		if n != 4 {
+			t.Fatalf("shard %d got %d apps, want 4 (%v)", id, n, four.PerShardApps)
+		}
+	}
+	// Scaling floor: 4 shards must be at least 3.2x (0.8 x linear).
+	speedup := four.OpsPerSimSec / one.OpsPerSimSec
+	if speedup < 3.2 {
+		t.Fatalf("4-shard speedup %.2fx below 3.2x floor (1-shard %.0f ops/s, 4-shard %.0f ops/s)",
+			speedup, one.OpsPerSimSec, four.OpsPerSimSec)
+	}
+	// Fleet elapsed is the slowest shard, not the sum.
+	var max, sum int64
+	for _, e := range four.PerShardElapsed {
+		sum += int64(e)
+		if int64(e) > max {
+			max = int64(e)
+		}
+	}
+	if int64(four.Elapsed) != max || max == sum {
+		t.Fatalf("elapsed %v, max shard %v, sum %v: want elapsed = max < sum", four.Elapsed, max, sum)
+	}
+}
+
+// TestFleetMixDeterminism pins reproducibility across the fleet: same
+// config, same placement, same per-shard clocks.
+func TestFleetMixDeterminism(t *testing.T) {
+	cfg := FleetMixConfig{FleetSize: 2, Apps: 8, OpsPerApp: 16}
+	a, err := RunFleetMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFleetMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Elapsed != b.Elapsed || a.OpsPerSimSec != b.OpsPerSimSec {
+		t.Fatalf("fleet mix not deterministic:\n  a=%+v\n  b=%+v", a, b)
+	}
+	for i := range a.PerShardElapsed {
+		if a.PerShardElapsed[i] != b.PerShardElapsed[i] {
+			t.Fatalf("shard %d elapsed differs: %v vs %v", i, a.PerShardElapsed[i], b.PerShardElapsed[i])
+		}
+	}
+}
+
+// TestBlastRadiusDrill compromises one shard of a 4-CVM fleet and
+// asserts the isolation claim: only that shard's apps degrade, sibling
+// costs hold steady, and the fleet recovers to full health.
+func TestBlastRadiusDrill(t *testing.T) {
+	st, err := RunBlastRadiusDrill(FleetMixConfig{FleetSize: 4, Apps: 8, OpsPerApp: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DegradedApps == 0 {
+		t.Fatal("compromised shard degraded no apps — drill is vacuous")
+	}
+	if st.DegradedOffShard != 0 {
+		t.Fatalf("blast radius leaked: %d apps off shard %d degraded", st.DegradedOffShard, st.BadShard)
+	}
+	if st.SiblingCostDriftMax > 0.05 {
+		t.Fatalf("sibling per-op cost drifted %.1f%% during the outage, want <= 5%%", 100*st.SiblingCostDriftMax)
+	}
+	if !st.Recovered {
+		t.Fatal("fleet did not recover to full health")
+	}
+	if st.Restarts+st.Restores == 0 {
+		t.Fatal("no recovery work recorded on the compromised shard")
+	}
+	if st.MTTR <= 0 {
+		t.Fatalf("MTTR = %v, want positive", st.MTTR)
+	}
+}

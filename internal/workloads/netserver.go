@@ -36,8 +36,16 @@ type NetServerConfig struct {
 	// Clients is the modeled concurrent client population (default
 	// 100000). It sets the reported think time, not the arrival rate.
 	Clients int
-	// Lanes shards the server across this many listeners (default 4) so
-	// accept batches form per lane.
+	// ServerApps is the number of independent server applications
+	// (default 1). Each is its own enrolled app — own UID, own epoll
+	// instance, own lane listeners — but all of them forward socket ops
+	// over the device's single shared sockop ring, so the workload
+	// measures multi-tenant ring sharing, not per-app rings. Sessions
+	// spread across apps round-robin and percentiles are reported per
+	// app (PerApp) as well as in aggregate.
+	ServerApps int
+	// Lanes shards each server across this many listeners (default 4)
+	// so accept batches form per lane.
 	Lanes int
 	// ReqBytes is the request/response payload size (default 128 — small
 	// enough to ride an inline ring slot).
@@ -63,6 +71,9 @@ func (c *NetServerConfig) applyDefaults() {
 	if c.Clients <= 0 {
 		c.Clients = 100_000
 	}
+	if c.ServerApps <= 0 {
+		c.ServerApps = 1
+	}
 	if c.Lanes <= 0 {
 		c.Lanes = 4
 	}
@@ -77,12 +88,23 @@ func (c *NetServerConfig) applyDefaults() {
 	}
 }
 
+// NetServerAppStats is one server app's slice of the run.
+type NetServerAppStats struct {
+	// Package names the server app; Sessions is how many landed on it.
+	Package  string
+	Sessions int
+	// Per-app latency percentiles (same arrival-to-completion metric as
+	// the aggregate ones).
+	P50, P99, P999 time.Duration
+}
+
 // NetServerStats is the outcome of one traffic run.
 type NetServerStats struct {
-	Mode     anception.Mode
-	Sessions int
-	Clients  int
-	Lanes    int
+	Mode       anception.Mode
+	Sessions   int
+	Clients    int
+	ServerApps int
+	Lanes      int
 
 	// Latency percentiles over per-session scheduled-arrival-to-
 	// completion sim time.
@@ -104,6 +126,10 @@ type NetServerStats struct {
 	// DgramDrops counts receive-budget datagram drops (0 for this
 	// stream workload unless something is miswired).
 	DgramDrops int64
+
+	// PerApp breaks the percentiles down by server app, in app order
+	// (always present; length 1 when ServerApps is 1).
+	PerApp []NetServerAppStats
 }
 
 // mixedSizeTiers is the MixedSizes request-size mix, smallest first.
@@ -122,47 +148,69 @@ func mixedTierFor(idx int) int {
 	}
 }
 
-// netServerRig is the booted echo server: one server app with lane
-// listeners behind one epoll instance, and one client app per lane.
+// netSession is one in-flight client session's bookkeeping.
+type netSession struct {
+	want int // expected echo length
+	app  int // server app index serving it
+}
+
+// netServerRig is the booted echo service: ServerApps independent
+// server apps — each with lane listeners behind its own epoll instance,
+// all sharing the device's one sockop ring — plus one client app.
 type netServerRig struct {
 	d        *anception.Device
-	server   *anception.Proc
+	servers  []*anception.Proc
+	pkgs     []string
 	client   *anception.Proc
-	epfd     int
-	listen   []int // lane listener fds (server side)
-	addrs    []string
+	epfds    []int   // per-app epoll fd
+	listen   [][]int // per-app lane listener fds (server side)
+	lanes    int
+	addrs    []string // flat, app-major: addrs[app*lanes+lane]
 	payload  []byte
-	tiers    [][]byte    // MixedSizes payloads, indexed by tier
-	expect   map[int]int // client fd -> expected echo length
-	accepts  int         // accept4 calls that returned connections
-	accepted int         // connections they carried
+	tiers    [][]byte           // MixedSizes payloads, indexed by tier
+	expect   map[int]netSession // client fd -> session bookkeeping
+	accepts  int                // accept4 calls that returned connections
+	accepted int                // connections they carried
+}
+
+// netServerPkg names server app a; app 0 keeps the historical name so a
+// single-app run is byte-identical to the pre-multi-app workload.
+func netServerPkg(a int) string {
+	if a == 0 {
+		return "com.netserver.echo"
+	}
+	return fmt.Sprintf("com.netserver.echo%d", a)
 }
 
 func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, error) {
-	srvApp, err := d.InstallApp(android.AppSpec{Package: "com.netserver.echo"})
-	if err != nil {
-		return nil, err
+	rig := &netServerRig{
+		d:       d,
+		lanes:   cfg.Lanes,
+		payload: make([]byte, cfg.ReqBytes),
+		expect:  make(map[int]netSession),
 	}
-	server, err := d.Launch(srvApp)
-	if err != nil {
-		return nil, err
+	for a := 0; a < cfg.ServerApps; a++ {
+		pkg := netServerPkg(a)
+		srvApp, err := d.InstallApp(android.AppSpec{Package: pkg})
+		if err != nil {
+			return nil, err
+		}
+		server, err := d.Launch(srvApp)
+		if err != nil {
+			return nil, err
+		}
+		rig.servers = append(rig.servers, server)
+		rig.pkgs = append(rig.pkgs, pkg)
 	}
 	cliApp, err := d.InstallApp(android.AppSpec{Package: "com.netserver.client"})
 	if err != nil {
 		return nil, err
 	}
-	client, err := d.Launch(cliApp)
+	rig.client, err = d.Launch(cliApp)
 	if err != nil {
 		return nil, err
 	}
 
-	rig := &netServerRig{
-		d:       d,
-		server:  server,
-		client:  client,
-		payload: make([]byte, cfg.ReqBytes),
-		expect:  make(map[int]int),
-	}
 	for i := range rig.payload {
 		rig.payload[i] = byte('a' + i%26)
 	}
@@ -175,27 +223,34 @@ func bootNetServer(d *anception.Device, cfg *NetServerConfig) (*netServerRig, er
 			rig.tiers = append(rig.tiers, tier)
 		}
 	}
-	rig.epfd, err = server.EpollCreate()
-	if err != nil {
-		return nil, fmt.Errorf("epoll_create: %w", err)
-	}
-	for lane := 0; lane < cfg.Lanes; lane++ {
-		addr := fmt.Sprintf("echo.cvm:%d", 9000+lane)
-		fd, err := server.Socket(netstack.AFInet, netstack.SockStream, 0)
+	// Ports are flat and app-major, so app 0's lanes keep the historical
+	// 9000..9000+Lanes-1 range.
+	for a, server := range rig.servers {
+		epfd, err := server.EpollCreate()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("epoll_create: %w", err)
 		}
-		if err := server.Bind(fd, addr); err != nil {
-			return nil, fmt.Errorf("bind %s: %w", addr, err)
+		rig.epfds = append(rig.epfds, epfd)
+		var laneFds []int
+		for lane := 0; lane < cfg.Lanes; lane++ {
+			addr := fmt.Sprintf("echo.cvm:%d", 9000+a*cfg.Lanes+lane)
+			fd, err := server.Socket(netstack.AFInet, netstack.SockStream, 0)
+			if err != nil {
+				return nil, err
+			}
+			if err := server.Bind(fd, addr); err != nil {
+				return nil, fmt.Errorf("bind %s: %w", addr, err)
+			}
+			if err := server.Listen(fd, 0); err != nil {
+				return nil, fmt.Errorf("listen %s: %w", addr, err)
+			}
+			if err := server.EpollCtl(epfd, 1 /* EPOLL_CTL_ADD */, fd); err != nil {
+				return nil, fmt.Errorf("epoll_ctl %s: %w", addr, err)
+			}
+			laneFds = append(laneFds, fd)
+			rig.addrs = append(rig.addrs, addr)
 		}
-		if err := server.Listen(fd, 0); err != nil {
-			return nil, fmt.Errorf("listen %s: %w", addr, err)
-		}
-		if err := server.EpollCtl(rig.epfd, 1 /* EPOLL_CTL_ADD */, fd); err != nil {
-			return nil, fmt.Errorf("epoll_ctl %s: %w", addr, err)
-		}
-		rig.listen = append(rig.listen, fd)
-		rig.addrs = append(rig.addrs, addr)
+		rig.listen = append(rig.listen, laneFds)
 	}
 	return rig, nil
 }
@@ -219,53 +274,57 @@ func (r *netServerRig) maxReq() int {
 
 // openSession starts one client session: connect to a lane and send the
 // request. The reply is collected by drain after the server turn. idx is
-// the global session index — it picks both the lane and, under
-// MixedSizes, the payload tier.
+// the global session index — it picks the server app and lane (app-major
+// round-robin over the flat address list) and, under MixedSizes, the
+// payload tier.
 func (r *netServerRig) openSession(idx int) (int, error) {
 	payload := r.payloadFor(idx)
 	fd, err := r.client.Socket(netstack.AFInet, netstack.SockStream, 0)
 	if err != nil {
 		return -1, err
 	}
-	if err := r.client.Connect(fd, r.addrs[idx%len(r.addrs)]); err != nil {
+	addrIdx := idx % len(r.addrs)
+	if err := r.client.Connect(fd, r.addrs[addrIdx]); err != nil {
 		return -1, err
 	}
 	if _, err := r.client.Send(fd, payload); err != nil {
 		return -1, err
 	}
-	r.expect[fd] = len(payload)
+	r.expect[fd] = netSession{want: len(payload), app: addrIdx / r.lanes}
 	return fd, nil
 }
 
-// serveTurn runs the server's event loop once: a single epoll_wait
-// gathers every ready lane in one batched completion, then each lane's
-// accept backlog drains in accept4 batches and every connection is
-// echoed. One pass suffices — the wave's connects all precede the poll —
-// and never polling an idle set keeps the scheduler-quantum sleep out of
-// the service cost.
+// serveTurn runs every server app's event loop once: per app, a single
+// epoll_wait gathers its ready lanes in one batched completion, then
+// each lane's accept backlog drains in accept4 batches and every
+// connection is echoed. One pass per app suffices — the wave's connects
+// all precede the polls — and never polling an idle set keeps the
+// scheduler-quantum sleep out of the service cost.
 func (r *netServerRig) serveTurn() error {
-	ready, err := r.server.EpollWait(r.epfd, 0)
-	if err != nil {
-		return fmt.Errorf("epoll_wait: %w", err)
-	}
-	for _, lfd := range ready {
-		for {
-			conns, err := r.server.AcceptBatch(lfd, 0)
-			if err != nil {
-				break // EAGAIN: lane drained
-			}
-			r.accepts++
-			r.accepted += len(conns)
-			for _, cfd := range conns {
-				req, err := r.server.Recv(cfd, r.maxReq())
+	for a, server := range r.servers {
+		ready, err := server.EpollWait(r.epfds[a], 0)
+		if err != nil {
+			return fmt.Errorf("epoll_wait app %d: %w", a, err)
+		}
+		for _, lfd := range ready {
+			for {
+				conns, err := server.AcceptBatch(lfd, 0)
 				if err != nil {
-					return fmt.Errorf("server recv: %w", err)
+					break // EAGAIN: lane drained
 				}
-				if _, err := r.server.Send(cfd, req); err != nil {
-					return fmt.Errorf("server send: %w", err)
-				}
-				if err := r.server.Close(cfd); err != nil {
-					return fmt.Errorf("server close: %w", err)
+				r.accepts++
+				r.accepted += len(conns)
+				for _, cfd := range conns {
+					req, err := server.Recv(cfd, r.maxReq())
+					if err != nil {
+						return fmt.Errorf("server recv: %w", err)
+					}
+					if _, err := server.Send(cfd, req); err != nil {
+						return fmt.Errorf("server send: %w", err)
+					}
+					if err := server.Close(cfd); err != nil {
+						return fmt.Errorf("server close: %w", err)
+					}
 				}
 			}
 		}
@@ -275,7 +334,7 @@ func (r *netServerRig) serveTurn() error {
 
 // drain finishes one client session: receive the echo and close.
 func (r *netServerRig) drain(fd int) error {
-	want := r.expect[fd]
+	want := r.expect[fd].want
 	delete(r.expect, fd)
 	resp, err := r.client.Recv(fd, want)
 	if err != nil {
@@ -288,27 +347,30 @@ func (r *netServerRig) drain(fd int) error {
 }
 
 // runWave pushes one wave of sessions through open→serve→drain and
-// returns each session's completion time.
-func (r *netServerRig) runWave(count int, startLane int) ([]time.Duration, error) {
+// returns each session's completion time and serving app index.
+func (r *netServerRig) runWave(count int, startLane int) ([]time.Duration, []int, error) {
 	fds := make([]int, 0, count)
 	for i := 0; i < count; i++ {
 		fd, err := r.openSession(startLane + i)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		fds = append(fds, fd)
 	}
 	if err := r.serveTurn(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	done := make([]time.Duration, 0, count)
+	apps := make([]int, 0, count)
 	for _, fd := range fds {
+		app := r.expect[fd].app
 		if err := r.drain(fd); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		done = append(done, r.d.Clock.Now())
+		apps = append(apps, app)
 	}
-	return done, nil
+	return done, apps, nil
 }
 
 // RunNetServer boots a device in the given mode, runs the open-loop
@@ -332,9 +394,9 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 		return NetServerStats{}, fmt.Errorf("boot net server: %w", err)
 	}
 
-	// Waves keep enough sessions in flight for accept batches to form
-	// without outrunning a lane's backlog bookkeeping.
-	wave := cfg.Lanes * anception.DefaultNetBatch
+	// Waves keep enough sessions in flight for accept batches to form on
+	// every app's lanes without outrunning a lane's backlog bookkeeping.
+	wave := cfg.ServerApps * cfg.Lanes * anception.DefaultNetBatch
 	if wave > cfg.Sessions {
 		wave = cfg.Sessions
 	}
@@ -348,7 +410,7 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 		if calib-n < k {
 			k = calib - n
 		}
-		if _, err := rig.runWave(k, n); err != nil {
+		if _, _, err := rig.runWave(k, n); err != nil {
 			return NetServerStats{}, fmt.Errorf("calibration: %w", err)
 		}
 	}
@@ -363,6 +425,7 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 	gap := time.Duration(float64(perSession) / cfg.Utilization)
 	start := d.Clock.Now()
 	latencies := make([]time.Duration, 0, cfg.Sessions)
+	perApp := make([][]time.Duration, cfg.ServerApps)
 	for n := 0; n < cfg.Sessions; n += wave {
 		k := wave
 		if cfg.Sessions-n < k {
@@ -375,26 +438,30 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 		if now := d.Clock.Now(); now < waveArrival {
 			d.Clock.Advance(waveArrival - now)
 		}
-		done, err := rig.runWave(k, n)
+		done, apps, err := rig.runWave(k, n)
 		if err != nil {
 			return NetServerStats{}, fmt.Errorf("session %d: %w", n, err)
 		}
 		for i, completed := range done {
 			arrival := start + time.Duration(n+i)*gap
-			latencies = append(latencies, completed-arrival)
+			lat := completed - arrival
+			latencies = append(latencies, lat)
+			perApp[apps[i]] = append(perApp[apps[i]], lat)
 		}
 	}
 	elapsed := d.Clock.Now() - start
 
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(latencies)-1))
-		return latencies[idx]
+	pctOf := func(sorted []time.Duration, p float64) time.Duration {
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
 	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) time.Duration { return pctOf(latencies, p) }
 	st := NetServerStats{
 		Mode:         mode,
 		Sessions:     cfg.Sessions,
 		Clients:      cfg.Clients,
+		ServerApps:   cfg.ServerApps,
 		Lanes:        cfg.Lanes,
 		P50:          pct(0.50),
 		P99:          pct(0.99),
@@ -403,6 +470,16 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 		Interarrival: gap,
 		ThinkTime:    time.Duration(cfg.Clients) * gap,
 		Elapsed:      elapsed,
+	}
+	for a, lats := range perApp {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		as := NetServerAppStats{Package: rig.pkgs[a], Sessions: len(lats)}
+		if len(lats) > 0 {
+			as.P50 = pctOf(lats, 0.50)
+			as.P99 = pctOf(lats, 0.99)
+			as.P999 = pctOf(lats, 0.999)
+		}
+		st.PerApp = append(st.PerApp, as)
 	}
 	if elapsed > 0 {
 		st.OpsPerSimSec = float64(cfg.Sessions) / elapsed.Seconds()
@@ -420,7 +497,7 @@ func RunNetServer(mode anception.Mode, opts anception.Options, cfg NetServerConf
 
 // String renders a result row.
 func (s NetServerStats) String() string {
-	return fmt.Sprintf("%-12s %7d sessions (%d clients, think %v): p50=%v p99=%v p999=%v  %.0f ops/sim-s  batch=%.1f",
-		s.Mode, s.Sessions, s.Clients, s.ThinkTime.Round(time.Millisecond),
+	return fmt.Sprintf("%-12s %7d sessions (%d clients, %d apps, think %v): p50=%v p99=%v p999=%v  %.0f ops/sim-s  batch=%.1f",
+		s.Mode, s.Sessions, s.Clients, s.ServerApps, s.ThinkTime.Round(time.Millisecond),
 		s.P50, s.P99, s.P999, s.OpsPerSimSec, s.AvgAcceptBatch)
 }

@@ -2,6 +2,7 @@ package workloads
 
 import (
 	"testing"
+	"time"
 
 	"anception/internal/anception"
 )
@@ -115,5 +116,76 @@ func TestNetServerMixedSizes(t *testing.T) {
 	}
 	if mixed.P50 != again.P50 || mixed.P99 != again.P99 || mixed.OpsPerSimSec != again.OpsPerSimSec {
 		t.Fatalf("mixed run not deterministic: %+v vs %+v", mixed, again)
+	}
+}
+
+// TestNetServerMultiApp runs several independent server apps sharing
+// the one sockop ring, with the modeled client population scaled to a
+// million: sessions spread across apps round-robin, per-app percentiles
+// are reported and consistent with the aggregate, and a single-app run
+// through the generalized rig stays byte-identical to the historical
+// single-server workload.
+func TestNetServerMultiApp(t *testing.T) {
+	opts := anception.Options{RingDepth: 64, RingWorkers: 4, GrantThreshold: 16384}
+	multi, err := RunNetServer(anception.ModeAnception, opts, NetServerConfig{
+		Sessions: 2000, Clients: 1_000_000, ServerApps: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.ServerApps != 4 || len(multi.PerApp) != 4 {
+		t.Fatalf("per-app stats missing: %+v", multi)
+	}
+	total := 0
+	for a, per := range multi.PerApp {
+		if per.Sessions == 0 {
+			t.Fatalf("app %d served no sessions", a)
+		}
+		total += per.Sessions
+		if per.P50 <= 0 || per.P50 > per.P99 || per.P99 > per.P999 {
+			t.Fatalf("app %d percentiles out of order: %+v", a, per)
+		}
+		// Aggregate percentiles bracket every app's p50.
+		if per.P50 > multi.Max {
+			t.Fatalf("app %d p50 %v above aggregate max %v", a, per.P50, multi.Max)
+		}
+	}
+	if total != multi.Sessions {
+		t.Fatalf("per-app sessions sum %d != %d total", total, multi.Sessions)
+	}
+	if multi.PerApp[0].Package != "com.netserver.echo" || multi.PerApp[1].Package != "com.netserver.echo1" {
+		t.Fatalf("unexpected app naming: %+v", multi.PerApp)
+	}
+	// The modeled population sets the reported think time: a million
+	// clients at the measured arrival rate.
+	if want := time.Duration(1_000_000) * multi.Interarrival; multi.ThinkTime != want {
+		t.Fatalf("think time %v, want %v", multi.ThinkTime, want)
+	}
+
+	// Round-robin across apps is even when sessions divide evenly.
+	for a := 1; a < len(multi.PerApp); a++ {
+		if multi.PerApp[a].Sessions != multi.PerApp[0].Sessions {
+			t.Fatalf("uneven app spread: %+v", multi.PerApp)
+		}
+	}
+
+	// ServerApps=1 through the generalized rig is byte-identical to the
+	// historical single-server run: same ports, same package, same sim
+	// timeline.
+	cfg := NetServerConfig{Sessions: 600}
+	one, err := RunNetServer(anception.ModeAnception, opts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := RunNetServer(anception.ModeAnception, opts, NetServerConfig{Sessions: 600, ServerApps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.P50 != explicit.P50 || one.P99 != explicit.P99 || one.Elapsed != explicit.Elapsed ||
+		one.OpsPerSimSec != explicit.OpsPerSimSec {
+		t.Fatalf("ServerApps=1 changed the workload:\n  default=%+v\n  explicit=%+v", one, explicit)
+	}
+	if len(one.PerApp) != 1 || one.PerApp[0].Sessions != 600 {
+		t.Fatalf("single-app per-app stats: %+v", one.PerApp)
 	}
 }

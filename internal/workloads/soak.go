@@ -1,0 +1,272 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/android"
+	"anception/internal/netstack"
+	"anception/internal/sim"
+	"anception/internal/supervisor"
+)
+
+// Long soak under fault injection (DESIGN.md §16): open-loop-style
+// redirected traffic (page I/O + socket echoes) runs for many rounds
+// while the channel injector drops and delays messages probabilistically
+// and the drill periodically wedges the channel or panics the guest
+// kernel outright, leaving the supervisor to restart the CVM mid-
+// traffic. The workload is tolerant — failures are counted, not fatal —
+// and the run is judged on three invariants: the socket-op accounting
+// identity (Submitted = Completed + Failed: no op is lost or double-
+// counted across restarts), a completed-fraction floor, and healthy-op
+// latency percentiles that stay within a bounded factor of the
+// fault-free baseline.
+
+// SoakConfig tunes the fault-injection soak. Zero values take defaults.
+type SoakConfig struct {
+	// Rounds is the soak length in rounds (default 48); OpsPerRound the
+	// mixed operations per round (default 32).
+	Rounds      int
+	OpsPerRound int
+	// DropProb / DelayProb are per-message injector probabilities
+	// (defaults 0.02 and 0.04).
+	DropProb  float64
+	DelayProb float64
+	// HangEvery wedges the data channel every N rounds (default 16;
+	// negative disables). PanicEvery panics the guest kernel every N
+	// rounds (default 12; negative disables). Both leave recovery to the
+	// supervisor.
+	HangEvery  int
+	PanicEvery int
+	// Seed feeds the injector's RNG (default 1).
+	Seed uint64
+	// Opts is the device template. Mode is forced to Anception and the
+	// CallDeadline defaults to 250ms so a wedged channel costs bounded
+	// sim time per call instead of an hour.
+	Opts anception.Options
+}
+
+func (c *SoakConfig) applyDefaults() {
+	if c.Rounds <= 0 {
+		c.Rounds = 48
+	}
+	if c.OpsPerRound <= 0 {
+		c.OpsPerRound = 32
+	}
+	if c.DropProb == 0 {
+		c.DropProb = 0.02
+	}
+	if c.DelayProb == 0 {
+		c.DelayProb = 0.04
+	}
+	if c.HangEvery == 0 {
+		c.HangEvery = 16
+	}
+	if c.PanicEvery == 0 {
+		c.PanicEvery = 12
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	c.Opts.Mode = anception.ModeAnception
+	c.Opts.DisableTrace = true
+	if c.Opts.CallDeadline == 0 {
+		c.Opts.CallDeadline = 250 * time.Millisecond
+	}
+}
+
+// SoakStats is the soak outcome.
+type SoakStats struct {
+	Rounds int
+	// Tolerant-op accounting: attempted = completed + failed.
+	OpsAttempted int
+	OpsCompleted int
+	OpsFailed    int
+	// Supervisor actions across the soak.
+	Restarts     int
+	Restores     int
+	Recoveries   int
+	BreakerTrips int
+	MeanMTTR     time.Duration
+	// Fault-free baseline vs. soak percentiles over successful ops.
+	BaselineP50, BaselineP99 time.Duration
+	SoakP50, SoakP99         time.Duration
+	// Net is the device's socket-op path accounting; AccountingOK
+	// asserts Submitted = Completed + Failed held across every fault
+	// and restart.
+	Net          anception.NetPathStats
+	AccountingOK bool
+}
+
+// soakEchoAddr is the simulated remote peer.
+const soakEchoAddr = "echo.soak:80"
+
+// soakRig is the app under soak with its warm handles.
+type soakRig struct {
+	d    *anception.Device
+	proc *anception.Proc
+	fd   int
+	sock int
+}
+
+// rewarm (re)opens the rig's file and socket — needed at boot and after
+// any CVM restart, which invalidates redirected descriptors and drops
+// the fresh guest's scripted remote registrations.
+func (r *soakRig) rewarm() error {
+	r.d.RegisterRemote(soakEchoAddr, func(req []byte) []byte { return req })
+	fd, err := r.proc.Open("soak.dat", abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		return fmt.Errorf("rewarm open: %w", err)
+	}
+	r.fd = fd
+	sock, err := r.proc.Socket(netstack.AFInet, netstack.SockStream, 0)
+	if err != nil {
+		return fmt.Errorf("rewarm socket: %w", err)
+	}
+	if err := r.proc.Connect(sock, soakEchoAddr); err != nil {
+		return fmt.Errorf("rewarm connect: %w", err)
+	}
+	r.sock = sock
+	return nil
+}
+
+// soakOp runs one mixed operation: even indices are a page write+read
+// pair, odd indices a 128 B socket echo.
+func (r *soakRig) soakOp(i int, page, echo []byte) error {
+	if i%2 == 0 {
+		if _, err := r.proc.Pwrite(r.fd, page, 0); err != nil {
+			return err
+		}
+		_, err := r.proc.Pread(r.fd, abi.PageSize, 0)
+		return err
+	}
+	if _, err := r.proc.Send(r.sock, echo); err != nil {
+		return err
+	}
+	_, err := r.proc.Recv(r.sock, len(echo))
+	return err
+}
+
+// RunSoak boots a supervised device with a fault-injecting channel,
+// runs the soak, and reports the invariants. It never returns an error
+// for injected faults — only for rig failures (boot, or a fleet that
+// will not recover).
+func RunSoak(cfg SoakConfig) (SoakStats, error) {
+	cfg.applyDefaults()
+	d, err := anception.NewDevice(cfg.Opts)
+	if err != nil {
+		return SoakStats{}, err
+	}
+	defer d.Close()
+	d.RegisterRemote(soakEchoAddr, func(req []byte) []byte { return req })
+
+	inj := supervisor.NewInjector(d.Layer.Transport(), sim.NewRNG(cfg.Seed), d.Clock, d.Trace)
+	d.Layer.SetTransport(inj)
+	sup := supervisor.New(d, d.Clock, d.Trace, supervisor.Config{Channel: inj})
+
+	app, err := d.InstallApp(android.AppSpec{Package: "com.soak.app"})
+	if err != nil {
+		return SoakStats{}, err
+	}
+	proc, err := d.Launch(app)
+	if err != nil {
+		return SoakStats{}, err
+	}
+	rig := &soakRig{d: d, proc: proc}
+	if err := rig.rewarm(); err != nil {
+		return SoakStats{}, err
+	}
+
+	page := make([]byte, abi.PageSize)
+	echo := make([]byte, 128)
+	st := SoakStats{Rounds: cfg.Rounds}
+
+	// Phase 1 — fault-free baseline percentiles.
+	var baseline []time.Duration
+	for i := 0; i < 4*cfg.OpsPerRound; i++ {
+		t0 := d.Clock.Now()
+		if err := rig.soakOp(i, page, echo); err != nil {
+			return st, fmt.Errorf("baseline op %d: %w", i, err)
+		}
+		baseline = append(baseline, d.Clock.Now()-t0)
+	}
+	st.BaselineP50, st.BaselineP99 = pctPair(baseline)
+
+	// Phase 2 — soak under probabilistic faults plus periodic wedges and
+	// guest panics, tolerant throughout. A failed op ticks the watchdog
+	// (its heartbeat is how recovery makes progress in sim time).
+	inj.SetProbability(supervisor.FaultDrop, cfg.DropProb)
+	inj.SetProbability(supervisor.FaultDelay, cfg.DelayProb)
+	var soakLats []time.Duration
+	for round := 1; round <= cfg.Rounds; round++ {
+		if cfg.HangEvery > 0 && round%cfg.HangEvery == 0 {
+			inj.Wedge()
+		}
+		if cfg.PanicEvery > 0 && round%cfg.PanicEvery == 0 {
+			d.InjectGuestPanic("soak drill")
+		}
+		for i := 0; i < cfg.OpsPerRound; i++ {
+			st.OpsAttempted++
+			t0 := d.Clock.Now()
+			if err := rig.soakOp(i, page, echo); err != nil {
+				st.OpsFailed++
+				sup.Tick()
+				// A restart invalidates the rig's descriptors; re-warm
+				// once the platform answers again.
+				if sup.Healthy() {
+					if err := rig.rewarm(); err != nil {
+						sup.Tick()
+					}
+				}
+				continue
+			}
+			st.OpsCompleted++
+			soakLats = append(soakLats, d.Clock.Now()-t0)
+		}
+		sup.Tick()
+	}
+
+	// Phase 3 — lift the faults, let the watchdog finish, and verify the
+	// platform still serves cleanly.
+	inj.SetProbability(supervisor.FaultDrop, 0)
+	inj.SetProbability(supervisor.FaultDelay, 0)
+	if err := sup.RunUntilHealthy(200); err != nil {
+		return st, fmt.Errorf("post-soak recovery: %w", err)
+	}
+	if err := rig.rewarm(); err != nil {
+		return st, err
+	}
+	for i := 0; i < cfg.OpsPerRound; i++ {
+		if err := rig.soakOp(i, page, echo); err != nil {
+			return st, fmt.Errorf("post-soak op %d: %w", i, err)
+		}
+	}
+
+	st.SoakP50, st.SoakP99 = pctPair(soakLats)
+	sst := sup.Stats()
+	st.Restarts = sst.Restarts
+	st.Restores = sst.Restores
+	st.Recoveries = sst.Recoveries
+	st.BreakerTrips = sst.BreakerTrips
+	st.MeanMTTR = sst.MeanMTTR()
+	st.Net = d.Layer.Stats().Net
+	st.AccountingOK = st.Net.Submitted == st.Net.Completed+st.Net.Failed
+	return st, nil
+}
+
+// pctPair returns the p50 and p99 of a latency sample (zero when empty).
+func pctPair(lats []time.Duration) (p50, p99 time.Duration) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sorted := make([]time.Duration, len(lats))
+	copy(sorted, lats)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	return sorted[len(sorted)/2], sorted[int(0.99*float64(len(sorted)-1))]
+}

@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"testing"
+
+	"anception/internal/supervisor"
+)
+
+// TestSoakUnderFaultInjection is the long-soak drill: open-loop-style
+// redirected traffic with probabilistic drops and delays on the channel,
+// periodic channel wedges and guest kernel panics, and the supervisor
+// restarting the CVM mid-traffic. Asserted invariants: the socket-op
+// accounting identity holds across every restart, a completed-fraction
+// floor, successful-op percentiles within a bounded factor of the
+// fault-free baseline, and real recovery work happened (otherwise the
+// drill is vacuous).
+func TestSoakUnderFaultInjection(t *testing.T) {
+	st, err := RunSoak(SoakConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if st.OpsAttempted != st.OpsCompleted+st.OpsFailed {
+		t.Fatalf("op accounting broken: %d attempted != %d completed + %d failed",
+			st.OpsAttempted, st.OpsCompleted, st.OpsFailed)
+	}
+	if !st.AccountingOK {
+		t.Fatalf("socket-op identity broken: submitted %d != completed %d + failed %d",
+			st.Net.Submitted, st.Net.Completed, st.Net.Failed)
+	}
+	if st.Net.Failed == 0 {
+		t.Fatal("soak injected faults but the socket path recorded zero failures — drill is vacuous")
+	}
+	if st.Restarts+st.Restores == 0 {
+		t.Fatal("soak forced wedges and panics but the supervisor never restarted the CVM")
+	}
+	if st.Recoveries == 0 {
+		t.Fatal("no recovery recorded")
+	}
+
+	// Completed-fraction floor: faults are probabilistic plus periodic
+	// forced outages, so most ops must still succeed.
+	frac := float64(st.OpsCompleted) / float64(st.OpsAttempted)
+	if frac < 0.60 {
+		t.Fatalf("completed fraction %.2f below 0.60 floor (%d/%d)", frac, st.OpsCompleted, st.OpsAttempted)
+	}
+
+	// Latency floors: successful ops during the soak must stay within a
+	// bounded factor of the fault-free baseline. p50 sees mostly clean
+	// ops (4x headroom); p99 may legitimately absorb one injected
+	// channel delay or a post-restart refault, so its bound is the
+	// injected-delay cost plus baseline headroom.
+	if st.BaselineP50 <= 0 || st.BaselineP99 < st.BaselineP50 {
+		t.Fatalf("degenerate baseline: p50=%v p99=%v", st.BaselineP50, st.BaselineP99)
+	}
+	if st.SoakP50 > 4*st.BaselineP50 {
+		t.Fatalf("soak p50 %v above 4x baseline p50 %v", st.SoakP50, st.BaselineP50)
+	}
+	if ceiling := supervisor.DefaultInjectedDelay + 10*st.BaselineP99; st.SoakP99 > ceiling {
+		t.Fatalf("soak p99 %v above ceiling %v (injected delay + 10x baseline p99 %v)",
+			st.SoakP99, ceiling, st.BaselineP99)
+	}
+}
+
+// TestSoakDeterminism pins that the soak — faults, restarts and all —
+// is reproducible: same seed, same counters, same percentiles.
+func TestSoakDeterminism(t *testing.T) {
+	cfg := SoakConfig{Rounds: 16, OpsPerRound: 16}
+	a, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("soak not deterministic:\n  a=%+v\n  b=%+v", a, b)
+	}
+}
+
+// TestSoakCleanChannel sanity-checks the rig: with every fault source
+// disabled the soak completes everything and never restarts.
+func TestSoakCleanChannel(t *testing.T) {
+	st, err := RunSoak(SoakConfig{
+		Rounds: 8, OpsPerRound: 16,
+		DropProb: -1, DelayProb: -1, HangEvery: -1, PanicEvery: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.OpsFailed != 0 {
+		t.Fatalf("clean soak failed %d ops", st.OpsFailed)
+	}
+	if st.Restarts+st.Restores != 0 {
+		t.Fatalf("clean soak restarted the CVM %d times", st.Restarts+st.Restores)
+	}
+	if !st.AccountingOK {
+		t.Fatalf("clean soak broke the socket identity: %+v", st.Net)
+	}
+}
