@@ -44,6 +44,9 @@ type benchReport struct {
 	// Autotune holds the adaptive-data-plane macro-workload sweep
 	// (-exp autotune), merged the same way.
 	Autotune []autotuneRow `json:"autotune,omitempty"`
+	// Fusion holds the fused-vs-unfused dependent-chain pair
+	// (-exp fusion), merged the same way.
+	Fusion []fusionRow `json:"fusion,omitempty"`
 }
 
 // networkJSONFile is where -exp network writes the redirected-network
@@ -212,6 +215,7 @@ func benchJSON() error {
 		report.Zerocopy = prev.Zerocopy
 		report.Binder = prev.Binder
 		report.Autotune = prev.Autotune
+		report.Fusion = prev.Fusion
 	}
 	if err := writeBenchReport(&report); err != nil {
 		return err

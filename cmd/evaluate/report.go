@@ -2,22 +2,47 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 )
 
 // Shared JSON report plumbing: every experiment that persists a report
-// document (BENCH_redirection.json, BENCH_network.json) loads and writes
-// it through these two helpers, so merge semantics — read the existing
-// document, replace only your section, write the whole thing back — are
-// implemented once.
+// document (BENCH_redirection.json, BENCH_network.json, BENCH_fleet.json)
+// loads and writes it through these two helpers, so merge semantics —
+// read the existing document, replace only your section, write the whole
+// thing back — are implemented once.
+
+// reportSchemaVersion stamps every written document. CI parses the
+// BENCH_*.json files for floors; bump this whenever a section's shape
+// changes so a stale document is rejected loudly instead of parsed into
+// zero values that silently pass or fail the floors.
+const reportSchemaVersion = 2
 
 // loadReport reads a JSON report document into a zero value of T,
 // reporting ok=false when the file is missing or unparsable (callers
-// then start from an empty document).
+// then start from an empty document). A parsable document with a
+// missing or mismatched schema_version is schema drift: it is reported
+// on stderr — loudly, so CI logs show why the old sections vanished —
+// and discarded.
 func loadReport[T any](path string) (T, bool) {
 	var report T
 	blob, err := os.ReadFile(path)
 	if err != nil {
+		return report, false
+	}
+	var ver struct {
+		V *int `json:"schema_version"`
+	}
+	if err := json.Unmarshal(blob, &ver); err != nil {
+		return report, false
+	}
+	if ver.V == nil || *ver.V != reportSchemaVersion {
+		got := "absent"
+		if ver.V != nil {
+			got = fmt.Sprint(*ver.V)
+		}
+		fmt.Fprintf(os.Stderr, "evaluate: %s: schema_version %s, want %d — discarding the stale document; rerun every experiment that folds into it\n",
+			path, got, reportSchemaVersion)
 		return report, false
 	}
 	if json.Unmarshal(blob, &report) != nil {
@@ -28,11 +53,21 @@ func loadReport[T any](path string) (T, bool) {
 }
 
 // writeReport writes a report document as indented JSON with a trailing
-// newline — the exact shape CI archives and diffs.
+// newline — the exact shape CI archives and diffs — stamping the current
+// schema_version. Keys are sorted, so regenerated documents diff stably.
 func writeReport[T any](path string, report *T) error {
-	blob, err := json.MarshalIndent(report, "", "  ")
+	blob, err := json.Marshal(report)
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(blob, '\n'), 0o644)
+	var doc map[string]any
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return err
+	}
+	doc["schema_version"] = reportSchemaVersion
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -45,13 +47,35 @@ func TestReportRoundTrip(t *testing.T) {
 		t.Fatalf("merge clobbered a section: %+v (ok=%v)", merged, ok)
 	}
 
-	// The written file ends in exactly one newline (the shape CI diffs).
+	// The written file ends in exactly one newline (the shape CI diffs)
+	// and carries the current schema_version stamp.
 	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(blob) < 2 || blob[len(blob)-1] != '\n' || blob[len(blob)-2] == '\n' {
 		t.Fatalf("report file must end in exactly one newline: %q", blob[len(blob)-4:])
+	}
+	stamp := fmt.Sprintf("\"schema_version\": %d", reportSchemaVersion)
+	if !strings.Contains(string(blob), stamp) {
+		t.Fatalf("written report lacks %s:\n%s", stamp, blob)
+	}
+
+	// Schema drift — wrong or missing version on an otherwise valid
+	// document — must be rejected so floors never parse zero values.
+	for _, drifted := range []string{
+		`{"iterations": 3, "schema_version": 1}`,
+		`{"iterations": 3}`,
+	} {
+		if err := os.WriteFile(path, []byte(drifted+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := loadReport[doc](path); ok {
+			t.Fatalf("drifted document loaded ok=true: %s", drifted)
+		}
+	}
+	if err := writeReport(path, &want); err != nil {
+		t.Fatal(err)
 	}
 
 	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {

@@ -134,6 +134,11 @@ type costModel struct {
 	// cacheProbes schedules the passthrough re-probe when the hit rate
 	// has collapsed.
 	cacheProbes int64
+
+	// chainPerLink tracks the per-link latency of fused chain
+	// submissions; the fusion decision compares it against the
+	// meta-class ring EWMA (the cost of one independent round trip).
+	chainPerLink ewma
 }
 
 func newCostModel() *costModel {
@@ -274,6 +279,32 @@ func (m *costModel) retuneLocked() {
 			return
 		}
 	}
+}
+
+// observeChain records one fused chain's sim latency, amortized per
+// link.
+func (m *costModel) observeChain(links int, elapsed time.Duration) {
+	if links <= 0 {
+		return
+	}
+	m.mu.Lock()
+	m.chainPerLink.observe(float64(elapsed) / float64(links))
+	m.mu.Unlock()
+}
+
+// chainWorthIt decides whether fusing an N-link chain is expected to
+// beat N independent ring round trips: the learned per-link chain cost
+// against the meta-class ring EWMA. Before either estimate converges
+// the model is optimistic — fusion's fixed costs are strictly lower,
+// so the burn-in fuses and the EWMAs learn from real chains.
+func (m *costModel) chainWorthIt(int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, r := &m.chainPerLink, &m.transport[classMeta][armRing]
+	if c.n < ewmaMinSamples || r.n < ewmaMinSamples {
+		return true
+	}
+	return c.val < r.val
 }
 
 // cacheWorthIt decides cache-vs-passthrough from the observed hit rate.

@@ -157,6 +157,21 @@ type Options struct {
 	// restart, and bypassed in degraded mode. Off by default.
 	BinderReplyCache bool
 
+	// FusionEnable boots the syscall-fusion layer (DESIGN.md §17):
+	// Proc.Chain packs dependent call chains into linked ring
+	// submissions executed guest-side in one round trip, and a per-task
+	// pattern detector transparently fuses recognized hot chain shapes
+	// (open→fstat→read, send→recv), falling back to per-call dispatch
+	// on misprediction. Requires an async ring (RingDepth > 0 or
+	// AutoTune); without one, chains execute per-call. AutoTune implies
+	// FusionEnable. Off by default.
+	FusionEnable bool
+	// FusionMaxLinks bounds the links one fused submission may carry
+	// (default anception.DefaultFusionMaxLinks, hard-capped at
+	// marshal.MaxChainLinks). Longer chains fall back to per-call
+	// dispatch.
+	FusionMaxLinks int
+
 	// AutoTune enables the adaptive data plane (DESIGN.md §15): every
 	// fast path boots — the async ring (plus a synchronous fallback
 	// channel), the redirection cache, the zero-copy grant path, binder
@@ -475,6 +490,9 @@ func (d *Device) bootAnception() error {
 		SyncTransport: syncFallback,
 		RingForced:    d.Opts.RingDepth > 0,
 		CacheForced:   d.Opts.RedirCache,
+
+		FusionEnable:   d.Opts.FusionEnable || d.Opts.AutoTune,
+		FusionMaxLinks: d.Opts.FusionMaxLinks,
 	})
 	if err != nil {
 		return err

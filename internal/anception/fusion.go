@@ -1,0 +1,851 @@
+package anception
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"anception/internal/abi"
+	"anception/internal/kernel"
+	"anception/internal/marshal"
+	"anception/internal/redirect"
+	"anception/internal/sim"
+)
+
+// Syscall fusion (DESIGN.md §17): linked ring submissions execute
+// dependent call chains guest-side in one round trip. A chain of N
+// dependent calls — open→fstat→read→close is the canonical shape —
+// normally pays N doorbell/reap round trips because each call needs the
+// previous one's result (the descriptor, the file size, the byte
+// offset). Fusion packs the whole chain into ONE ring slot with
+// IO_LINK-style register bindings (FDFrom, UseCursor) resolved by the
+// guest, so the chain costs one submit trap, one (coalesced) doorbell,
+// and one completion.
+//
+// Two entry points share the machinery: the explicit Layer.Chain API
+// (Proc.Chain), and a transparent per-task pattern detector hooked into
+// the intercept path that recognizes hot chain shapes (open→fstat[→
+// read], send→recv) and speculatively fuses them when the learned
+// chain cost beats independent ring round trips, falling back to
+// per-call dispatch on misprediction.
+
+// ChainCall is one link of a dependent chain submitted through
+// Layer.Chain / Proc.Chain. Args fields are the usual per-call
+// arguments; the two bindings resolve against earlier links:
+//
+//   - FDFrom >= 0 replaces Args.FD with the descriptor produced by
+//     link FDFrom (its Result.FD, or Ret for fd-returning calls).
+//     FDFrom == -1 uses Args.FD verbatim (a host descriptor).
+//   - UseCursor offsets the link by the chain's running bytes-read
+//     cursor, so consecutive reads walk a file without host-visible
+//     offset bookkeeping.
+type ChainCall struct {
+	Args      kernel.Args
+	FDFrom    int
+	UseCursor bool
+}
+
+// FusionStats counts syscall-fusion outcomes, surfaced per shard via
+// LayerStats.Fusion.
+type FusionStats struct {
+	// Explicit counts Layer.Chain invocations; Fallbacks counts chains
+	// (explicit or speculative) served by per-call dispatch instead of
+	// a fused submission.
+	Explicit  int64
+	Fallbacks int64
+	// Chains counts fused wire submissions; Submitted/Completed/Failed
+	// count their links with the epoch identity
+	// Submitted = Completed + Failed (a link that never ran because an
+	// earlier link failed — or the CVM died mid-chain — is Failed).
+	Chains    int64
+	Submitted int64
+	Completed int64
+	Failed    int64
+	// CacheServed counts links served host-side by the redirection
+	// cache and skipped from the wire chain; GrantLinks counts bulk
+	// links peeled onto the zero-copy grant path.
+	CacheServed int64
+	GrantLinks  int64
+	// PatternHits counts detector pattern-counter increments;
+	// SpecServed counts calls answered from a speculative fused chain;
+	// Mispredicts counts speculated results thrown away because the app
+	// diverged; SpecDropped counts speculative results discarded for
+	// other reasons (close with results pending, dry recv, epoch roll).
+	PatternHits int64
+	SpecServed  int64
+	Mispredicts int64
+	SpecDropped int64
+}
+
+// DefaultFusionMaxLinks bounds one fused submission; longer chains fall
+// back to per-call dispatch. The wire codec caps harder at
+// marshal.MaxChainLinks.
+const DefaultFusionMaxLinks = 8
+
+// fuseConfidence is how many consecutive pattern sightings the detector
+// needs before it speculates.
+const fuseConfidence = 2
+
+// specKey addresses per-descriptor speculative state.
+type specKey struct {
+	pid int
+	fd  int
+}
+
+// specResult is one buffered speculative result awaiting the app's
+// matching call.
+type specResult struct {
+	nr  abi.SyscallNr
+	off int64
+	res kernel.Result
+}
+
+// taskFusion is the per-task pattern detector state: the previous
+// redirect-class call and confidence counters for the recognized chain
+// shapes. All counters are plain ints under the layerFusion mutex —
+// decisions are pure functions of call order, so runs with the same
+// seed fuse identically.
+type taskFusion struct {
+	lastNr abi.SyscallNr
+
+	openFstat  int // open followed by fstat
+	fstatPread int // fstat followed by pread at offset 0
+	preadSize  int // learned pread size for the speculative read link
+	sendRecv   int // send followed by recv
+	recvSize   int // learned recv size for the speculative recv link
+}
+
+// layerFusion is the fusion layer's mutable state.
+type layerFusion struct {
+	maxLinks int
+
+	mu     sync.Mutex
+	tasks  map[int]*taskFusion
+	spec   map[specKey][]specResult
+	sticky map[specKey][]byte // buffered speculative recv bytes
+
+	explicit    atomic.Int64
+	fallbacks   atomic.Int64
+	chains      atomic.Int64
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	cacheServed atomic.Int64
+	grantLinks  atomic.Int64
+	patternHits atomic.Int64
+	specServed  atomic.Int64
+	mispredicts atomic.Int64
+	specDropped atomic.Int64
+}
+
+func newLayerFusion(maxLinks int) *layerFusion {
+	if maxLinks <= 0 {
+		maxLinks = DefaultFusionMaxLinks
+	}
+	if maxLinks > marshal.MaxChainLinks {
+		maxLinks = marshal.MaxChainLinks
+	}
+	return &layerFusion{
+		maxLinks: maxLinks,
+		tasks:    make(map[int]*taskFusion),
+		spec:     make(map[specKey][]specResult),
+		sticky:   make(map[specKey][]byte),
+	}
+}
+
+// fusionStats snapshots the fusion counters.
+func (l *Layer) fusionStats() FusionStats {
+	f := l.fusion
+	if f == nil {
+		return FusionStats{}
+	}
+	return FusionStats{
+		Explicit:    f.explicit.Load(),
+		Fallbacks:   f.fallbacks.Load(),
+		Chains:      f.chains.Load(),
+		Submitted:   f.submitted.Load(),
+		Completed:   f.completed.Load(),
+		Failed:      f.failed.Load(),
+		CacheServed: f.cacheServed.Load(),
+		GrantLinks:  f.grantLinks.Load(),
+		PatternHits: f.patternHits.Load(),
+		SpecServed:  f.specServed.Load(),
+		Mispredicts: f.mispredicts.Load(),
+		SpecDropped: f.specDropped.Load(),
+	}
+}
+
+// drainFusion is fusion's epoch participant: speculative results and
+// sticky recv bytes were produced by the old container and may never be
+// served against the new one. Detector confidence counters survive —
+// they describe app behavior, not container state.
+func (l *Layer) drainFusion(int) {
+	f := l.fusion
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	for k, q := range f.spec {
+		f.specDropped.Add(int64(len(q)))
+		delete(f.spec, k)
+	}
+	for k, b := range f.sticky {
+		if len(b) > 0 {
+			f.specDropped.Add(1)
+		}
+		delete(f.sticky, k)
+	}
+	f.mu.Unlock()
+}
+
+// SetChainStep forwards a fault-drill hook to the current proxy
+// manager: it fires before each fused chain link executes guest-side,
+// so drills can kill the CVM between links K and K+1. Pass nil to
+// clear. The hook does not survive a guest swap.
+func (l *Layer) SetChainStep(f func(next int)) {
+	l.currentState().proxies.SetChainStep(f)
+}
+
+// chainWorthIt asks the cost model whether a fused N-link chain is
+// expected to beat N independent ring round trips. Without a model
+// (AutoTune off) fusion is optimistic — the static configuration asked
+// for it.
+func (l *Layer) chainWorthIt(links int) bool {
+	if m := l.policy.model; m != nil {
+		return m.chainWorthIt(links)
+	}
+	return true
+}
+
+// Chain executes a dependent call chain on behalf of a host task: fused
+// into linked ring submissions when the transport allows, per-call
+// dispatch otherwise (including under a ForceSyncUncached override,
+// where each link is byte-identical to an unfused call).
+func (l *Layer) Chain(t *kernel.Task, calls []ChainCall) []kernel.Result {
+	if len(calls) == 0 {
+		return nil
+	}
+	if err := validateChain(calls); err != nil {
+		results := make([]kernel.Result, len(calls))
+		for i := range results {
+			results[i] = kernel.Result{Ret: -1, Err: err}
+		}
+		return results
+	}
+	if l.fusion != nil {
+		l.fusion.explicit.Add(1)
+	}
+	if results, ok := l.tryFusedChain(t, calls); ok {
+		return results
+	}
+	if l.fusion != nil {
+		l.fusion.fallbacks.Add(1)
+	}
+	return runChainUnfused(func(a kernel.Args) kernel.Result {
+		return l.host.Invoke(t, a)
+	}, calls)
+}
+
+func validateChain(calls []ChainCall) error {
+	if len(calls) > marshal.MaxChainLinks {
+		return fmt.Errorf("chain of %d links exceeds %d: %w", len(calls), marshal.MaxChainLinks, abi.EINVAL)
+	}
+	for i := range calls {
+		if calls[i].FDFrom < -1 || calls[i].FDFrom >= i {
+			return fmt.Errorf("link %d: fd binding %d out of range: %w", i, calls[i].FDFrom, abi.EINVAL)
+		}
+	}
+	return nil
+}
+
+// runChainUnfused executes a chain one call at a time through the given
+// dispatcher, resolving bindings host-side: FDFrom takes the earlier
+// link's returned descriptor, UseCursor accumulates read returns. A
+// failed link short-circuits the rest with its error. This is the
+// fallback arm — on an anception device each call dispatches exactly
+// like an unfused syscall, which keeps the pinned paper rows
+// byte-identical under ForceSyncUncached.
+func runChainUnfused(invoke func(kernel.Args) kernel.Result, calls []ChainCall) []kernel.Result {
+	results := make([]kernel.Result, len(calls))
+	var cursor int64
+	var failErr error
+	for i := range calls {
+		if failErr != nil {
+			results[i] = kernel.Result{Ret: -1, Err: failErr}
+			continue
+		}
+		a := calls[i].Args
+		if calls[i].FDFrom >= 0 {
+			prev := results[calls[i].FDFrom]
+			if prev.FD > 0 {
+				a.FD = prev.FD
+			} else {
+				a.FD = int(prev.Ret)
+			}
+		}
+		if calls[i].UseCursor {
+			a.Off += cursor
+		}
+		if isReadLike(a.Nr) && len(a.Buf) == 0 && a.Size > 0 {
+			a.Buf = make([]byte, a.Size)
+		}
+		res := invoke(a)
+		results[i] = res
+		if !res.Ok() {
+			failErr = res.Err
+			continue
+		}
+		if isReadLike(a.Nr) && res.Ret > 0 {
+			cursor += res.Ret
+		}
+	}
+	return results
+}
+
+// tryFusedChain runs the chain over linked ring submissions. ok=false
+// means the caller must fall back to per-call dispatch (fusion off,
+// forced sync, no async ring, chain too long, or a link the fused plan
+// cannot represent).
+func (l *Layer) tryFusedChain(t *kernel.Task, calls []ChainCall) ([]kernel.Result, bool) {
+	f := l.fusion
+	if f == nil || len(calls) > f.maxLinks || l.policy.forceSync() {
+		return nil, false
+	}
+	st := l.currentState()
+	ring, async := st.transport.(marshal.AsyncTransport)
+	if !async {
+		return nil, false
+	}
+	return l.chainFused(st, ring, t, calls)
+}
+
+// isOpenLike reports links that mint a descriptor the host must adopt.
+func isOpenLike(nr abi.SyscallNr) bool {
+	switch nr {
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat, abi.SysSocket:
+		return true
+	default:
+		return false
+	}
+}
+
+// chainFused is the fused execution plan. The chain is walked in order
+// and split into wire segments: cache-servable links are answered
+// host-side and skipped from the wire, grant-eligible bulk links peel
+// onto the zero-copy path between segments, and everything else ships
+// as one linked submission per segment (one doorbell, one completion).
+// Dirty cache state on every explicitly-named descriptor is flushed
+// before the chain so guest-side links see coherent bytes.
+func (l *Layer) chainFused(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, calls []ChainCall) ([]kernel.Result, bool) {
+	f := l.fusion
+	n := len(calls)
+
+	// Resolve explicitly-named descriptors. A non-remote descriptor —
+	// or an open whose path routes to the host — makes the chain
+	// unfusable: those links must run on the host, so the whole chain
+	// takes the per-call path.
+	entries := make([]*kernel.FDEntry, n)
+	for i := range calls {
+		a := &calls[i].Args
+		switch a.Nr {
+		case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
+			p := l.absPath(t, a.Path)
+			if l.keepFSOnHost || l.engine.DecideOpen(p).Route == redirect.RouteHost {
+				return nil, false
+			}
+		}
+		if calls[i].FDFrom >= 0 || a.FD <= 0 {
+			continue
+		}
+		e := t.FD(a.FD)
+		if e == nil || e.Kind != kernel.FDRemote {
+			return nil, false
+		}
+		entries[i] = e
+	}
+
+	// Flush-before-chain: buffered writes overlapping any chained
+	// descriptor must reach the guest before the chain executes there.
+	// A flush failure falls back to per-call dispatch, which carries
+	// the deferred write-back error to its close exactly like the
+	// unfused path.
+	if !l.cacheBypassed(st) {
+		flushed := make(map[*kernel.FDEntry]bool, n)
+		for _, e := range entries {
+			if e == nil || flushed[e] {
+				continue
+			}
+			flushed[e] = true
+			if _, failed := l.flushFDFor(st, t, e); failed {
+				return nil, false
+			}
+		}
+	}
+
+	// referenced marks links whose descriptor result a later link binds;
+	// they must execute on the wire so the guest can resolve the binding.
+	referenced := make([]bool, n)
+	for i := range calls {
+		if calls[i].FDFrom >= 0 {
+			referenced[calls[i].FDFrom] = true
+		}
+	}
+
+	// The host pays one submit trap for the whole chain.
+	l.clock.Advance(l.model.SyscallEntry)
+
+	results := make([]kernel.Result, n)
+	raw := make([]kernel.Result, n) // wire results before host-fd rewriting
+	onWire := make([]bool, n)
+	var chainErr error
+
+	// seg accumulates original link indices for the pending wire segment.
+	var seg []int
+	segFDs := make(map[int]bool) // host fds touched by pending wire links
+	flushSeg := func() bool {
+		if len(seg) == 0 || chainErr != nil {
+			seg = seg[:0]
+			segFDs = make(map[int]bool)
+			return chainErr == nil
+		}
+		links := make([]marshal.ChainLink, len(seg))
+		argCopies := make([]kernel.Args, len(seg))
+		pos := make(map[int]int, len(seg)) // original index -> segment index
+		for si, oi := range seg {
+			pos[oi] = si
+		}
+		for si, oi := range seg {
+			a := calls[oi].Args
+			fdFrom := -1
+			switch {
+			case calls[oi].FDFrom >= 0:
+				if si2, same := pos[calls[oi].FDFrom]; same {
+					fdFrom = si2
+				} else {
+					// The producing link ran in an earlier segment: its raw
+					// wire result already names the guest descriptor.
+					prev := raw[calls[oi].FDFrom]
+					if prev.FD > 0 {
+						a.FD = prev.FD
+					} else {
+						a.FD = int(prev.Ret)
+					}
+				}
+			case entries[oi] != nil:
+				a.FD = entries[oi].GuestFD
+			}
+			if a.Nr == abi.SysOpen || a.Nr == abi.SysOpenat || a.Nr == abi.SysCreat {
+				a.Path = l.absPath(t, a.Path)
+			}
+			argCopies[si] = a
+			links[si] = marshal.ChainLink{Args: &argCopies[si], FDFrom: fdFrom, UseCursor: calls[oi].UseCursor}
+		}
+		cr, ok := l.forwardChainRing(st, ring, t, links)
+		f.chains.Add(1)
+		f.submitted.Add(int64(len(seg)))
+		f.completed.Add(int64(cr.Executed))
+		f.failed.Add(int64(len(seg) - cr.Executed))
+		for si, oi := range seg {
+			raw[oi] = cr.Results[si]
+			results[oi] = cr.Results[si]
+			onWire[oi] = true
+		}
+		if !ok || cr.Executed < len(seg) {
+			for si := range links {
+				if !cr.Results[si].Ok() {
+					chainErr = cr.Results[si].Err
+					break
+				}
+			}
+			if chainErr == nil {
+				chainErr = abi.EIO
+			}
+		}
+		seg = seg[:0]
+		segFDs = make(map[int]bool)
+		return chainErr == nil
+	}
+
+	for i := range calls {
+		if chainErr != nil {
+			results[i] = kernel.Result{Ret: -1, Err: chainErr}
+			continue
+		}
+		c := &calls[i]
+		a := c.Args // host-fd view for the cache and grant helpers
+
+		// Cache-served links skip the wire entirely. Only side-effect-free
+		// attribute/read links with an explicit descriptor qualify, and
+		// only while no earlier pending wire link touches the same
+		// descriptor (its effect has not executed yet).
+		if entries[i] != nil && !referenced[i] && !c.UseCursor && !segFDs[a.FD] &&
+			(a.Nr == abi.SysFstat || a.Nr == abi.SysPread64) && !l.cacheBypassed(st) {
+			if res, handled := l.cachedFDCall(st, t, entries[i], &a); handled {
+				results[i] = res
+				f.cacheServed.Add(1)
+				if !res.Ok() {
+					chainErr = res.Err
+				}
+				continue
+			}
+		}
+
+		// Grant-eligible bulk links peel onto the zero-copy path between
+		// wire segments: the learned crossover says page flipping beats
+		// copying this payload through the ring.
+		if entries[i] != nil && !referenced[i] && !c.UseCursor && l.grantEligible(&a) {
+			if !flushSeg() {
+				results[i] = kernel.Result{Ret: -1, Err: chainErr}
+				continue
+			}
+			res := l.forwardGrantFD(st, t, entries[i], &a)
+			results[i] = res
+			f.grantLinks.Add(1)
+			if !res.Ok() {
+				chainErr = res.Err
+			}
+			continue
+		}
+
+		seg = append(seg, i)
+		if c.FDFrom < 0 && a.FD > 0 {
+			segFDs[a.FD] = true
+		}
+	}
+	flushSeg()
+
+	// Post-processing, in chain order: adopt descriptors minted on the
+	// wire, retire host bookkeeping for chained closes, write read data
+	// back into caller buffers, and keep the cache's invalidation
+	// bookkeeping coherent for explicit-descriptor links.
+	hostFDFor := make(map[int]int)
+	for i := range calls {
+		c := &calls[i]
+		res := results[i]
+		if onWire[i] && res.Ok() {
+			if isOpenLike(c.Args.Nr) && raw[i].FD > 0 {
+				p := c.Args.Path
+				if c.Args.Nr == abi.SysSocket {
+					p = "sock:"
+				} else {
+					p = l.absPath(t, p)
+				}
+				hostFD := t.InstallFD(&kernel.FDEntry{Kind: kernel.FDRemote, GuestFD: raw[i].FD, Path: p})
+				if c.Args.Nr != abi.SysSocket {
+					l.noteRemoteOpen(p, c.Args.Flags)
+				}
+				results[i] = kernel.Result{Ret: int64(hostFD), FD: hostFD, Data: raw[i].Data}
+				hostFDFor[i] = hostFD
+			}
+			if c.Args.Nr == abi.SysClose {
+				switch {
+				case c.FDFrom >= 0:
+					if hfd, ok := hostFDFor[c.FDFrom]; ok {
+						if e := t.FD(hfd); e != nil {
+							t.CloseFD(hfd)
+							l.forgetFD(e)
+						}
+						delete(hostFDFor, c.FDFrom)
+					}
+				case entries[i] != nil:
+					t.CloseFD(c.Args.FD)
+					l.forgetFD(entries[i])
+				}
+			}
+		}
+		if onWire[i] && entries[i] != nil {
+			l.noteForwardedFDOp(entries[i], c.Args.Nr)
+		}
+		if res.Ok() && len(res.Data) > 0 {
+			if len(c.Args.Iov) > 0 {
+				scatterIntoIov(c.Args.Iov, res.Data)
+			} else if len(c.Args.Buf) > 0 {
+				copy(c.Args.Buf, res.Data)
+			}
+		}
+	}
+	return results, true
+}
+
+// forwardChainRing moves one wire segment through a single ring slot:
+// the linked submission is encoded as a chain frame, the guest executes
+// every link in one trap context (proxy.ExecuteChainDrained), and the
+// completion carries the positional result vector home. Deadline,
+// degraded and host-down semantics match forwardRing slot-for-slot. On
+// a transport failure every link reports the failure. ok mirrors
+// whether the segment's results are genuine guest results.
+func (l *Layer) forwardChainRing(st *layerState, ring marshal.AsyncTransport, t *kernel.Task, links []marshal.ChainLink) (marshal.ChainResult, bool) {
+	failAll := func(err error) (marshal.ChainResult, bool) {
+		cr := marshal.ChainResult{Results: make([]kernel.Result, len(links))}
+		for i := range cr.Results {
+			cr.Results[i] = kernel.Result{Ret: -1, Err: err}
+		}
+		return cr, false
+	}
+	if !l.enterGuestCall(st) {
+		l.counters.failedFast.Add(1)
+		return failAll(fmt.Errorf("container circuit breaker open: %w", abi.EAGAIN))
+	}
+	defer l.exitGuestCall()
+	p, err := st.proxies.Ensure(t)
+	if err != nil {
+		if errors.Is(err, abi.EHOSTDOWN) {
+			l.counters.hostDown.Add(1)
+		}
+		return failAll(fmt.Errorf("enroll proxy: %w", err))
+	}
+	l.counters.redirected.Add(int64(len(links)))
+	if l.trace != nil {
+		l.trace.Record(sim.EvRedirect, "redirect fused chain of %d links pid=%d -> proxy %d (ring)", len(links), t.PID, p.PID)
+	}
+
+	// Read-like links ship only their size; the data rides home in the
+	// completion (same output-pointer rule as single-call frames).
+	enc := make([]marshal.ChainLink, len(links))
+	strip := make([]kernel.Args, len(links))
+	for i, ln := range links {
+		strip[i] = *ln.Args
+		if isReadLike(strip[i].Nr) && strip[i].Buf != nil {
+			strip[i].Size = len(strip[i].Buf)
+			strip[i].Buf = nil
+		}
+		enc[i] = marshal.ChainLink{Args: &strip[i], FDFrom: ln.FDFrom, UseCursor: ln.UseCursor}
+	}
+	payload := marshal.EncodeChain(enc)
+	l.clock.Advance(time.Duration(len(payload)) * l.model.MarshalPerByte)
+
+	m := l.policy.model
+	start := l.clock.Now()
+	key := ringKey(t, enc[0].Args)
+	pending, serr := ring.Submit(payload, key, func(req []byte) []byte {
+		decoded, derr := marshal.DecodeChain(req)
+		if derr != nil {
+			return marshal.EncodeChainResult(marshal.ChainResult{Results: []kernel.Result{{Ret: -1, Err: abi.EINVAL}}})
+		}
+		resp := marshal.EncodeChainResult(st.proxies.ExecuteChainDrained(p, decoded))
+		if st.tamper != nil {
+			resp = st.tamper(resp)
+		}
+		return resp
+	})
+	if serr != nil {
+		res := l.transportFailure(t, links[0].Args, start, serr)
+		return failAll(res.Err)
+	}
+	respBytes, werr := pending.Wait()
+	if werr != nil {
+		res := l.transportFailure(t, links[0].Args, start, werr)
+		return failAll(res.Err)
+	}
+	if l.clock.Now()-start > l.deadline {
+		l.counters.timedOut.Add(1)
+		if l.trace != nil {
+			l.trace.Record(sim.EvTimeout, "fused chain pid=%d completed past %v deadline", t.PID, l.deadline)
+		}
+		return failAll(fmt.Errorf("chain exceeded %v deadline: %w", l.deadline, abi.ETIMEDOUT))
+	}
+	cr, derr := marshal.DecodeChainResult(respBytes)
+	if derr != nil {
+		return failAll(derr)
+	}
+	if len(cr.Results) != len(links) {
+		return failAll(fmt.Errorf("chain reply has %d results for %d links: %w", len(cr.Results), len(links), abi.EIO))
+	}
+	if m != nil {
+		m.observeChain(len(links), l.clock.Now()-start)
+	}
+	return cr, true
+}
+
+// --- transparent pattern detector ---
+
+// fusionIntercept runs at the top of the redirect-class dispatch. It
+// serves calls answered by an earlier speculative chain, observes the
+// per-task call sequence, and — when a hot chain shape is confident and
+// the cost model says fusion wins — speculatively executes the learned
+// chain, serving the head call now and buffering the rest. Returning
+// ok=false hands the call to normal dispatch.
+func (l *Layer) fusionIntercept(t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	f := l.fusion
+	key := specKey{pid: t.PID, fd: args.FD}
+
+	// 1. Pending speculative results on this descriptor.
+	f.mu.Lock()
+	if q, ok := f.spec[key]; ok && len(q) > 0 {
+		head := q[0]
+		switch {
+		case args.Nr == abi.SysClose:
+			// The app closed before consuming the speculation: results are
+			// wasted, but nothing diverged.
+			f.specDropped.Add(int64(len(q)))
+			delete(f.spec, key)
+		case args.Nr == head.nr && (head.nr != abi.SysPread64 || (args.Off == head.off && len(args.Buf) <= len(head.res.Data))):
+			f.spec[key] = q[1:]
+			if len(f.spec[key]) == 0 {
+				delete(f.spec, key)
+			}
+			f.specServed.Add(1)
+			f.mu.Unlock()
+			return serveSpec(head.res, args), true
+		default:
+			// Divergence: throw the speculation away and relearn.
+			f.mispredicts.Add(int64(len(q)))
+			delete(f.spec, key)
+			if tf := f.tasks[t.PID]; tf != nil {
+				tf.openFstat, tf.fstatPread, tf.sendRecv = 0, 0, 0
+			}
+		}
+	}
+	// Sticky recv bytes from a fused send→recv pair.
+	if args.Nr == abi.SysClose {
+		if b := f.sticky[key]; len(b) > 0 {
+			f.specDropped.Add(1)
+		}
+		delete(f.sticky, key)
+	}
+	if args.Nr == abi.SysRecv && len(f.sticky[key]) > 0 && len(args.Buf) > 0 {
+		b := f.sticky[key]
+		n := copy(args.Buf, b)
+		if n == len(b) {
+			delete(f.sticky, key)
+		} else {
+			f.sticky[key] = b[n:]
+		}
+		f.specServed.Add(1)
+		f.mu.Unlock()
+		return kernel.Result{Ret: int64(n), Data: args.Buf[:n]}, true
+	}
+
+	// 2. Observe the call sequence and update pattern confidence.
+	tf := f.tasks[t.PID]
+	if tf == nil {
+		tf = &taskFusion{}
+		f.tasks[t.PID] = tf
+	}
+	switch {
+	case tf.lastNr == abi.SysOpen && args.Nr == abi.SysFstat:
+		tf.openFstat++
+		f.patternHits.Add(1)
+	case tf.lastNr == abi.SysFstat && args.Nr == abi.SysPread64 && args.Off == 0:
+		tf.fstatPread++
+		tf.preadSize = payloadLen(args)
+		f.patternHits.Add(1)
+	case tf.lastNr == abi.SysSend && args.Nr == abi.SysRecv:
+		tf.sendRecv++
+		tf.recvSize = payloadLen(args)
+		f.patternHits.Add(1)
+	}
+	switch args.Nr {
+	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
+		tf.lastNr = abi.SysOpen
+	default:
+		tf.lastNr = args.Nr
+	}
+
+	// 3. Speculative fusion on a confident head call.
+	switch {
+	case tf.lastNr == abi.SysOpen && tf.openFstat >= fuseConfidence:
+		chain := []ChainCall{
+			{Args: *args, FDFrom: -1},
+			{Args: kernel.Args{Nr: abi.SysFstat}, FDFrom: 0},
+		}
+		if tf.fstatPread >= fuseConfidence && tf.preadSize > 0 {
+			chain = append(chain, ChainCall{Args: kernel.Args{Nr: abi.SysPread64, Size: tf.preadSize}, FDFrom: 0})
+		}
+		f.mu.Unlock()
+		return l.speculateOpenChain(t, args, chain)
+	case args.Nr == abi.SysSend && tf.sendRecv >= fuseConfidence && tf.recvSize > 0:
+		f.mu.Unlock()
+		return l.speculateSendRecv(t, args, tf.recvSize)
+	}
+	f.mu.Unlock()
+	return kernel.Result{}, false
+}
+
+// serveSpec adapts a buffered speculative result to the live call's
+// buffers.
+func serveSpec(res kernel.Result, args *kernel.Args) kernel.Result {
+	if res.Ok() && len(res.Data) > 0 && len(args.Buf) > 0 {
+		n := copy(args.Buf, res.Data)
+		return kernel.Result{Ret: int64(n), FD: res.FD, Data: args.Buf[:n]}
+	}
+	return res
+}
+
+// speculateOpenChain fuses a confident open→fstat[→read] shape: the
+// open is served now and the trailing results are buffered against the
+// minted descriptor for the app's next calls.
+func (l *Layer) speculateOpenChain(t *kernel.Task, args *kernel.Args, chain []ChainCall) (kernel.Result, bool) {
+	f := l.fusion
+	// The open must actually be container-bound; host-routed paths are
+	// never fused.
+	p := l.absPath(t, args.Path)
+	if l.keepFSOnHost || l.engine.DecideOpen(p).Route == redirect.RouteHost {
+		return kernel.Result{}, false
+	}
+	if !l.chainWorthIt(len(chain)) {
+		return kernel.Result{}, false
+	}
+	results, ok := l.tryFusedChain(t, chain)
+	if !ok {
+		return kernel.Result{}, false
+	}
+	open := results[0]
+	if !open.Ok() || open.FD <= 0 {
+		// A failed open is a genuine result, not a misprediction; the
+		// trailing links short-circuited and nothing is buffered.
+		return open, true
+	}
+	key := specKey{pid: t.PID, fd: open.FD}
+	f.mu.Lock()
+	q := f.spec[key][:0]
+	for i := 1; i < len(chain); i++ {
+		q = append(q, specResult{nr: chain[i].Args.Nr, off: chain[i].Args.Off, res: results[i]})
+	}
+	f.spec[key] = q
+	f.mu.Unlock()
+	return open, true
+}
+
+// speculateSendRecv fuses a confident send→recv pair: the send is
+// served now and the reply bytes stick to the descriptor for the app's
+// next recv. A dry recv (no data yet) drops the speculation and backs
+// the pattern off instead of buffering an EAGAIN the real call might
+// not see.
+func (l *Layer) speculateSendRecv(t *kernel.Task, args *kernel.Args, recvSize int) (kernel.Result, bool) {
+	f := l.fusion
+	if e := t.FD(args.FD); e == nil || e.Kind != kernel.FDRemote {
+		return kernel.Result{}, false
+	}
+	if !l.chainWorthIt(2) {
+		return kernel.Result{}, false
+	}
+	chain := []ChainCall{
+		{Args: *args, FDFrom: -1},
+		{Args: kernel.Args{Nr: abi.SysRecv, FD: args.FD, Size: recvSize}, FDFrom: -1},
+	}
+	results, ok := l.tryFusedChain(t, chain)
+	if !ok {
+		return kernel.Result{}, false
+	}
+	send, recv := results[0], results[1]
+	if !send.Ok() {
+		return send, true
+	}
+	f.mu.Lock()
+	if recv.Ok() && recv.Ret > 0 && len(recv.Data) > 0 {
+		key := specKey{pid: t.PID, fd: args.FD}
+		f.sticky[key] = append(f.sticky[key], recv.Data[:recv.Ret]...)
+	} else {
+		// Nothing to read yet: back off so a chatty-but-async peer does
+		// not keep paying for wasted speculative links.
+		f.specDropped.Add(1)
+		if tf := f.tasks[t.PID]; tf != nil {
+			tf.sendRecv = 0
+		}
+	}
+	f.mu.Unlock()
+	return send, true
+}

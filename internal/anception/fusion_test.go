@@ -1,0 +1,373 @@
+package anception
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"anception/internal/abi"
+	"anception/internal/android"
+	"anception/internal/kernel"
+)
+
+// bootFusedDevice boots an Anception device with the async ring and the
+// syscall-fusion layer enabled (cache on, so the composition rules —
+// flush-before-chain, cache-served links — are exercised too).
+func bootFusedDevice(t *testing.T) (*Device, *Proc) {
+	t.Helper()
+	return bootCachedDevice(t, func(o *Options) {
+		o.RingDepth = 16
+		o.RingWorkers = 2
+		o.FusionEnable = true
+	})
+}
+
+// seedGuestFile creates a file through the app itself so ownership is
+// right, then closes it so any buffered bytes land in the guest.
+func seedGuestFile(t *testing.T, p *Proc, name string, content []byte) {
+	t.Helper()
+	fd := mustOpen(t, p, name, abi.ORdWr|abi.OCreat)
+	mustPwrite(t, p, fd, content, 0)
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// openStatReadCloseChain builds the canonical 4-link fused shape: the
+// fstat, pread, and close all bind the descriptor minted by link 0.
+func openStatReadCloseChain(path string, buf []byte) []ChainCall {
+	return []ChainCall{
+		{Args: kernel.Args{Nr: abi.SysOpen, Path: path, Flags: abi.ORdWr}, FDFrom: -1},
+		{Args: kernel.Args{Nr: abi.SysFstat}, FDFrom: 0},
+		{Args: kernel.Args{Nr: abi.SysPread64, Buf: buf}, FDFrom: 0},
+		{Args: kernel.Args{Nr: abi.SysClose}, FDFrom: 0},
+	}
+}
+
+// TestChainFusedOpenStatReadClose: the explicit Chain API executes a
+// dependent open→fstat→pread→close entirely guest-side in one
+// submission, rewrites the minted descriptor to a host fd, writes read
+// data back into the caller's buffer, and retires the descriptor after
+// the chained close.
+func TestChainFusedOpenStatReadClose(t *testing.T) {
+	d, p := bootFusedDevice(t)
+	content := []byte("fused chains ride one doorbell")
+	seedGuestFile(t, p, "fuse.dat", content)
+
+	buf := make([]byte, len(content))
+	results := p.Chain(openStatReadCloseChain("fuse.dat", buf)...)
+	if len(results) != 4 {
+		t.Fatalf("chain returned %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if !r.Ok() {
+			t.Fatalf("link %d failed: %v", i, r.Err)
+		}
+	}
+	if results[0].FD <= 0 {
+		t.Fatalf("open link minted fd %d, want a host descriptor", results[0].FD)
+	}
+	if results[1].Ret != int64(len(content)) {
+		t.Fatalf("fstat Ret = %d, want file size %d", results[1].Ret, len(content))
+	}
+	if results[2].Ret != int64(len(content)) || !bytes.Equal(buf, content) {
+		t.Fatalf("pread Ret=%d buf=%q, want %d bytes %q", results[2].Ret, buf, len(content), content)
+	}
+	if e := p.Task.FD(results[0].FD); e != nil {
+		t.Fatalf("descriptor %d still installed after chained close", results[0].FD)
+	}
+
+	fs := d.Layer.Stats().Fusion
+	if fs.Explicit != 1 || fs.Chains < 1 {
+		t.Fatalf("stats: Explicit=%d Chains=%d, want 1 explicit chain fused", fs.Explicit, fs.Chains)
+	}
+	if fs.Submitted != fs.Completed+fs.Failed {
+		t.Fatalf("accounting identity broken: Submitted=%d Completed=%d Failed=%d",
+			fs.Submitted, fs.Completed, fs.Failed)
+	}
+	if fs.Failed != 0 {
+		t.Fatalf("Failed=%d on an all-success chain", fs.Failed)
+	}
+}
+
+// TestChainShortCircuitErrno: a failing mid-chain link returns its own
+// errno and the remaining links are not executed.
+func TestChainShortCircuitErrno(t *testing.T) {
+	d, p := bootFusedDevice(t)
+	seedGuestFile(t, p, "short.dat", []byte("x"))
+
+	results := p.Chain(
+		ChainCall{Args: kernel.Args{Nr: abi.SysOpen, Path: "no-such-file", Flags: abi.ORdOnly}, FDFrom: -1},
+		ChainCall{Args: kernel.Args{Nr: abi.SysFstat}, FDFrom: 0},
+		ChainCall{Args: kernel.Args{Nr: abi.SysClose}, FDFrom: 0},
+	)
+	if results[0].Ok() {
+		t.Fatal("open of missing file succeeded")
+	}
+	if !errors.Is(results[0].Err, abi.ENOENT) {
+		t.Fatalf("open err = %v, want ENOENT", results[0].Err)
+	}
+	for i := 1; i < 3; i++ {
+		if results[i].Ok() {
+			t.Fatalf("link %d ran despite short-circuit", i)
+		}
+	}
+	fs := d.Layer.Stats().Fusion
+	if fs.Submitted != fs.Completed+fs.Failed {
+		t.Fatalf("accounting identity broken: Submitted=%d Completed=%d Failed=%d",
+			fs.Submitted, fs.Completed, fs.Failed)
+	}
+}
+
+// TestChainForceSyncFallback: under ForceSyncUncached the chain takes
+// the per-call path (Table I pinning) — results are identical and the
+// fallback is counted.
+func TestChainForceSyncFallback(t *testing.T) {
+	d, p := bootFusedDevice(t)
+	content := []byte("sync fallback stays byte-identical")
+	seedGuestFile(t, p, "sync.dat", content)
+
+	d.Layer.SetPolicyOverride(&PolicyOverride{ForceSyncUncached: true})
+	buf := make([]byte, len(content))
+	results := p.Chain(openStatReadCloseChain("sync.dat", buf)...)
+	for i, r := range results {
+		if !r.Ok() {
+			t.Fatalf("link %d failed under forced sync: %v", i, r.Err)
+		}
+	}
+	if !bytes.Equal(buf, content) {
+		t.Fatalf("pread buf = %q, want %q", buf, content)
+	}
+	fs := d.Layer.Stats().Fusion
+	if fs.Fallbacks != 1 || fs.Chains != 0 {
+		t.Fatalf("stats: Fallbacks=%d Chains=%d, want the chain to fall back, not fuse", fs.Fallbacks, fs.Chains)
+	}
+}
+
+// TestChainMatchesUnfused: the fused chain and the plain per-call
+// sequence observe the same results.
+func TestChainMatchesUnfused(t *testing.T) {
+	content := []byte("two arms, one answer")
+
+	run := func(t *testing.T, fused bool) (int64, int64, []byte) {
+		var p *Proc
+		if fused {
+			_, p = bootFusedDevice(t)
+		} else {
+			_, p = bootCachedDevice(t, nil)
+		}
+		seedGuestFile(t, p, "arms.dat", content)
+		buf := make([]byte, len(content))
+		res := p.Chain(openStatReadCloseChain("arms.dat", buf)...)
+		for i, r := range res {
+			if !r.Ok() {
+				t.Fatalf("fused=%v link %d: %v", fused, i, r.Err)
+			}
+		}
+		return res[1].Ret, res[2].Ret, buf
+	}
+
+	fStat, fRead, fBuf := run(t, true)
+	uStat, uRead, uBuf := run(t, false)
+	if fStat != uStat || fRead != uRead || !bytes.Equal(fBuf, uBuf) {
+		t.Fatalf("fused (stat=%d read=%d %q) != unfused (stat=%d read=%d %q)",
+			fStat, fRead, fBuf, uStat, uRead, uBuf)
+	}
+}
+
+// TestChainInvalidBinding: a forward or self reference is rejected with
+// EINVAL on every link, before anything executes.
+func TestChainInvalidBinding(t *testing.T) {
+	_, p := bootFusedDevice(t)
+	results := p.Chain(
+		ChainCall{Args: kernel.Args{Nr: abi.SysFstat}, FDFrom: 1},
+		ChainCall{Args: kernel.Args{Nr: abi.SysClose}, FDFrom: -1},
+	)
+	for i, r := range results {
+		if !errors.Is(r.Err, abi.EINVAL) {
+			t.Fatalf("link %d err = %v, want EINVAL", i, r.Err)
+		}
+	}
+}
+
+// specWorkload runs n open→fstat→pread→close iterations through the
+// ordinary per-call API, which is what the pattern detector watches.
+func specWorkload(t *testing.T, p *Proc, name string, size, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		fd := mustOpen(t, p, name, abi.ORdWr)
+		st := p.Syscall(kernel.Args{Nr: abi.SysFstat, FD: fd})
+		if !st.Ok() || st.Ret != int64(size) {
+			t.Fatalf("iter %d fstat: ret=%d err=%v, want size %d", i, st.Ret, st.Err, size)
+		}
+		got := mustPread(t, p, fd, size, 0)
+		if len(got) != size {
+			t.Fatalf("iter %d pread got %d bytes, want %d", i, len(got), size)
+		}
+		if err := p.Close(fd); err != nil {
+			t.Fatalf("iter %d close: %v", i, err)
+		}
+	}
+}
+
+// TestFusionSpeculationServes: after the detector has seen the
+// open→fstat→pread shape twice, later opens are speculatively fused and
+// the trailing calls are served from the buffered chain results —
+// without changing what the app observes.
+func TestFusionSpeculationServes(t *testing.T) {
+	d, p := bootFusedDevice(t)
+	content := bytes.Repeat([]byte("s"), 512)
+	seedGuestFile(t, p, "spec.dat", content)
+
+	specWorkload(t, p, "spec.dat", len(content), 6)
+
+	fs := d.Layer.Stats().Fusion
+	if fs.PatternHits == 0 {
+		t.Fatal("detector saw 6 open→fstat sequences but recorded no pattern hits")
+	}
+	if fs.SpecServed == 0 {
+		t.Fatalf("no speculatively-served calls after 6 hot iterations: %+v", fs)
+	}
+	if fs.Mispredicts != 0 {
+		t.Fatalf("mispredicts on a perfectly repeating workload: %+v", fs)
+	}
+	if fs.Submitted != fs.Completed+fs.Failed {
+		t.Fatalf("accounting identity broken: %+v", fs)
+	}
+}
+
+// TestFusionMispredict: when the app breaks the learned shape, the
+// buffered speculative results are discarded, the live call takes the
+// normal path, and the detector's confidence is reset.
+func TestFusionMispredict(t *testing.T) {
+	d, p := bootFusedDevice(t)
+	content := bytes.Repeat([]byte("m"), 256)
+	seedGuestFile(t, p, "mis.dat", content)
+
+	// Prime the open→fstat detector.
+	specWorkload(t, p, "mis.dat", len(content), 3)
+
+	before := d.Layer.Stats().Fusion
+	if before.SpecServed == 0 {
+		t.Fatalf("workload did not reach speculation: %+v", before)
+	}
+
+	// Divergent iteration: open then pwrite, not fstat.
+	fd := mustOpen(t, p, "mis.dat", abi.ORdWr)
+	mustPwrite(t, p, fd, []byte("DIVERGED"), 0)
+	if err := p.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	fs := d.Layer.Stats().Fusion
+	if fs.Mispredicts == 0 && fs.SpecDropped == before.SpecDropped {
+		t.Fatalf("divergence neither mispredicted nor dropped the queue: before=%+v after=%+v", before, fs)
+	}
+
+	// The write landed despite the discarded speculation.
+	fd2 := mustOpen(t, p, "mis.dat", abi.ORdWr)
+	got := mustPread(t, p, fd2, 8, 0)
+	if !bytes.Equal(got, []byte("DIVERGED")) {
+		t.Fatalf("post-mispredict read = %q, want %q", got, "DIVERGED")
+	}
+	if err := p.Close(fd2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionDeterminism: the pattern detector is scheduled by counters,
+// not wall-clock or randomness — two identical runs fuse identically.
+func TestFusionDeterminism(t *testing.T) {
+	runOnce := func(t *testing.T) FusionStats {
+		d, p := bootFusedDevice(t)
+		content := bytes.Repeat([]byte("d"), 1024)
+		seedGuestFile(t, p, "det.dat", content)
+		specWorkload(t, p, "det.dat", len(content), 8)
+		return d.Layer.Stats().Fusion
+	}
+	a := runOnce(t)
+	b := runOnce(t)
+	if a != b {
+		t.Fatalf("same-seed runs diverged:\n  a=%+v\n  b=%+v", a, b)
+	}
+}
+
+// BenchmarkFusion_OpenStatReadClose: the canonical fused chain — the
+// evaluate fusion experiment's fused arm, as a smoke-runnable benchmark.
+func BenchmarkFusion_OpenStatReadClose(b *testing.B) {
+	p := benchFusionDevice(b, true)
+	content := bytes.Repeat([]byte("b"), 4096)
+	benchSeed(b, p, "bench.dat", content)
+	buf := make([]byte, len(content))
+	chain := openStatReadCloseChain("bench.dat", buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := p.Chain(chain...)
+		for j := range res {
+			if !res[j].Ok() {
+				b.Fatalf("iter %d link %d: %v", i, j, res[j].Err)
+			}
+		}
+	}
+}
+
+// BenchmarkFusion_UnfusedOpenStatReadClose: the same logical chain as
+// four independent ring round trips — the comparison arm.
+func BenchmarkFusion_UnfusedOpenStatReadClose(b *testing.B) {
+	p := benchFusionDevice(b, false)
+	content := bytes.Repeat([]byte("b"), 4096)
+	benchSeed(b, p, "bench.dat", content)
+	buf := make([]byte, len(content))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fd, err := p.Open("bench.dat", abi.ORdWr, 0o600)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st := p.Syscall(kernel.Args{Nr: abi.SysFstat, FD: fd}); !st.Ok() {
+			b.Fatal(st.Err)
+		}
+		if _, err := p.PreadInto(fd, buf, 0); err != nil {
+			b.Fatal(err)
+		}
+		if err := p.Close(fd); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSeed(b *testing.B, p *Proc, name string, content []byte) {
+	b.Helper()
+	fd, err := p.Open(name, abi.ORdWr|abi.OCreat, 0o600)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := p.Pwrite(fd, content, 0); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.Close(fd); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func benchFusionDevice(b *testing.B, fused bool) *Proc {
+	b.Helper()
+	d, err := NewDevice(Options{
+		Mode:         ModeAnception,
+		RingDepth:    64,
+		RingWorkers:  1,
+		FusionEnable: fused,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	app, err := d.InstallApp(android.AppSpec{Package: "com.example.fusionbench"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := d.Launch(app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}

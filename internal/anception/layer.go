@@ -45,6 +45,10 @@ type Layer struct {
 	// per-call decision for transport, payload strategy, and caching.
 	// Always non-nil; inert unless Options.AutoTune.
 	policy *dispatchPolicy
+	// fusion is the syscall-fusion layer (DESIGN.md §17): linked ring
+	// submissions plus the transparent chain-pattern detector; nil
+	// unless Options.FusionEnable (or AutoTune).
+	fusion *layerFusion
 	// epoch is the generation-keyed drain protocol every fast path
 	// registers with at boot; AdvanceEpoch rolls them in pinned order.
 	epoch layerEpoch
@@ -179,6 +183,10 @@ type LayerStats struct {
 	// Policy counts adaptive-dispatch decisions (AutoTune reports false
 	// when the plane is inert and knob semantics apply verbatim).
 	Policy PolicyStats
+	// Fusion counts syscall-fusion outcomes — fused chains, link
+	// accounting, cache/grant-served links, detector speculation — zero
+	// when Options.FusionEnable (and AutoTune) are off.
+	Fusion FusionStats
 	// Epoch describes the epoch/drain protocol: advances, the boot
 	// generation of the last advance, and the pinned participant order.
 	Epoch EpochStats
@@ -267,6 +275,14 @@ type LayerConfig struct {
 	// inputs to the model.
 	RingForced  bool
 	CacheForced bool
+	// FusionEnable boots the syscall-fusion layer (DESIGN.md §17):
+	// Layer.Chain fuses dependent call chains into linked ring
+	// submissions, and the per-task pattern detector speculatively
+	// fuses recognized hot shapes. FusionMaxLinks bounds one fused
+	// submission (0 = DefaultFusionMaxLinks, capped at
+	// marshal.MaxChainLinks).
+	FusionEnable   bool
+	FusionMaxLinks int
 }
 
 var _ kernel.Interceptor = (*Layer)(nil)
@@ -325,12 +341,20 @@ func NewLayer(cfg LayerConfig) (*Layer, error) {
 		l.binder = newBinderFastPath(cfg.BinderSessions, cfg.BinderReplyCache, gen)
 	}
 	l.policy = newDispatchPolicy(cfg.AutoTune, cfg.RingForced, cfg.CacheForced)
+	if cfg.FusionEnable {
+		l.fusion = newLayerFusion(cfg.FusionMaxLinks)
+	}
 	// Every fast path enrolls in the epoch protocol unconditionally —
 	// a participant whose path is off no-ops, but the pinned order is
 	// always complete (see AdvanceEpoch for the ordering rationale).
+	// Fusion drains right after the ring: its speculative results were
+	// produced through ring slots, so they are dropped as soon as the
+	// ring is keyed to the new generation and before any participant
+	// that could serve a call from them.
 	l.epoch.participants = []epochParticipant{
 		{"grants", func(int) { l.RevokeGrants() }},
 		{"ring", l.rearmRing},
+		{"fusion", l.drainFusion},
 		{"sockets", l.DrainSockets},
 		{"binder", l.drainBinder},
 		{"cache", l.invalidateRedirCache},
@@ -653,6 +677,7 @@ func (l *Layer) Stats() LayerStats {
 		GrantsKept:     int(l.counters.grantsKept.Load()),
 	}
 	s.Policy = l.policy.snapshot()
+	s.Fusion = l.fusionStats()
 	s.Epoch = l.epochStats()
 	return s
 }
@@ -694,6 +719,14 @@ func (l *Layer) Intercept(k *kernel.Kernel, t *kernel.Task, args *kernel.Args) (
 
 // handleRedirectClass routes a redirect-class call dynamically.
 func (l *Layer) handleRedirectClass(t *kernel.Task, args *kernel.Args) (kernel.Result, bool) {
+	// Syscall fusion first: serve calls answered by an earlier
+	// speculative chain, and let the pattern detector fuse a confident
+	// chain head before per-call dispatch sees it.
+	if l.fusion != nil {
+		if res, ok := l.fusionIntercept(t, args); ok {
+			return res, true
+		}
+	}
 	switch args.Nr {
 	case abi.SysOpen, abi.SysOpenat, abi.SysCreat:
 		p := l.absPath(t, args.Path)

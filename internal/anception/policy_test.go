@@ -26,19 +26,20 @@ func bootPolicyDevice(t *testing.T, opts Options) *Device {
 }
 
 // TestEpochDrainOrder pins the epoch/drain protocol's participant order —
-// grants before ring before sockets before binder before cache, the one
-// ordering the five deleted per-path supervisor hooks used to encode
-// (grant revocation must precede the ring re-arm that could recycle its
-// slots; the cache invalidation runs last so flush attempts during
-// earlier drains cannot repopulate it). The supervisor's
-// TestPostRestartEpochAdvance asserts the single AdvanceEpoch call; this
-// test owns the order within it.
+// grants before ring before fusion before sockets before binder before
+// cache, the one ordering the five deleted per-path supervisor hooks
+// used to encode (grant revocation must precede the ring re-arm that
+// could recycle its slots; fusion's speculative results ride ring slots
+// so they drop right after the re-arm; the cache invalidation runs last
+// so flush attempts during earlier drains cannot repopulate it). The
+// supervisor's TestPostRestartEpochAdvance asserts the single
+// AdvanceEpoch call; this test owns the order within it.
 func TestEpochDrainOrder(t *testing.T) {
 	d := bootPolicyDevice(t, Options{
 		RedirCache: true, RingDepth: 8, GrantThreshold: abi.PageSize,
 		BinderSessions: true, BinderReplyCache: true,
 	})
-	want := []string{"grants", "ring", "sockets", "binder", "cache"}
+	want := []string{"grants", "ring", "fusion", "sockets", "binder", "cache"}
 	st := d.Layer.Stats()
 	if len(st.Epoch.Order) != len(want) {
 		t.Fatalf("epoch order = %v, want %v", st.Epoch.Order, want)

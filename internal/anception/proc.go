@@ -38,6 +38,28 @@ func (p *Proc) Syscall(args kernel.Args) kernel.Result {
 	return p.invoke(args)
 }
 
+// Chain submits a dependent system-call chain (DESIGN.md §17). On an
+// Anception device with the async ring, the whole chain executes
+// guest-side off one linked ring submission — one doorbell, one
+// completion — with FDFrom/UseCursor bindings resolved by the guest. On
+// other platforms (or when fusion cannot apply) the links dispatch one
+// call at a time with the bindings resolved host-side; either way the
+// result slice is positional and a failed link short-circuits the rest
+// with its error.
+func (p *Proc) Chain(calls ...ChainCall) []kernel.Result {
+	if p.device != nil && p.device.Layer != nil && p.kernel == p.device.Host {
+		return p.device.Layer.Chain(p.Task, calls)
+	}
+	if err := validateChain(calls); err != nil {
+		results := make([]kernel.Result, len(calls))
+		for i := range results {
+			results[i] = kernel.Result{Ret: -1, Err: err}
+		}
+		return results
+	}
+	return runChainUnfused(p.invoke, calls)
+}
+
 // --- identity and process control ---
 
 // Getpid returns the process ID.

@@ -51,6 +51,49 @@ func FuzzDecodeSockOp(f *testing.F) {
 	})
 }
 
+func FuzzDecodeChain(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeChain([]ChainLink{
+		{Args: &kernel.Args{Nr: abi.SysOpen, Path: "/data/f", Flags: abi.ORdOnly}, FDFrom: -1},
+		{Args: &kernel.Args{Nr: abi.SysFstat}, FDFrom: 0},
+		{Args: &kernel.Args{Nr: abi.SysPread64, Size: 4096}, FDFrom: 0, UseCursor: true},
+		{Args: &kernel.Args{Nr: abi.SysClose}, FDFrom: 0},
+	}))
+	f.Add(EncodeChain([]ChainLink{
+		{Args: &kernel.Args{Nr: abi.SysSend, FD: 4, Buf: []byte("ping")}, FDFrom: -1},
+		{Args: &kernel.Args{Nr: abi.SysRecv, FD: 4, Size: 128}, FDFrom: -1},
+	}))
+	f.Add([]byte{0xAA})
+	f.Add([]byte{0xAA, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte{0xAA, 2, 0, 0, 0, chainFlagFDFrom, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		links, err := DecodeChain(data)
+		if err == nil && len(links) == 0 {
+			t.Fatal("empty chain without error")
+		}
+		for i, ln := range links {
+			if err == nil && (ln.Args == nil || ln.FDFrom >= i) {
+				t.Fatalf("link %d decoded inconsistently (fdFrom=%d)", i, ln.FDFrom)
+			}
+		}
+	})
+}
+
+func FuzzDecodeChainResult(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeChainResult(ChainResult{Executed: 2, Results: []kernel.Result{
+		{Ret: 3, FD: 3},
+		{Ret: -1, Err: abi.EHOSTDOWN},
+	}}))
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cr, err := DecodeChainResult(data)
+		if err == nil && (cr.Executed < 0 || cr.Executed > len(cr.Results)) {
+			t.Fatal("inconsistent executed count without error")
+		}
+	})
+}
+
 // FuzzArgsRoundTrip: anything that encodes must decode to itself.
 func FuzzArgsRoundTrip(f *testing.F) {
 	f.Add("/data/x", 3, []byte("buf"), int64(12), "tag")

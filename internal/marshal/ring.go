@@ -285,7 +285,7 @@ func (r *RingChannel) Submit(payload []byte, key int64, handler GuestHandler) (*
 	}
 	s.payload, s.handler, s.key = payload, handler, key
 	s.gen = int(r.gen.Load())
-	s.inline = (IsGrantCall(payload) || IsBinderCall(payload) || IsSockOp(payload)) && len(payload) <= RingInlineBytes
+	s.inline = (IsGrantCall(payload) || IsBinderCall(payload) || IsSockOp(payload) || IsChainCall(payload)) && len(payload) <= RingInlineBytes
 	s.state.Store(slotQueued)
 	r.submitted.Add(1)
 

@@ -36,6 +36,9 @@ type Manager struct {
 
 	mu        sync.Mutex
 	byHostPID map[int]*kernel.Task
+	// chainStep, when set, is invoked before each link of a fused chain
+	// executes (fault-drill instrumentation; see SetChainStep).
+	chainStep func(next int)
 }
 
 // NewManager creates an empty proxy manager for the given guest kernel.

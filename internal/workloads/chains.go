@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"fmt"
+
+	"anception/internal/abi"
+	"anception/internal/anception"
+	"anception/internal/kernel"
+)
+
+// ChainScan is the canonical dependent-chain workload of the syscall
+// fusion experiment: iters repetitions of open→fstat→pread(4 KiB)→close
+// on one file, issued through Proc.Chain. On a device with FusionEnable
+// the whole chain rides one ring submission; on any other device the
+// same workload degrades to four independent dispatches per iteration,
+// which makes it the unfused comparison arm with zero workload skew.
+// Ops counts logical system calls (4 per iteration).
+func ChainScan(iters int) Workload {
+	return Workload{
+		Name: "chain-scan",
+		Run: func(p *anception.Proc) (int, error) {
+			page := make([]byte, abi.PageSize)
+			fd, err := p.Open("chain.dat", abi.ORdWr|abi.OCreat, 0o600)
+			if err != nil {
+				return 0, err
+			}
+			if _, err := p.Pwrite(fd, page, 0); err != nil {
+				return 0, err
+			}
+			if err := p.Close(fd); err != nil {
+				return 0, err
+			}
+
+			buf := make([]byte, abi.PageSize)
+			for i := 0; i < iters; i++ {
+				res := p.Chain(
+					anception.ChainCall{Args: kernel.Args{Nr: abi.SysOpen, Path: "chain.dat", Flags: abi.ORdWr}, FDFrom: -1},
+					anception.ChainCall{Args: kernel.Args{Nr: abi.SysFstat}, FDFrom: 0},
+					anception.ChainCall{Args: kernel.Args{Nr: abi.SysPread64, Buf: buf}, FDFrom: 0},
+					anception.ChainCall{Args: kernel.Args{Nr: abi.SysClose}, FDFrom: 0},
+				)
+				for j, r := range res {
+					if !r.Ok() {
+						return 0, fmt.Errorf("chain-scan iter %d link %d: %w", i, j, r.Err)
+					}
+				}
+			}
+			return iters * 4, nil
+		},
+	}
+}
